@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+// TestEveryExperimentRunsAtTinyScale smoke-tests each experiment id end to
+// end (scale 0.01 keeps the whole sweep under a minute).
+func TestEveryExperimentRunsAtTinyScale(t *testing.T) {
+	for _, exp := range []string{
+		"table1", "table4", "n50growth", "vertexcollapse",
+	} {
+		if err := run(exp, 0.01, 2); err != nil {
+			t.Errorf("experiment %s: %v", exp, err)
+		}
+	}
+}
+
+func TestUnknownExperimentRejected(t *testing.T) {
+	if err := run("bogus", 1, 2); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,176 @@
+// Command ppa-assembler runs the full PPA-assembler workflow ①②③④⑤⑥②③ over
+// a FASTQ (or plain-text, one read per line) input and writes the assembled
+// contigs as FASTA.
+//
+// Usage:
+//
+//	ppa-assembler -in reads.fastq -out contigs.fasta [flags]
+//
+// Flags mirror the paper's parameters: -k (k-mer length), -theta
+// ((k+1)-mer coverage threshold), -tip (tip-length threshold, paper: 80),
+// -editdist (bubble edit-distance threshold, paper: 5), -workers (logical
+// Pregel workers), -labeler (lr or sv), -rounds (1 or 2).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ppaassembler/internal/core"
+	"ppaassembler/internal/fastx"
+	"ppaassembler/internal/pregel"
+	"ppaassembler/internal/shardio"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input reads: FASTQ/FASTA file, one-read-per-line text file, or a shardio store directory")
+		out      = flag.String("out", "contigs.fasta", "output FASTA path (\"-\" for stdout)")
+		k        = flag.Int("k", 21, "k-mer length (odd, <= 31)")
+		theta    = flag.Uint("theta", 1, "drop (k+1)-mers with coverage <= theta")
+		tip      = flag.Int("tip", 80, "tip-length threshold")
+		editDist = flag.Int("editdist", 5, "bubble edit-distance threshold")
+		workers  = flag.Int("workers", 4, "logical Pregel workers")
+		labeler  = flag.String("labeler", "lr", "contig labeling algorithm: lr or sv")
+		rounds   = flag.Int("rounds", 2, "labeling+merging rounds (1 = no error correction)")
+		minLen   = flag.Int("minlen", 0, "omit contigs shorter than this from the output")
+		gfa      = flag.String("gfa", "", "also write the assembly graph in GFA v1 to this path")
+		quiet    = flag.Bool("q", false, "suppress the run summary")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "ppa-assembler: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*in, *out, *k, uint32(*theta), *tip, *editDist, *workers, *labeler, *rounds, *minLen, *gfa, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "ppa-assembler:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, out string, k int, theta uint32, tip, editDist, workers int, labeler string, rounds, minLen int, gfa string, quiet bool) error {
+	shards, err := loadReads(in, workers)
+	if err != nil {
+		return err
+	}
+	opt := core.Options{
+		K:              k,
+		Theta:          theta,
+		TipLen:         tip,
+		BubbleEditDist: editDist,
+		Workers:        workers,
+		Rounds:         rounds,
+		KeepGraph:      gfa != "",
+	}
+	switch strings.ToLower(labeler) {
+	case "lr":
+		opt.Labeler = core.LabelerLR
+	case "sv":
+		opt.Labeler = core.LabelerSV
+	default:
+		return fmt.Errorf("unknown labeler %q (want lr or sv)", labeler)
+	}
+	res, err := core.Assemble(shards, opt)
+	if err != nil {
+		return err
+	}
+
+	var recs []fastx.Record
+	for i, c := range res.Contigs {
+		if c.Len() < minLen {
+			continue
+		}
+		recs = append(recs, fastx.Record{
+			Name: fmt.Sprintf("contig_%d length=%d cov=%d", i+1, c.Len(), c.Node.Cov),
+			Seq:  c.Node.Seq.String(),
+		})
+	}
+	w := os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := fastx.WriteFasta(w, recs, 70); err != nil {
+		return err
+	}
+	if gfa != "" {
+		if res.FinalGraph == nil {
+			return fmt.Errorf("-gfa requires -rounds 2 (the graph is built during error correction)")
+		}
+		gf, err := os.Create(gfa)
+		if err != nil {
+			return err
+		}
+		defer gf.Close()
+		if err := core.WriteGFA(gf, res.FinalGraph, k); err != nil {
+			return err
+		}
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "k-mer vertices:    %d\n", res.KmerVertices)
+		fmt.Fprintf(os.Stderr, "(k+1)-mers kept:   %d / %d (theta=%d)\n", res.K1Kept, res.K1Distinct, theta)
+		fmt.Fprintf(os.Stderr, "bubbles pruned:    %d\n", res.BubblesPruned)
+		fmt.Fprintf(os.Stderr, "tip vertices gone: %d (+%d+%d dropped at merge)\n",
+			res.TipVerticesRemoved, res.TipsDroppedAtMerge[0], res.TipsDroppedAtMerge[1])
+		fmt.Fprintf(os.Stderr, "contigs written:   %d\n", len(recs))
+		fmt.Fprintf(os.Stderr, "simulated time:    %.2fs (%d workers), wall %.2fs\n",
+			res.SimSeconds, workers, res.WallSeconds)
+	}
+	return nil
+}
+
+// loadReads accepts a FASTQ/FASTA file (by extension), a shardio store
+// directory, or a plain one-read-per-line file.
+func loadReads(path string, workers int) ([][]string, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if st.IsDir() {
+		store, err := shardio.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		return store.ReadShards(workers)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var reads []string
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".fastq", ".fq":
+		recs, err := fastx.ReadFastq(f)
+		if err != nil {
+			return nil, err
+		}
+		reads = fastx.Seqs(recs)
+	case ".fasta", ".fa":
+		recs, err := fastx.ReadFasta(f)
+		if err != nil {
+			return nil, err
+		}
+		reads = fastx.Seqs(recs)
+	default:
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			line = strings.TrimSpace(line)
+			if line != "" {
+				reads = append(reads, line)
+			}
+		}
+	}
+	return pregel.ShardSlice(reads, workers), nil
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ppaassembler/internal/fastx"
+	"ppaassembler/internal/genome"
+	"ppaassembler/internal/readsim"
+)
+
+func writeReadsFastq(t *testing.T, dir string, reads []string) string {
+	t.Helper()
+	path := filepath.Join(dir, "reads.fastq")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs := make([]fastx.Record, len(reads))
+	for i, r := range reads {
+		recs[i] = fastx.Record{Name: "r", Seq: r}
+	}
+	if err := fastx.WriteFastq(f, recs); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestEndToEndCLI(t *testing.T) {
+	dir := t.TempDir()
+	ref, err := genome.Generate(genome.Spec{Name: "t", Length: 20_000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, err := readsim.Simulate(ref, readsim.Profile{ReadLen: 80, Coverage: 15, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := writeReadsFastq(t, dir, reads)
+	out := filepath.Join(dir, "contigs.fasta")
+	gfaPath := filepath.Join(dir, "graph.gfa")
+	if err := run(in, out, 15, 1, 80, 5, 3, "lr", 2, 0, gfaPath, true); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := fastx.ReadFasta(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no contigs written")
+	}
+	total := 0
+	for _, r := range recs {
+		total += len(r.Seq)
+		if !strings.Contains(ref.String(), r.Seq) &&
+			!strings.Contains(ref.ReverseComplement().String(), r.Seq) {
+			t.Errorf("contig %s is not a reference substring", r.Name)
+		}
+	}
+	if total < 15_000 {
+		t.Errorf("contigs cover %d of 20000 bases", total)
+	}
+	gfaData, err := os.ReadFile(gfaPath)
+	if err != nil {
+		t.Fatalf("GFA not written: %v", err)
+	}
+	if !strings.HasPrefix(string(gfaData), "H\tVN:Z:1.0") {
+		t.Error("GFA header missing")
+	}
+}
+
+func TestCLIRejectsBadLabeler(t *testing.T) {
+	dir := t.TempDir()
+	in := writeReadsFastq(t, dir, []string{"ACGTACGTACGTACGT"})
+	if err := run(in, "-", 15, 1, 80, 5, 2, "bogus", 2, 0, "", true); err == nil {
+		t.Fatal("bogus labeler accepted")
+	}
+}
+
+func TestLoadReadsPlainText(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "reads.txt")
+	if err := os.WriteFile(path, []byte("ACGT\n\nTTGCA\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	shards, err := loadReads(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []string
+	for _, s := range shards {
+		all = append(all, s...)
+	}
+	if len(all) != 2 {
+		t.Errorf("reads = %v", all)
+	}
+}
+
+func TestLoadReadsFasta(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "reads.fasta")
+	if err := os.WriteFile(path, []byte(">a\nACGT\n>b\nGGTT\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	shards, err := loadReads(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards[0]) != 2 {
+		t.Errorf("reads = %v", shards)
+	}
+}
+
+func TestLoadReadsMissingFile(t *testing.T) {
+	if _, err := loadReads(filepath.Join(t.TempDir(), "nope.fastq"), 1); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,91 @@
+// Command quastlite evaluates assembled contigs in the style of QUAST [7]
+// (the tool the paper uses for Tables IV and V): contig counts, N50, GC%,
+// and — when a reference FASTA is supplied — genome fraction,
+// misassemblies, unaligned length and mismatch/indel rates.
+//
+// Usage:
+//
+//	quastlite -contigs contigs.fasta [-ref reference.fasta]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ppaassembler/internal/dna"
+	"ppaassembler/internal/fastx"
+	"ppaassembler/internal/quality"
+)
+
+func main() {
+	var (
+		contigsPath = flag.String("contigs", "", "assembled contigs FASTA (required)")
+		refPath     = flag.String("ref", "", "reference FASTA (optional)")
+		minLen      = flag.Int("minlen", quality.MinContigLen, "ignore contigs shorter than this")
+	)
+	flag.Parse()
+	if *contigsPath == "" {
+		fmt.Fprintln(os.Stderr, "quastlite: -contigs is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*contigsPath, *refPath, *minLen); err != nil {
+		fmt.Fprintln(os.Stderr, "quastlite:", err)
+		os.Exit(1)
+	}
+}
+
+func run(contigsPath, refPath string, minLen int) error {
+	contigs, err := readSeqs(contigsPath)
+	if err != nil {
+		return err
+	}
+	var ref dna.Seq
+	if refPath != "" {
+		refs, err := readSeqs(refPath)
+		if err != nil {
+			return err
+		}
+		if len(refs) == 0 {
+			return fmt.Errorf("no records in %s", refPath)
+		}
+		ref = refs[0]
+	}
+	r := quality.Evaluate(contigs, ref, minLen)
+	fmt.Printf("# of contigs (>= %d bp)   %d\n", minLen, r.NumContigs)
+	fmt.Printf("Total length              %d\n", r.TotalLength)
+	fmt.Printf("N50                       %d\n", r.N50)
+	fmt.Printf("N75                       %d\n", r.N75)
+	fmt.Printf("L50                       %d\n", r.L50)
+	fmt.Printf("Largest contig            %d\n", r.LargestContig)
+	fmt.Printf("GC (%%)                    %.2f\n", r.GCPercent)
+	if r.HasReference {
+		fmt.Printf("NG50                      %d\n", r.NG50)
+		fmt.Printf("Genome fraction (%%)       %.3f\n", r.GenomeFraction)
+		fmt.Printf("# misassemblies           %d\n", r.Misassemblies)
+		fmt.Printf("Misassembled length       %d\n", r.MisassembledLength)
+		fmt.Printf("Unaligned length          %d\n", r.UnalignedLength)
+		fmt.Printf("# mismatches per 100 kbp  %.2f\n", r.MismatchesPer100kbp)
+		fmt.Printf("# indels per 100 kbp      %.2f\n", r.IndelsPer100kbp)
+		fmt.Printf("Largest alignment         %d\n", r.LargestAlignment)
+	}
+	return nil
+}
+
+func readSeqs(path string) ([]dna.Seq, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, err := fastx.ReadFasta(f)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]dna.Seq, len(recs))
+	for i, r := range recs {
+		out[i] = dna.ParseSeq(r.Seq)
+	}
+	return out, nil
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ppaassembler/internal/fastx"
+	"ppaassembler/internal/genome"
+)
+
+func writeFasta(t *testing.T, path string, recs []fastx.Record) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := fastx.WriteFasta(f, recs, 70); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuastliteRuns(t *testing.T) {
+	dir := t.TempDir()
+	ref, err := genome.Generate(genome.Spec{Name: "q", Length: 4000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refPath := filepath.Join(dir, "ref.fasta")
+	ctgPath := filepath.Join(dir, "ctg.fasta")
+	writeFasta(t, refPath, []fastx.Record{{Name: "ref", Seq: ref.String()}})
+	writeFasta(t, ctgPath, []fastx.Record{
+		{Name: "c1", Seq: ref.Slice(0, 2500).String()},
+		{Name: "c2", Seq: ref.Slice(2600, 3900).String()},
+	})
+	if err := run(ctgPath, refPath, 500); err != nil {
+		t.Fatal(err)
+	}
+	// Reference-free mode.
+	if err := run(ctgPath, "", 500); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuastliteMissingFiles(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "nope.fasta"), "", 500); err == nil {
+		t.Fatal("missing contigs file accepted")
+	}
+}

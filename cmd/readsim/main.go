@@ -1,0 +1,103 @@
+// Command readsim generates a synthetic reference genome (or loads one from
+// FASTA) and simulates short reads from it, standing in for the ART
+// simulator used by the paper (Table I datasets).
+//
+// Usage:
+//
+//	readsim -len 200000 -coverage 15 -readlen 100 -ref ref.fasta -out reads.fastq
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ppaassembler/internal/dna"
+	"ppaassembler/internal/fastx"
+	"ppaassembler/internal/genome"
+	"ppaassembler/internal/readsim"
+)
+
+func main() {
+	var (
+		length    = flag.Int("len", 200_000, "reference length when generating (ignored with -from)")
+		repeats   = flag.Int("repeats", 12, "planted repeat pairs")
+		repeatLen = flag.Int("repeatlen", 300, "planted repeat length")
+		from      = flag.String("from", "", "load the reference from this FASTA instead of generating")
+		refOut    = flag.String("ref", "", "write the reference FASTA here (optional)")
+		out       = flag.String("out", "reads.fastq", "output FASTQ path (\"-\" for stdout)")
+		readLen   = flag.Int("readlen", 100, "read length")
+		coverage  = flag.Float64("coverage", 15, "mean per-base coverage")
+		subRate   = flag.Float64("sub", 0.005, "per-base substitution error rate")
+		nRate     = flag.Float64("nrate", 0.0005, "per-base N rate")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if err := run(*length, *repeats, *repeatLen, *from, *refOut, *out, *readLen, *coverage, *subRate, *nRate, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "readsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(length, repeats, repeatLen int, from, refOut, out string, readLen int, coverage, subRate, nRate float64, seed int64) error {
+	var ref dna.Seq
+	if from != "" {
+		f, err := os.Open(from)
+		if err != nil {
+			return err
+		}
+		recs, err := fastx.ReadFasta(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if len(recs) == 0 {
+			return fmt.Errorf("no FASTA records in %s", from)
+		}
+		ref = dna.ParseSeq(recs[0].Seq)
+	} else {
+		var err error
+		ref, err = genome.Generate(genome.Spec{
+			Name: "ref", Length: length, Repeats: repeats, RepeatLen: repeatLen, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if refOut != "" {
+		f, err := os.Create(refOut)
+		if err != nil {
+			return err
+		}
+		err = fastx.WriteFasta(f, []fastx.Record{{Name: "reference", Seq: ref.String()}}, 70)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	reads, err := readsim.Simulate(ref, readsim.Profile{
+		ReadLen: readLen, Coverage: coverage, SubRate: subRate, NRate: nRate, Seed: seed + 1,
+	})
+	if err != nil {
+		return err
+	}
+	recs := make([]fastx.Record, len(reads))
+	for i, r := range reads {
+		recs[i] = fastx.Record{Name: fmt.Sprintf("read_%d", i+1), Seq: r}
+	}
+	w := os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := fastx.WriteFastq(w, recs); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "readsim: %d reads of %d bp (%.1fx) from %d bp reference\n",
+		len(reads), readLen, coverage, ref.Len())
+	return nil
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ppaassembler/internal/fastx"
+)
+
+func TestReadsimGeneratesFastqAndRef(t *testing.T) {
+	dir := t.TempDir()
+	refPath := filepath.Join(dir, "ref.fasta")
+	outPath := filepath.Join(dir, "reads.fastq")
+	if err := run(5000, 2, 100, "", refPath, outPath, 60, 8, 0.01, 0.001, 3); err != nil {
+		t.Fatal(err)
+	}
+	rf, err := os.Open(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	refs, err := fastx.ReadFasta(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 1 || len(refs[0].Seq) != 5000 {
+		t.Fatalf("reference wrong: %d records", len(refs))
+	}
+	qf, err := os.Open(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qf.Close()
+	reads, err := fastx.ReadFastq(qf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 8 * 5000 / 60
+	if len(reads) != want {
+		t.Errorf("reads = %d, want %d", len(reads), want)
+	}
+}
+
+func TestReadsimFromExistingReference(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src.fasta")
+	if err := os.WriteFile(src, []byte(">x\n"+stringsRepeat("ACGT", 500)+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "reads.fastq")
+	if err := run(0, 0, 0, src, "", out, 50, 4, 0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := os.Open(out)
+	defer f.Close()
+	reads, err := fastx.ReadFastq(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reads) == 0 {
+		t.Fatal("no reads")
+	}
+}
+
+func TestReadsimBadProfile(t *testing.T) {
+	if err := run(1000, 0, 0, "", "", filepath.Join(t.TempDir(), "r.fastq"), 0, 5, 0, 0, 1); err == nil {
+		t.Fatal("zero read length accepted")
+	}
+}
+
+func stringsRepeat(s string, n int) string {
+	out := make([]byte, 0, len(s)*n)
+	for i := 0; i < n; i++ {
+		out = append(out, s...)
+	}
+	return string(out)
+}

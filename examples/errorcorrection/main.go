@@ -1,0 +1,65 @@
+// Error correction: show what bubble filtering (op ④), tip removing (op ⑤)
+// and the second labeling/merging round (arrow ⑥) buy on erroneous reads.
+// The same reads are assembled once with Rounds=1 (stop after the first
+// merge, no error correction) and once with the full workflow; the N50
+// improvement mirrors the paper's §V observation that the second merge
+// round roughly doubles N50 (1074 -> 2070 on HC-2).
+//
+// Run with: go run ./examples/errorcorrection
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ppaassembler/internal/core"
+	"ppaassembler/internal/genome"
+	"ppaassembler/internal/pregel"
+	"ppaassembler/internal/quality"
+	"ppaassembler/internal/readsim"
+)
+
+func main() {
+	ref, err := genome.Generate(genome.Spec{
+		Name: "errdemo", Length: 80_000, Repeats: 6, RepeatLen: 250, Seed: 21,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// 0.5% substitution errors: enough to litter the DBG with tips and
+	// bubbles at 15x coverage.
+	reads, err := readsim.Simulate(ref, readsim.Profile{
+		ReadLen: 100, Coverage: 15, SubRate: 0.005, Seed: 22,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(rounds int) *core.Result {
+		opt := core.DefaultOptions(4)
+		opt.K = 21
+		opt.Rounds = rounds
+		res, err := core.Assemble(pregel.ShardSlice(reads, opt.Workers), opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+	n50 := func(res *core.Result) int {
+		var lens []int
+		for _, c := range res.Contigs {
+			lens = append(lens, c.Len())
+		}
+		return quality.N50(lens)
+	}
+
+	r1 := run(1)
+	r2 := run(2)
+	fmt.Printf("reads: %d at 0.5%% substitution errors\n", len(reads))
+	fmt.Printf("round 1 only:   %5d contigs, N50 %6d\n", len(r1.Contigs), n50(r1))
+	fmt.Printf("full workflow:  %5d contigs, N50 %6d\n", len(r2.Contigs), n50(r2))
+	fmt.Printf("error correction: %d bubble arms pruned, %d tip vertices removed, %d+%d tips dropped at merge\n",
+		r2.BubblesPruned, r2.TipVerticesRemoved, r2.TipsDroppedAtMerge[0], r2.TipsDroppedAtMerge[1])
+	fmt.Printf("N50 growth factor: %.2fx (the paper reports ~2x on HC-2)\n",
+		float64(n50(r2))/float64(n50(r1)))
+}

@@ -1,0 +1,294 @@
+// Package align implements a seed-and-extend aligner of contigs against a
+// reference sequence. It is the substrate behind the QUAST-style quality
+// metrics of package quality (the paper evaluates with QUAST [7], which is
+// closed to this offline build): seeds are exact seed-length k-mer matches,
+// hits on one diagonal are chained into blocks, blocks are extended
+// outwards through isolated mismatches, and adjacent blocks are chained
+// with small diagonal shifts counted as indels. Inconsistent chains
+// (strand flips, large jumps) are reported as misassembly breakpoints.
+package align
+
+import (
+	"sort"
+
+	"ppaassembler/internal/dna"
+)
+
+// Options tunes the aligner.
+type Options struct {
+	// SeedLen is the exact-match seed length (default 15).
+	SeedLen int
+	// MaxSeedGap is the largest query gap between seed hits merged into
+	// one block (default 60).
+	MaxSeedGap int
+	// MaxIndel is the largest diagonal shift between chained blocks that
+	// counts as an indel rather than a misassembly (default 5).
+	MaxIndel int
+	// MisassemblyGap is the reference-jump threshold beyond which adjacent
+	// blocks form a misassembly breakpoint (default 100; QUAST uses 1 kbp
+	// at chromosome scale).
+	MisassemblyGap int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SeedLen <= 0 {
+		o.SeedLen = 15
+	}
+	if o.MaxSeedGap <= 0 {
+		o.MaxSeedGap = 60
+	}
+	if o.MaxIndel <= 0 {
+		o.MaxIndel = 5
+	}
+	if o.MisassemblyGap <= 0 {
+		o.MisassemblyGap = 100
+	}
+	return o
+}
+
+// Block is one gapless aligned segment: query bases [QStart, QEnd) match
+// reference bases [RStart, REnd) (equal lengths) with the given number of
+// mismatches. RC blocks align the reverse complement of the query; their
+// query coordinates are reported in the original (forward) query space.
+type Block struct {
+	QStart, QEnd int
+	RStart, REnd int
+	RC           bool
+	Mismatches   int
+}
+
+// Len returns the aligned length.
+func (b Block) Len() int { return b.QEnd - b.QStart }
+
+// Result is the alignment of one query against the reference.
+type Result struct {
+	// Blocks is the chained, query-ordered block set.
+	Blocks []Block
+	// Mismatches and Indels total over the chain.
+	Mismatches, Indels int
+	// Breakpoints counts misassembly events between adjacent blocks.
+	Breakpoints int
+	// AlignedLen is the number of query bases inside blocks; UnalignedLen
+	// the rest.
+	AlignedLen, UnalignedLen int
+}
+
+// Index is a seed index over the forward strand of a reference.
+type Index struct {
+	opt Options
+	ref dna.Seq
+	pos map[uint64][]int32
+}
+
+// NewIndex indexes the reference.
+func NewIndex(ref dna.Seq, opt Options) *Index {
+	opt = opt.withDefaults()
+	ix := &Index{opt: opt, ref: ref, pos: make(map[uint64][]int32)}
+	s := opt.SeedLen
+	for i := 0; i+s <= ref.Len(); i++ {
+		key := uint64(dna.KmerFromSeq(ref, i, s))
+		ix.pos[key] = append(ix.pos[key], int32(i))
+	}
+	return ix
+}
+
+// Ref returns the indexed reference.
+func (ix *Index) Ref() dna.Seq { return ix.ref }
+
+// Align aligns the query against the reference, trying both orientations
+// and chaining the better block set.
+func (ix *Index) Align(q dna.Seq) Result {
+	fwd := ix.alignOriented(q, false)
+	rev := ix.alignOriented(q.ReverseComplement(), true)
+	// Merge: a contig can legitimately contain blocks of both strands only
+	// when misassembled; pick the orientation set covering more bases and
+	// report strand mixing through the per-orientation chains.
+	blocks := append(fwd, rev...)
+	return chain(blocks, q.Len(), ix.opt)
+}
+
+// alignOriented finds gapless blocks for one query orientation. rc marks
+// blocks so their query coordinates can be mapped back to forward space.
+func (ix *Index) alignOriented(q dna.Seq, rc bool) []Block {
+	s := ix.opt.SeedLen
+	if q.Len() < s {
+		return nil
+	}
+	type hit struct{ qi, ri int32 }
+	var hits []hit
+	for i := 0; i+s <= q.Len(); i++ {
+		key := uint64(dna.KmerFromSeq(q, i, s))
+		for _, p := range ix.pos[key] {
+			hits = append(hits, hit{int32(i), p})
+		}
+	}
+	if len(hits) == 0 {
+		return nil
+	}
+	sort.Slice(hits, func(a, b int) bool {
+		da, db := hits[a].ri-hits[a].qi, hits[b].ri-hits[b].qi
+		if da != db {
+			return da < db
+		}
+		return hits[a].qi < hits[b].qi
+	})
+	var blocks []Block
+	i := 0
+	for i < len(hits) {
+		diag := hits[i].ri - hits[i].qi
+		j := i
+		start := hits[i].qi
+		last := hits[i].qi
+		flush := func(lo, hi int32) {
+			b := ix.extendBlock(q, int(lo), int(hi)+s, int(diag))
+			if b.Len() >= s {
+				if rc {
+					b.RC = true
+					b.QStart, b.QEnd = q.Len()-b.QEnd, q.Len()-b.QStart
+				}
+				blocks = append(blocks, b)
+			}
+		}
+		for j < len(hits) && hits[j].ri-hits[j].qi == diag {
+			if int(hits[j].qi-last) > ix.opt.MaxSeedGap {
+				flush(start, last)
+				start = hits[j].qi
+			}
+			last = hits[j].qi
+			j++
+		}
+		flush(start, last)
+		i = j
+	}
+	return blocks
+}
+
+// extendBlock counts mismatches over [qlo, qhi) on the given diagonal and
+// extends both ends while fewer than three consecutive mismatches occur.
+func (ix *Index) extendBlock(q dna.Seq, qlo, qhi, diag int) Block {
+	mm := 0
+	for i := qlo; i < qhi; i++ {
+		if q.At(i) != ix.ref.At(i+diag) {
+			mm++
+		}
+	}
+	// Extend left.
+	run := 0
+	for qlo > 0 && qlo+diag > 0 {
+		if q.At(qlo-1) == ix.ref.At(qlo-1+diag) {
+			run = 0
+			qlo--
+			continue
+		}
+		if run == 2 {
+			break
+		}
+		run++
+		qlo--
+		mm++
+	}
+	mm -= run // trailing mismatches at the block edge are not included
+	qlo += run
+	// Extend right.
+	run = 0
+	for qhi < q.Len() && qhi+diag < ix.ref.Len() {
+		if q.At(qhi) == ix.ref.At(qhi+diag) {
+			run = 0
+			qhi++
+			continue
+		}
+		if run == 2 {
+			break
+		}
+		run++
+		qhi++
+		mm++
+	}
+	mm -= run
+	qhi -= run
+	return Block{QStart: qlo, QEnd: qhi, RStart: qlo + diag, REnd: qhi + diag, Mismatches: mm}
+}
+
+// chain selects a non-overlapping (in query space) subset of blocks by
+// greedy length order, then walks them in query order counting indels and
+// misassembly breakpoints.
+func chain(blocks []Block, qLen int, opt Options) Result {
+	sort.Slice(blocks, func(a, b int) bool { return blocks[a].Len() > blocks[b].Len() })
+	var picked []Block
+	overlaps := func(b Block) bool {
+		for _, p := range picked {
+			lo, hi := max(b.QStart, p.QStart), min(b.QEnd, p.QEnd)
+			if hi-lo > min(b.Len(), p.Len())/2 {
+				return true
+			}
+		}
+		return false
+	}
+	for _, b := range blocks {
+		if !overlaps(b) {
+			picked = append(picked, b)
+		}
+	}
+	sort.Slice(picked, func(a, b int) bool { return picked[a].QStart < picked[b].QStart })
+
+	res := Result{Blocks: picked}
+	covered := 0
+	prevEnd := 0
+	for i, b := range picked {
+		lo := b.QStart
+		if lo < prevEnd {
+			lo = prevEnd
+		}
+		if b.QEnd > lo {
+			covered += b.QEnd - lo
+			prevEnd = b.QEnd
+		}
+		res.Mismatches += b.Mismatches
+		if i == 0 {
+			continue
+		}
+		p := picked[i-1]
+		if p.RC != b.RC {
+			res.Breakpoints++
+			continue
+		}
+		// Diagonal shift between consecutive blocks (oriented consistently).
+		var shift int
+		if b.RC {
+			shift = (p.RStart + p.QStart) - (b.RStart + b.QStart)
+		} else {
+			shift = (b.RStart - b.QStart) - (p.RStart - p.QStart)
+		}
+		if shift < 0 {
+			shift = -shift
+		}
+		switch {
+		case shift == 0:
+			// Same diagonal; gap between blocks is unaligned query.
+		case shift <= opt.MaxIndel:
+			res.Indels += shift
+		case shift > opt.MisassemblyGap:
+			res.Breakpoints++
+		default:
+			// Moderate shift: count as a large indel cluster.
+			res.Indels += shift
+		}
+	}
+	res.AlignedLen = covered
+	res.UnalignedLen = qLen - covered
+	return res
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

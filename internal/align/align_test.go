@@ -1,0 +1,151 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ppaassembler/internal/dna"
+	"ppaassembler/internal/genome"
+)
+
+func testRef(t *testing.T, n int, seed int64) dna.Seq {
+	t.Helper()
+	g, err := genome.Generate(genome.Spec{Name: "ref", Length: n, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestAlignExactSubstring(t *testing.T) {
+	ref := testRef(t, 2000, 1)
+	q := ref.Slice(300, 900)
+	res := NewIndex(ref, Options{}).Align(q)
+	if len(res.Blocks) != 1 {
+		t.Fatalf("blocks = %d, want 1", len(res.Blocks))
+	}
+	b := res.Blocks[0]
+	if b.QStart != 0 || b.QEnd != 600 || b.RStart != 300 || b.REnd != 900 {
+		t.Errorf("block = %+v", b)
+	}
+	if b.RC || b.Mismatches != 0 || res.UnalignedLen != 0 || res.Breakpoints != 0 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestAlignReverseComplement(t *testing.T) {
+	ref := testRef(t, 2000, 2)
+	q := ref.Slice(500, 1100).ReverseComplement()
+	res := NewIndex(ref, Options{}).Align(q)
+	if len(res.Blocks) != 1 || !res.Blocks[0].RC {
+		t.Fatalf("blocks = %+v", res.Blocks)
+	}
+	if res.Blocks[0].RStart != 500 || res.Blocks[0].REnd != 1100 {
+		t.Errorf("ref range = [%d,%d)", res.Blocks[0].RStart, res.Blocks[0].REnd)
+	}
+	if res.AlignedLen != 600 {
+		t.Errorf("aligned = %d", res.AlignedLen)
+	}
+}
+
+func TestAlignCountsMismatches(t *testing.T) {
+	ref := testRef(t, 3000, 3)
+	var b dna.Builder
+	b.AppendSeq(ref.Slice(100, 700))
+	q := b.Seq()
+	// Introduce two isolated substitutions away from the edges.
+	q = mutate(q, 150)
+	q = mutate(q, 400)
+	res := NewIndex(ref, Options{}).Align(q)
+	if res.Mismatches != 2 {
+		t.Errorf("mismatches = %d, want 2", res.Mismatches)
+	}
+	if res.AlignedLen < 590 {
+		t.Errorf("aligned = %d, want ~600", res.AlignedLen)
+	}
+	if res.Breakpoints != 0 {
+		t.Errorf("breakpoints = %d", res.Breakpoints)
+	}
+}
+
+func mutate(s dna.Seq, i int) dna.Seq {
+	var b dna.Builder
+	for j := 0; j < s.Len(); j++ {
+		base := s.At(j)
+		if j == i {
+			base = (base + 1) & 3
+		}
+		b.Append(base)
+	}
+	return b.Seq()
+}
+
+func TestAlignDetectsIndel(t *testing.T) {
+	ref := testRef(t, 3000, 4)
+	// Query = ref[100:400] + ref[402:700]: a 2-base deletion.
+	q := ref.Slice(100, 400).Concat(ref.Slice(402, 700))
+	res := NewIndex(ref, Options{}).Align(q)
+	if res.Indels == 0 {
+		t.Errorf("indels = 0, want ~2 (result %+v)", res)
+	}
+	if res.Breakpoints != 0 {
+		t.Errorf("deletion misread as misassembly")
+	}
+}
+
+func TestAlignDetectsMisassembly(t *testing.T) {
+	ref := testRef(t, 5000, 5)
+	// Chimeric contig: two distant reference segments joined.
+	q := ref.Slice(100, 600).Concat(ref.Slice(3000, 3500))
+	res := NewIndex(ref, Options{}).Align(q)
+	if res.Breakpoints == 0 {
+		t.Error("chimeric junction not reported as breakpoint")
+	}
+	// Strand-flip chimera.
+	q2 := ref.Slice(100, 600).Concat(ref.Slice(1000, 1500).ReverseComplement())
+	res2 := NewIndex(ref, Options{}).Align(q2)
+	if res2.Breakpoints == 0 {
+		t.Error("strand-flip junction not reported as breakpoint")
+	}
+}
+
+func TestAlignUnalignedQuery(t *testing.T) {
+	ref := testRef(t, 2000, 6)
+	foreign := testRef(t, 400, 777) // different random sequence
+	res := NewIndex(ref, Options{}).Align(foreign)
+	if res.AlignedLen > 100 {
+		t.Errorf("foreign sequence aligned %d bases", res.AlignedLen)
+	}
+	if res.UnalignedLen < 300 {
+		t.Errorf("unaligned = %d", res.UnalignedLen)
+	}
+}
+
+func TestAlignShortQuery(t *testing.T) {
+	ref := testRef(t, 500, 7)
+	res := NewIndex(ref, Options{}).Align(ref.Slice(0, 10)) // below seed length
+	if len(res.Blocks) != 0 || res.UnalignedLen != 10 {
+		t.Errorf("short query result %+v", res)
+	}
+}
+
+func TestPropAlignRecoversRandomSlices(t *testing.T) {
+	ref := testRef(t, 4000, 8)
+	ix := NewIndex(ref, Options{})
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 60 + r.Intn(500)
+		lo := r.Intn(ref.Len() - n)
+		q := ref.Slice(lo, lo+n)
+		if r.Intn(2) == 1 {
+			q = q.ReverseComplement()
+		}
+		res := ix.Align(q)
+		// The slice must align essentially fully with no breakpoints.
+		return res.AlignedLen >= n-10 && res.Breakpoints == 0 && res.Mismatches == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

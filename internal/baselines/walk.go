@@ -1,0 +1,84 @@
+package baselines
+
+import (
+	"sort"
+
+	"ppaassembler/internal/dna"
+)
+
+// stepFn returns the unique (per the assembler's rule) next oriented k-mer
+// after o, or ok=false when extension stops (dead end or ambiguity).
+type stepFn func(o dna.Kmer) (next dna.Kmer, ok bool)
+
+// walkUnitigs extracts maximal unambiguous paths from the k-mer set by
+// greedy bidirectional extension, the in-memory equivalent of what all
+// three baseline assemblers do after their (different) graph constructions.
+// step embodies each assembler's extension rule; onStep (optional) is
+// invoked once per extension step so callers can charge per-step costs
+// (Ray's remote lookups). Iteration order is sorted for determinism.
+func walkUnitigs(kmers map[dna.Kmer]uint32, k int, step stepFn, onStep func()) []dna.Seq {
+	canons := make([]dna.Kmer, 0, len(kmers))
+	for c := range kmers {
+		canons = append(canons, c)
+	}
+	sort.Slice(canons, func(i, j int) bool { return canons[i] < canons[j] })
+
+	visited := make(map[dna.Kmer]bool, len(kmers))
+	extend := func(o dna.Kmer) []dna.Base {
+		var bases []dna.Base
+		for {
+			if onStep != nil {
+				onStep()
+			}
+			n, ok := step(o)
+			if !ok {
+				return bases
+			}
+			cn, _ := n.Canonical(k)
+			if visited[cn] {
+				return bases
+			}
+			visited[cn] = true
+			bases = append(bases, n.Last())
+			o = n
+		}
+	}
+
+	var out []dna.Seq
+	for _, canon := range canons {
+		if visited[canon] {
+			continue
+		}
+		visited[canon] = true
+		right := extend(canon)
+		left := extend(canon.ReverseComplement(k))
+		var b dna.Builder
+		b.Grow(len(left) + k + len(right))
+		for i := len(left) - 1; i >= 0; i-- {
+			b.Append(left[i].Complement())
+		}
+		b.AppendSeq(canon.Seq(k))
+		for _, c := range right {
+			b.Append(c)
+		}
+		out = append(out, b.Seq())
+	}
+	return out
+}
+
+// uniqueExtension applies the standard unitig rule shared by the Ray- and
+// ABySS-style walkers: o extends to n only when n is o's sole successor
+// and o is n's sole predecessor. succs lists the existing one-base
+// extensions of an oriented k-mer.
+func uniqueExtension(o dna.Kmer, k int, succs func(o dna.Kmer) []dna.Kmer) (dna.Kmer, bool) {
+	nexts := succs(o)
+	if len(nexts) != 1 {
+		return 0, false
+	}
+	n := nexts[0]
+	// Predecessors of n are successors of rc(n), reverse complemented.
+	if len(succs(n.ReverseComplement(k))) != 1 {
+		return 0, false
+	}
+	return n, true
+}

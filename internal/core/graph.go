@@ -1,0 +1,128 @@
+// Package core implements PPA-assembler's assembly operations ②–⑤ (§IV-B)
+// — contig labeling, contig merging, bubble filtering and tip removing — and
+// the end-to-end pipeline ①②③④⑤⑥②③ evaluated in the paper. Everything runs
+// on the pregel engine over the unified segment graph of package dbg, so a
+// second labeling/merging round over a mix of ambiguous k-mers and contigs
+// (arrow ⑥ of Figure 10) reuses the same code paths as the first.
+package core
+
+import (
+	"ppaassembler/internal/dbg"
+	"ppaassembler/internal/pregel"
+)
+
+// VData is the vertex value for all core operations: the segment node plus
+// per-operation scratch state (the paper's vertex attribute a(v)).
+type VData struct {
+	Node dbg.Node
+	// NbrAmbig marks which adjacency items point at ambiguous (⟨m-n⟩)
+	// neighbors; it is learned in the labeling hello exchange and consumed
+	// when rebuilding adjacency after merging (operation ⑤ setup).
+	NbrAmbig []bool
+	// Ambig records this vertex's own ⟨m-n⟩ status at labeling time.
+	Ambig bool
+
+	// Contig-labeling state. A vertex has up to two "sides"; Sides[i] is
+	// the adjacency item of side i (HasSide[i] false for dead ends). P is
+	// the pair of predecessor pointers of §IV-B ② (Figure 11), PSide the
+	// side index of the pointer target that faces away from this vertex,
+	// and Done marks sides whose pointer reached a flipped contig-end ID.
+	Sides      [2]dbg.Adj
+	HasSide    [2]bool
+	P          [2]pregel.VertexID
+	PSide      [2]uint8
+	Done       [2]bool
+	Label      pregel.VertexID
+	Labeled    bool
+	Cycle      bool
+	lastActive int64
+
+	// Simplified S-V state (cycle fallback and the LabelSV variant).
+	D, dd pregel.VertexID
+
+	// Tip-removal state.
+	TipProbed bool
+}
+
+// MsgKind discriminates the message types of the core operations.
+type MsgKind uint8
+
+// Message kinds.
+const (
+	MsgHello   MsgKind = iota // labeling setup: sender identity + side + ambiguity
+	MsgReq                    // list ranking: request pointer jump
+	MsgResp                   // list ranking: response
+	MsgSVQuery                // S-V: ask parent for its parent
+	MsgSVReply                // S-V: parent's reply
+	MsgSVNbr                  // S-V: neighbor D broadcast
+	MsgSVHook                 // S-V: hook proposal
+	MsgCtgLink                // op ⑤ setup: contig announces itself to end k-mers
+	MsgTipReq                 // op ⑤: REQUEST wave
+	MsgTipDel                 // op ⑤: DELETE wave
+)
+
+// Msg is the single message type shared by all jobs that run on the segment
+// graph (one Pregel vertex program per operation, as in the paper).
+type Msg struct {
+	Kind  MsgKind
+	From  pregel.VertexID
+	Ptr   pregel.VertexID
+	Side  uint8
+	Side2 uint8
+	Flag  bool
+	Len   int64
+	Cov   uint32
+	P1    dbg.Polarity
+	P2    dbg.Polarity
+	NLen  int32
+}
+
+// Graph is the segment graph all core operations run on.
+type Graph = pregel.Graph[VData, Msg]
+
+// NewSegmentGraph converts the compact DBG of operation ① into the segment
+// graph consumed by operations ②–⑤, using the engine's in-memory job
+// concatenation (the convert UDF of §II). k is the k-mer length.
+func NewSegmentGraph(b *dbg.BuildResult, cfg pregel.Config, k int) *Graph {
+	return pregel.Convert[VData, Msg](b.Graph, cfg,
+		func(id pregel.VertexID, v dbg.KmerVertex, emit func(pregel.VertexID, VData)) {
+			emit(id, VData{Node: dbg.KmerNode(id, &v, k)})
+		})
+}
+
+// arrangeSides lays out a vertex's real adjacency items into the two side
+// slots used by labeling: ⟨1-1⟩ vertices get both real items, ⟨1⟩ vertices
+// get their single real item in slot 0, isolated vertices get none.
+func (v *VData) arrangeSides() {
+	v.HasSide = [2]bool{}
+	real := v.Node.RealAdj()
+	for i, a := range real {
+		if i >= 2 {
+			break
+		}
+		v.Sides[i] = a
+		v.HasSide[i] = true
+	}
+}
+
+// undoneSides counts sides that have not reached a contig end.
+func (v *VData) undoneSides() int64 {
+	n := int64(0)
+	for i := 0; i < 2; i++ {
+		if !v.Done[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// finishLabel derives the contig label once both pointers are final: the
+// smaller of the two contig-end vertex IDs (§IV-B ②).
+func (v *VData) finishLabel() {
+	a, b := dbg.UnflipID(v.P[0]), dbg.UnflipID(v.P[1])
+	if b < a {
+		a = b
+	}
+	v.Label = a
+	v.Labeled = true
+}

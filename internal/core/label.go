@@ -1,0 +1,340 @@
+package core
+
+import (
+	"time"
+
+	"ppaassembler/internal/dbg"
+	"ppaassembler/internal/pregel"
+)
+
+// Labeler selects the contig-labeling algorithm (the comparison axis of
+// Tables II and III).
+type Labeler int
+
+// Available labelers.
+const (
+	// LabelerLR is bidirectional list ranking with S-V fallback for
+	// cycles (the paper's preferred method).
+	LabelerLR Labeler = iota
+	// LabelerSV labels with the simplified S-V algorithm alone.
+	LabelerSV
+)
+
+func (l Labeler) String() string {
+	if l == LabelerSV {
+		return "S-V"
+	}
+	return "LR"
+}
+
+// LabelStats reports one labeling run in the shape of Tables II/III.
+type LabelStats struct {
+	Algorithm   Labeler
+	Supersteps  int
+	Messages    int64
+	WallSeconds float64
+	SimSeconds  float64
+	// CycleVertices counts vertices labeled by the S-V fallback.
+	CycleVertices int
+}
+
+const aggUndone = "lr-undone-sides"
+
+// LabelContigs is operation ② (§IV-B): it marks every vertex of each
+// maximal unambiguous path with the path's unique contig label. Ambiguous
+// (⟨m-n⟩) vertices end up with Labeled == false; as a side effect every
+// vertex learns which of its neighbors are ambiguous (VData.NbrAmbig),
+// which operation ⑤ consumes later.
+func LabelContigs(g *Graph, algo Labeler) (*LabelStats, error) {
+	start := time.Now()
+	sim0 := g.Clock().Seconds()
+	ls := &LabelStats{Algorithm: algo}
+
+	var st *pregel.Stats
+	var err error
+	if algo == LabelerLR {
+		st, err = g.Run(lrCompute, pregel.WithName("contig-label-lr"))
+	} else {
+		st, err = g.Run(svLabelCompute(2), pregel.WithName("contig-label-sv"))
+	}
+	if err != nil {
+		return nil, err
+	}
+	ls.Supersteps = st.Supersteps
+	ls.Messages = st.Messages
+
+	if algo == LabelerLR {
+		// Cycles of ⟨1-1⟩ vertices never reach a contig end; label the
+		// marked residue with the simplified S-V algorithm (§IV-B ②).
+		cycles := 0
+		g.ForEach(func(id pregel.VertexID, v *VData) {
+			if v.Cycle {
+				cycles++
+			}
+		})
+		ls.CycleVertices = cycles
+		if cycles > 0 {
+			st2, err := g.Run(svCycleCompute, pregel.WithName("contig-label-cycle-sv"))
+			if err != nil {
+				return nil, err
+			}
+			ls.Supersteps += st2.Supersteps
+			ls.Messages += st2.Messages
+		}
+	}
+	ls.WallSeconds = time.Since(start).Seconds()
+	ls.SimSeconds = g.Clock().Seconds() - sim0
+	return ls, nil
+}
+
+// helloPhase implements supersteps 0 and 1 shared by both labelers: every
+// vertex announces (identity, side index, ambiguity) to its neighbors, then
+// unambiguous vertices set up their side pointers, replacing edges to
+// ambiguous neighbors and dead ends by flipped self-loops (Figure 11), and
+// every vertex records NbrAmbig. It reports whether the caller should
+// return (vertex halted or fully handled).
+func helloPhase(ctx *pregel.Context[Msg], id pregel.VertexID, v *VData, msgs []Msg) (done bool) {
+	switch ctx.Superstep() {
+	case 0:
+		v.Ambig = v.Node.Type() == dbg.TypeManyAny
+		v.Labeled, v.Cycle = false, false
+		v.Done = [2]bool{}
+		v.TipProbed = false
+		v.lastActive = -1
+		v.arrangeSides()
+		if v.Ambig {
+			// Ambiguous vertices announce without side bookkeeping and
+			// take no further part in labeling (§IV-B ②, superstep 1).
+			for _, a := range v.Node.RealAdj() {
+				ctx.Send(a.Nbr, Msg{Kind: MsgHello, From: id, Flag: true})
+			}
+			ctx.VoteToHalt()
+			return true
+		}
+		for i := 0; i < 2; i++ {
+			if v.HasSide[i] {
+				ctx.Send(v.Sides[i].Nbr, Msg{Kind: MsgHello, From: id, Side: uint8(i)})
+			}
+		}
+		return true
+	case 1:
+		ambigFrom := map[pregel.VertexID]bool{}
+		helloSides := map[pregel.VertexID][]uint8{}
+		for _, m := range msgs {
+			if m.Kind != MsgHello {
+				continue
+			}
+			if m.Flag {
+				ambigFrom[m.From] = true
+			}
+			helloSides[m.From] = append(helloSides[m.From], m.Side)
+		}
+		v.NbrAmbig = make([]bool, len(v.Node.Adj))
+		for i, a := range v.Node.Adj {
+			if a.Nbr != dbg.NullID && ambigFrom[a.Nbr] {
+				v.NbrAmbig[i] = true
+			}
+		}
+		if v.Ambig {
+			ctx.VoteToHalt()
+			return true
+		}
+		consumed := map[pregel.VertexID]int{}
+		for i := 0; i < 2; i++ {
+			if !v.HasSide[i] || ambigFrom[v.Sides[i].Nbr] {
+				// Dead end, or edge to an ambiguous vertex: this vertex is
+				// a contig end on side i — install the flipped self-loop.
+				v.P[i] = dbg.FlipID(id)
+				v.Done[i] = true
+				continue
+			}
+			nbr := v.Sides[i].Nbr
+			sides := helloSides[nbr]
+			j := consumed[nbr]
+			consumed[nbr]++
+			senderSide := uint8(0)
+			if j < len(sides) {
+				senderSide = sides[j]
+			}
+			v.P[i] = nbr
+			v.PSide[i] = 1 - senderSide
+		}
+		if v.Done[0] && v.Done[1] {
+			v.finishLabel()
+			ctx.VoteToHalt()
+			return true
+		}
+		return false // caller continues with algorithm-specific setup
+	}
+	return false
+}
+
+// lrCompute is the bidirectional-list-ranking labeler (Figure 11). Rounds
+// take two supersteps: even supersteps apply responses and issue the next
+// requests; odd supersteps answer requests with the responder's away-side
+// pointer. An aggregator counts undone sides; if the count stays positive
+// and unchanged across rounds, only cycles remain and the survivors mark
+// themselves for the S-V fallback.
+func lrCompute(ctx *pregel.Context[Msg], id pregel.VertexID, v *VData, msgs []Msg) {
+	s := ctx.Superstep()
+	if s <= 1 {
+		if helloPhase(ctx, id, v, msgs) {
+			return
+		}
+		// Setup finished with sides pending; tick the aggregator so the
+		// stall detector has a baseline, and stay active.
+		ctx.AggSum(aggUndone, v.undoneSides())
+		return
+	}
+	if v.Ambig {
+		ctx.VoteToHalt()
+		return
+	}
+	if s%2 == 0 {
+		if v.Labeled || v.Cycle {
+			ctx.VoteToHalt()
+			return
+		}
+		for _, m := range msgs {
+			if m.Kind != MsgResp {
+				continue
+			}
+			v.P[m.Side] = m.Ptr
+			v.PSide[m.Side] = m.Side2
+			if dbg.IsFlipped(m.Ptr) {
+				v.Done[m.Side] = true
+			}
+		}
+		if v.Done[0] && v.Done[1] {
+			v.finishLabel()
+			ctx.VoteToHalt()
+			return
+		}
+		cur := ctx.PrevAggSum(aggUndone)
+		if s >= 6 && v.lastActive >= 0 && cur > 0 && cur == v.lastActive {
+			v.Cycle = true
+			ctx.VoteToHalt()
+			return
+		}
+		v.lastActive = cur
+		ctx.AggSum(aggUndone, v.undoneSides())
+		for i := uint8(0); i < 2; i++ {
+			if !v.Done[i] {
+				ctx.Send(v.P[i], Msg{Kind: MsgReq, From: id, Side: i, Side2: v.PSide[i]})
+			}
+		}
+		return
+	}
+	// Odd superstep: answer requests from the requested away side.
+	for _, m := range msgs {
+		if m.Kind == MsgReq {
+			ctx.Send(m.From, Msg{
+				Kind:  MsgResp,
+				From:  id,
+				Side:  m.Side,
+				Ptr:   v.P[m.Side2],
+				Side2: v.PSide[m.Side2],
+			})
+		}
+	}
+	if v.Labeled || v.Cycle {
+		ctx.VoteToHalt()
+		return
+	}
+	ctx.AggSum(aggUndone, v.undoneSides())
+}
+
+const aggSVChanged = "sv-changed"
+
+// svRound executes one 4-phase simplified-S-V step over the side-neighbor
+// subgraph (sides i with HasSide && !Done are the surviving edges). phase
+// is (superstep - offset) % 4. Convergence is signalled through the shared
+// boolean aggregator; on convergence the vertex labels itself with D.
+func svRound(ctx *pregel.Context[Msg], id pregel.VertexID, v *VData, msgs []Msg, phase int, first bool) {
+	switch phase {
+	case 0:
+		if first {
+			v.D = id
+		} else {
+			if !ctx.PrevAggOr(aggSVChanged) {
+				v.Label = v.D
+				v.Labeled = true
+				ctx.VoteToHalt()
+				return
+			}
+			for _, m := range msgs {
+				if m.Kind == MsgSVHook && m.Ptr < v.D {
+					v.D = m.Ptr
+					ctx.AggOr(aggSVChanged, true)
+				}
+			}
+		}
+		ctx.Send(v.D, Msg{Kind: MsgSVQuery, From: id})
+	case 1:
+		for _, m := range msgs {
+			if m.Kind == MsgSVQuery {
+				ctx.Send(m.From, Msg{Kind: MsgSVReply, Ptr: v.D})
+			}
+		}
+	case 2:
+		for _, m := range msgs {
+			if m.Kind == MsgSVReply {
+				v.dd = m.Ptr
+			}
+		}
+		for i := 0; i < 2; i++ {
+			if v.HasSide[i] && !v.Done[i] {
+				ctx.Send(v.Sides[i].Nbr, Msg{Kind: MsgSVNbr, Ptr: v.D})
+			}
+		}
+	case 3:
+		best := v.D
+		for _, m := range msgs {
+			if m.Kind == MsgSVNbr && m.Ptr < best {
+				best = m.Ptr
+			}
+		}
+		if v.dd == v.D && best < v.D {
+			ctx.Send(v.D, Msg{Kind: MsgSVHook, Ptr: best})
+			ctx.AggOr(aggSVChanged, true)
+		}
+		if v.dd != v.D {
+			v.D = v.dd
+			ctx.AggOr(aggSVChanged, true)
+		}
+	}
+}
+
+// svLabelCompute returns the compute function for the pure-S-V labeler:
+// hello setup in supersteps 0..1, then S-V phases starting at `offset`.
+// With S-V, every vertex in an unambiguous path obtains the smallest vertex
+// ID of the path as its label (ends included, because the path is a
+// connected component once ambiguous edges are cut).
+func svLabelCompute(offset int) pregel.Compute[VData, Msg] {
+	return func(ctx *pregel.Context[Msg], id pregel.VertexID, v *VData, msgs []Msg) {
+		s := ctx.Superstep()
+		if s <= 1 {
+			if helloPhase(ctx, id, v, msgs) {
+				return
+			}
+			return
+		}
+		if v.Ambig || v.Labeled {
+			ctx.VoteToHalt()
+			return
+		}
+		svRound(ctx, id, v, msgs, (s-offset)%4, s == offset)
+	}
+}
+
+// svCycleCompute runs the S-V fallback over the vertices the LR labeler
+// marked as cycle members; everything else halts immediately. A cycle of
+// ⟨1-1⟩ vertices has both sides live, so the side subgraph is exactly the
+// cycle.
+func svCycleCompute(ctx *pregel.Context[Msg], id pregel.VertexID, v *VData, msgs []Msg) {
+	if !v.Cycle || v.Labeled {
+		ctx.VoteToHalt()
+		return
+	}
+	svRound(ctx, id, v, msgs, ctx.Superstep()%4, ctx.Superstep() == 0)
+}

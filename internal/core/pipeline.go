@@ -1,0 +1,240 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"ppaassembler/internal/dbg"
+	"ppaassembler/internal/pregel"
+)
+
+// Options configures an assembly run. The defaults mirror the paper's
+// experimental settings (§V) scaled to this reproduction: edit-distance
+// threshold 5 for bubble filtering and length threshold 80 for tip removal.
+type Options struct {
+	// K is the k-mer length (odd, <= 31; the paper uses 31).
+	K int
+	// Theta drops (k+1)-mers with coverage <= Theta during DBG
+	// construction.
+	Theta uint32
+	// TipLen is the tip-length threshold (paper: 80).
+	TipLen int
+	// BubbleEditDist prunes a bubble arm when its edit distance to a
+	// higher-coverage arm is below this threshold (paper: 5).
+	BubbleEditDist int
+	// Workers is the number of logical Pregel workers.
+	Workers int
+	// Labeler chooses the contig-labeling algorithm for both rounds.
+	Labeler Labeler
+	// Rounds of labeling+merging: 1 = stop after the first merge (no error
+	// correction), 2 = the paper's workflow ①②③④⑤⑥②③. Default 2.
+	Rounds int
+	// Cost parameterizes the simulated cluster (zero value = default).
+	Cost pregel.CostModel
+	// Parallel runs engine workers on goroutines (see pregel.Config).
+	Parallel bool
+
+	// Optional extension operations (§V names both as user
+	// customizations; zero disables them):
+
+	// BubbleMinCov additionally prunes bubble arms with coverage below
+	// this threshold whenever a stronger parallel arm exists.
+	BubbleMinCov uint32
+	// BranchSplitRatio enables Spaler-style branch splitting before tip
+	// removal: at ambiguous vertices, edges out-covered ratio-to-one by a
+	// parallel edge are cut (must be >= 2 when set).
+	BranchSplitRatio uint32
+	// KeepGraph retains the post-error-correction mixed graph on the
+	// Result (for GFA export or further custom operations); it is
+	// otherwise released for garbage collection.
+	KeepGraph bool
+}
+
+// DefaultOptions returns the paper-inspired defaults with the given worker
+// count.
+func DefaultOptions(workers int) Options {
+	return Options{
+		K:              21,
+		Theta:          1,
+		TipLen:         80,
+		BubbleEditDist: 5,
+		Workers:        workers,
+		Labeler:        LabelerLR,
+		Rounds:         2,
+	}
+}
+
+func (o Options) validate() error {
+	if o.Rounds < 1 || o.Rounds > 2 {
+		return fmt.Errorf("core: Rounds must be 1 or 2, got %d", o.Rounds)
+	}
+	if o.Workers <= 0 {
+		return fmt.Errorf("core: Workers must be positive, got %d", o.Workers)
+	}
+	return nil
+}
+
+// Result is the output of one assembly run plus everything the paper's
+// experiments report about it.
+type Result struct {
+	// Contigs is the final contig set (after the second merge round).
+	Contigs []ContigRec
+	// Round1Contigs is the contig set after the first merge, before error
+	// correction (used by experiment E8: N50 growth).
+	Round1Contigs []ContigRec
+
+	// Vertex-count collapse (experiment E9, §V): canonical k-mer vertices,
+	// then vertices after merging (ambiguous k-mers + contigs), then final
+	// contigs.
+	KmerVertices, MidVertices, FinalContigs int
+
+	// KmerLabel and ContigLabel are the two labeling runs (Tables II/III).
+	KmerLabel, ContigLabel *LabelStats
+
+	// Error-correction counters.
+	BubblesPruned, TipVerticesRemoved int
+	TipsDroppedAtMerge                [2]int
+	// BranchesCut counts edges removed by optional branch splitting.
+	BranchesCut int
+
+	// K1Distinct / K1Kept report the θ filter of operation ①.
+	K1Distinct, K1Kept int64
+
+	// SimSeconds is the end-to-end simulated cluster time; WallSeconds the
+	// host wall-clock time.
+	SimSeconds, WallSeconds float64
+
+	// FinalGraph is the post-error-correction mixed graph (only when
+	// Options.KeepGraph was set); pass it to WriteGFA.
+	FinalGraph *Graph
+}
+
+// Assemble runs the paper's workflow ①②③④⑤⑥②③ over the sharded reads: DBG
+// construction, contig labeling and merging, bubble filtering, tip removal,
+// then a second labeling/merging round to grow contigs across corrected
+// regions.
+func Assemble(readShards [][]string, opt Options) (*Result, error) {
+	if opt.Workers == 0 {
+		opt = DefaultOptions(1)
+	}
+	if opt.Rounds == 0 {
+		opt.Rounds = 2
+	}
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	cfg := pregel.Config{Workers: opt.Workers, Parallel: opt.Parallel, Cost: opt.Cost}
+	clock := pregel.NewSimClock(opt.Cost)
+	res := &Result{}
+
+	// ① DBG construction.
+	build, err := dbg.BuildDBG(clock, cfg, readShards, opt.K, opt.Theta)
+	if err != nil {
+		return nil, err
+	}
+	res.K1Distinct, res.K1Kept = build.K1Distinct, build.K1Kept
+	res.KmerVertices = build.Graph.VertexCount()
+
+	// ② Contig labeling over k-mers (Table II measures this run).
+	g1 := NewSegmentGraph(build, cfg, opt.K)
+	res.KmerLabel, err = LabelContigs(g1, opt.Labeler)
+	if err != nil {
+		return nil, err
+	}
+
+	// ③ Contig merging.
+	merge1, err := MergeContigs(g1, opt.K, opt.TipLen)
+	if err != nil {
+		return nil, err
+	}
+	res.TipsDroppedAtMerge[0] = merge1.DroppedTips
+	res.Round1Contigs = pregel.Flatten(merge1.Contigs)
+
+	if opt.Rounds == 1 {
+		res.Contigs = res.Round1Contigs
+		res.FinalContigs = len(res.Contigs)
+		res.SimSeconds = clock.Seconds()
+		res.WallSeconds = time.Since(start).Seconds()
+		return res, nil
+	}
+
+	// ④ Bubble filtering.
+	bub, err := FilterBubbles(clock, opt.Workers, merge1.Contigs, opt.BubbleEditDist, opt.BubbleMinCov)
+	if err != nil {
+		return nil, err
+	}
+	res.BubblesPruned = bub.Pruned
+
+	// Rebuild the segment graph with the ambiguous k-mers (keeping only
+	// their edges to other ambiguous k-mers) plus the surviving contigs
+	// (the paper's in-memory conversion between jobs ③/④ and ⑤).
+	g2 := BuildMixedGraph(g1, bub.Contigs, cfg, clock)
+	res.MidVertices = g2.VertexCount()
+
+	// ⑤ Tip removing: contig announcement, then REQUEST/DELETE waves.
+	if _, err := LinkContigs(g2); err != nil {
+		return nil, err
+	}
+	if opt.BranchSplitRatio > 0 {
+		split, err := SplitBranches(g2, opt.BranchSplitRatio)
+		if err != nil {
+			return nil, err
+		}
+		res.BranchesCut = split.EdgesCut
+	}
+	tips, err := RemoveTips(g2, opt.K, opt.TipLen)
+	if err != nil {
+		return nil, err
+	}
+	res.TipVerticesRemoved = tips.RemovedVertices
+
+	// ⑥②: label again over the mixed k-mer/contig graph (Table III
+	// measures this run).
+	res.ContigLabel, err = LabelContigs(g2, opt.Labeler)
+	if err != nil {
+		return nil, err
+	}
+
+	// ③: final merge.
+	merge2, err := MergeContigs(g2, opt.K, opt.TipLen)
+	if err != nil {
+		return nil, err
+	}
+	if opt.KeepGraph {
+		res.FinalGraph = g2
+	}
+	res.TipsDroppedAtMerge[1] = merge2.DroppedTips
+	res.Contigs = pregel.Flatten(merge2.Contigs)
+	res.FinalContigs = len(res.Contigs)
+	res.SimSeconds = clock.Seconds()
+	res.WallSeconds = time.Since(start).Seconds()
+	return res, nil
+}
+
+// BuildMixedGraph assembles the operation-⑤ input graph: the ambiguous
+// k-mers of a labeled graph (keeping only their k-mer-to-k-mer edges; edges
+// into merged paths are re-established by LinkContigs) plus the given
+// contig vertices. It is exported so custom workflows can compose the
+// operations differently from the stock pipeline.
+func BuildMixedGraph(g1 *Graph, contigs [][]ContigRec, cfg pregel.Config, clock *pregel.SimClock) *Graph {
+	g2 := pregel.Convert[VData, Msg](g1, cfg, func(id pregel.VertexID, v VData, emit func(pregel.VertexID, VData)) {
+		if !v.Ambig {
+			return
+		}
+		node := dbg.Node{Kind: v.Node.Kind, Seq: v.Node.Seq, Cov: v.Node.Cov}
+		for i, a := range v.Node.Adj {
+			if i < len(v.NbrAmbig) && v.NbrAmbig[i] {
+				node.Adj = append(node.Adj, a)
+			}
+		}
+		emit(id, VData{Node: node})
+	})
+	g2.UseClock(clock)
+	for _, shard := range contigs {
+		for _, c := range shard {
+			g2.AddVertex(c.ID, VData{Node: c.Node})
+		}
+	}
+	return g2
+}

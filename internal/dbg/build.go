@@ -1,0 +1,173 @@
+package dbg
+
+import (
+	"ppaassembler/internal/dna"
+	"ppaassembler/internal/pregel"
+)
+
+// K1Mer is a counted (k+1)-mer: the output record of DBG-construction
+// phase (i). ID is the canonical (k+1)-mer's integer encoding.
+type K1Mer struct {
+	ID  dna.Kmer
+	Cov uint32
+}
+
+// BuildResult carries the constructed compact de Bruijn graph plus the
+// statistics the experiments report.
+type BuildResult struct {
+	// Graph holds one KmerVertex per canonical k-mer.
+	Graph *pregel.Graph[KmerVertex, struct{}]
+	// Stats aggregates both mini-MapReduce phases.
+	Stats pregel.Stats
+	// K1Distinct is the number of distinct (k+1)-mers seen; K1Kept those
+	// surviving the coverage threshold θ.
+	K1Distinct, K1Kept int64
+}
+
+// BuildDBG is operation ① (§IV-B): it turns reads into a de Bruijn graph of
+// canonical k-mer vertices with compressed adjacency bitmaps, in two mini-
+// MapReduce phases. Phase (i) extracts (k+1)-mers (splitting reads at 'N',
+// pre-aggregating counts per worker exactly as the paper describes) and
+// drops those with coverage <= theta. Phase (ii) emits, for every surviving
+// (k+1)-mer, an adjacency item to each of its two endpoint k-mer vertices
+// and reduces items into complete KmerVertex values.
+//
+// readShards holds each worker's reads (as ASCII strings, possibly
+// containing 'N'). The clock is charged for both shuffles.
+func BuildDBG(clock *pregel.SimClock, cfg pregel.Config, readShards [][]string, k int, theta uint32) (*BuildResult, error) {
+	if err := dna.ValidK(k); err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	res := &BuildResult{}
+
+	// Phase (i): each worker's whole shard is one map item so the map UDF
+	// can pre-aggregate counts locally before shuffling (the paper's
+	// "(ID, count) pair ... otherwise the count is increased by 1").
+	shardItems := make([][][]string, workers)
+	for w := 0; w < workers && w < len(readShards); w++ {
+		shardItems[w] = [][]string{readShards[w]}
+	}
+	k1Shards, st1 := pregel.MapReduce(
+		clock, workers, 12, // ~8-byte key + varint count on the wire
+		shardItems,
+		func(w int, reads []string, emit func(uint64, uint32)) {
+			local := make(map[dna.Kmer]uint32)
+			for _, r := range reads {
+				eachKPlus1(r, k, func(m dna.Kmer) {
+					c, _ := m.Canonical(k + 1)
+					local[c]++
+				})
+			}
+			for id, cnt := range local {
+				emit(uint64(id), cnt)
+			}
+		},
+		pregel.Uint64Hash,
+		func(a, b uint64) bool { return a < b },
+		func(w int, key uint64, counts []uint32, emit func(K1Mer)) {
+			total := uint32(0)
+			for _, c := range counts {
+				total += c
+			}
+			res.K1Distinct++
+			if total > theta {
+				res.K1Kept++
+				emit(K1Mer{ID: dna.Kmer(key), Cov: total})
+			}
+		},
+	)
+	res.Stats.Add(st1)
+
+	// Phase (ii): one adjacency item per (k+1)-mer endpoint.
+	type partial struct {
+		item AdjKmer
+	}
+	vertShards, st2 := pregel.MapReduce(
+		clock, workers, 10, // 8-byte key + 1-byte item + varint cov
+		k1Shards,
+		func(w int, e K1Mer, emit func(uint64, partial)) {
+			srcID, srcItem, dstID, dstItem := EdgeEndpoints(e, k)
+			emit(uint64(srcID), partial{srcItem})
+			emit(uint64(dstID), partial{dstItem})
+		},
+		pregel.Uint64Hash,
+		func(a, b uint64) bool { return a < b },
+		func(w int, key uint64, parts []partial, emit func(kvPair)) {
+			var v KmerVertex
+			for _, p := range parts {
+				v.AddEdge(p.item)
+			}
+			emit(kvPair{pregel.VertexID(key), v})
+		},
+	)
+	res.Stats.Add(st2)
+
+	g := pregel.NewGraph[KmerVertex, struct{}](cfg)
+	g.UseClock(clock)
+	for _, shard := range vertShards {
+		for _, p := range shard {
+			g.AddVertex(p.id, p.v)
+		}
+	}
+	res.Graph = g
+	return res, nil
+}
+
+type kvPair struct {
+	id pregel.VertexID
+	v  KmerVertex
+}
+
+// EdgeEndpoints decomposes a counted (k+1)-mer into its two endpoint
+// vertices and their adjacency items: the prefix k-mer receives an out-item
+// labelled with the (k+1)-mer's last base, the suffix k-mer an in-item
+// labelled with its first base; polarities record which endpoint needed
+// reverse-complementing to become canonical (§III, Figure 6).
+func EdgeEndpoints(e K1Mer, k int) (srcID pregel.VertexID, srcItem AdjKmer, dstID pregel.VertexID, dstItem AdjKmer) {
+	k1 := k + 1
+	prefix := dna.Kmer(uint64(e.ID) >> 2)              // drop last base
+	suffix := dna.Kmer(uint64(e.ID) & dna.KmerMask(k)) // drop first base
+	first := e.ID.At(0, k1)                            // prepended base for the suffix vertex
+	last := e.ID.Last()                                // appended base for the prefix vertex
+	srcCanon, srcWas := prefix.Canonical(k)
+	dstCanon, dstWas := suffix.Canonical(k)
+	x, y := H, H
+	if srcWas {
+		x = L
+	}
+	if dstWas {
+		y = L
+	}
+	srcID = KmerID(srcCanon)
+	dstID = KmerID(dstCanon)
+	srcItem = AdjKmer{Base: last, In: false, PSelf: x, PNbr: y, Cov: e.Cov}
+	dstItem = AdjKmer{Base: first, In: true, PSelf: y, PNbr: x, Cov: e.Cov}
+	return srcID, srcItem, dstID, dstItem
+}
+
+// eachKPlus1 slides a (k+1)-wide window over every maximal ACGT run of the
+// read (runs shorter than k+1 yield nothing; 'N' and other letters break
+// runs, per §IV-B ①).
+func eachKPlus1(read string, k int, fn func(dna.Kmer)) {
+	k1 := k + 1
+	var cur uint64
+	run := 0
+	mask := dna.KmerMask(k1)
+	for i := 0; i < len(read); i++ {
+		b, ok := dna.BaseFromByte(read[i])
+		if !ok {
+			run = 0
+			cur = 0
+			continue
+		}
+		cur = (cur<<2 | uint64(b)) & mask
+		run++
+		if run >= k1 {
+			fn(dna.Kmer(cur))
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Package dbg implements the de Bruijn graph substrate of PPA-assembler
+// (§IV-A of the paper): the 64-bit vertex-ID scheme, edge polarity and its
+// algebra (Property 1), the compressed adjacency formats for k-mer vertices,
+// the unified "segment" node used by the assembly operations, and DBG
+// construction from reads (operation ①) as two mini-MapReduce phases.
+package dbg
+
+import (
+	"fmt"
+
+	"ppaassembler/internal/dna"
+	"ppaassembler/internal/pregel"
+)
+
+// Vertex-ID layout (Figure 7). A k-mer's 2-bit-packed sequence occupies the
+// low 2k ≤ 62 bits, so bits 63 and 62 are free:
+//
+//	bit 63: set for NULL and for contig IDs
+//	bit 62: the "flipped" contig-end marker used during contig labeling
+//
+// A contig ID packs the creating worker (bits 32..61) and a per-worker
+// ordinal (bits 0..31, starting at 1 so contig IDs never collide with NULL).
+const (
+	// NullID is the dummy neighbor marking a dead end (Figure 7(b)).
+	NullID = pregel.VertexID(1) << 63
+	// flipBit is toggled by FlipID to mark contig-end self-loops (§IV-B ②).
+	flipBit = pregel.VertexID(1) << 62
+	// maxContigWorker bounds the worker field of a contig ID.
+	maxContigWorker = 1<<30 - 1
+)
+
+// KmerID returns the vertex ID of a (canonical) k-mer: its integer encoding.
+func KmerID(m dna.Kmer) pregel.VertexID { return pregel.VertexID(m) }
+
+// KmerOf inverts KmerID.
+func KmerOf(id pregel.VertexID) dna.Kmer { return dna.Kmer(id) }
+
+// ContigID builds the ID of the ord-th contig created by the given worker
+// (Figure 7(c)). ord must be >= 1.
+func ContigID(worker int, ord uint32) pregel.VertexID {
+	if worker < 0 || worker > maxContigWorker {
+		panic(fmt.Sprintf("dbg: contig worker %d out of range", worker))
+	}
+	if ord == 0 {
+		panic("dbg: contig ordinal must be >= 1")
+	}
+	return NullID | pregel.VertexID(worker)<<32 | pregel.VertexID(ord)
+}
+
+// IsContigID reports whether id names a contig vertex.
+func IsContigID(id pregel.VertexID) bool {
+	return id&NullID != 0 && UnflipID(id) != NullID
+}
+
+// ContigWorker extracts the creating worker from a contig ID.
+func ContigWorker(id pregel.VertexID) int {
+	return int(UnflipID(id) >> 32 & maxContigWorker)
+}
+
+// FlipID toggles the contig-end marker bit (the "second most significant
+// bit" of §IV-B ②).
+func FlipID(id pregel.VertexID) pregel.VertexID { return id ^ flipBit }
+
+// IsFlipped reports whether id carries the contig-end marker.
+func IsFlipped(id pregel.VertexID) bool { return id&flipBit != 0 }
+
+// UnflipID clears the contig-end marker.
+func UnflipID(id pregel.VertexID) pregel.VertexID { return id &^ flipBit }

@@ -1,0 +1,99 @@
+package dbg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// KmerVertex is the memory-compact k-mer vertex produced by DBG
+// construction: a 32-bit adjacency bitmap plus one coverage count per set
+// bit (§IV-A). Coverage counts serialize as variable-length integers; in
+// memory they are a []uint32 parallel to the set bits in ascending bit
+// order.
+type KmerVertex struct {
+	Adj  Bitmap32
+	Covs []uint32
+}
+
+// AddEdge records an adjacency item, accumulating coverage if the item is
+// already present.
+func (v *KmerVertex) AddEdge(a AdjKmer) {
+	i := bitIndex(a)
+	r := v.Adj.rank(i)
+	if v.Adj.Has(a) {
+		v.Covs[r] += a.Cov
+		return
+	}
+	v.Adj = v.Adj.Set(a)
+	v.Covs = append(v.Covs, 0)
+	copy(v.Covs[r+1:], v.Covs[r:])
+	v.Covs[r] = a.Cov
+}
+
+// Merge folds another partially constructed vertex into v (the reduce step
+// of DBG-construction phase (ii)).
+func (v *KmerVertex) Merge(o KmerVertex) {
+	for _, a := range o.Items() {
+		v.AddEdge(a)
+	}
+}
+
+// Items expands the bitmap into adjacency items with coverage, in ascending
+// bit order.
+func (v *KmerVertex) Items() []AdjKmer {
+	out := make([]AdjKmer, 0, v.Adj.Count())
+	j := 0
+	for bit := 0; bit < 32; bit++ {
+		if v.Adj&(1<<bit) != 0 {
+			a := itemAt(bit)
+			a.Cov = v.Covs[j]
+			j++
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Degree returns the number of adjacency items.
+func (v *KmerVertex) Degree() int { return v.Adj.Count() }
+
+// EncodeCovs serializes the coverage list as uvarints (the paper's
+// variable-length integers, which keep small counts at one byte).
+func (v *KmerVertex) EncodeCovs() []byte {
+	buf := make([]byte, 0, len(v.Covs))
+	var tmp [binary.MaxVarintLen32]byte
+	for _, c := range v.Covs {
+		n := binary.PutUvarint(tmp[:], uint64(c))
+		buf = append(buf, tmp[:n]...)
+	}
+	return buf
+}
+
+// DecodeCovs parses a uvarint coverage list of the given count.
+func DecodeCovs(b []byte, count int) ([]uint32, error) {
+	out := make([]uint32, 0, count)
+	for i := 0; i < count; i++ {
+		c, n := binary.Uvarint(b)
+		if n <= 0 {
+			return nil, fmt.Errorf("dbg: truncated coverage list at item %d", i)
+		}
+		if c > 1<<32-1 {
+			return nil, fmt.Errorf("dbg: coverage %d overflows uint32", c)
+		}
+		out = append(out, uint32(c))
+		b = b[n:]
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("dbg: %d trailing bytes after coverage list", len(b))
+	}
+	return out, nil
+}
+
+// SortedItems returns Items sorted by encoded byte, a stable order for
+// deterministic iteration in tests.
+func (v *KmerVertex) SortedItems() []AdjKmer {
+	items := v.Items()
+	sort.Slice(items, func(i, j int) bool { return items[i].Encode() < items[j].Encode() })
+	return items
+}

@@ -1,0 +1,98 @@
+package dna
+
+// EditDistance returns the Levenshtein distance between s and t (unit costs
+// for substitution, insertion and deletion). Bubble filtering (§IV-B ④)
+// compares the two arms of a candidate bubble with this distance and prunes
+// the low-coverage arm when the distance is below a user threshold.
+//
+// The implementation is the standard two-row dynamic program: O(|s|·|t|)
+// time, O(min(|s|,|t|)) space.
+func EditDistance(s, t Seq) int {
+	// Ensure t is the shorter side so the rows stay small.
+	if s.Len() < t.Len() {
+		s, t = t, s
+	}
+	n := t.Len()
+	prev := make([]int, n+1)
+	cur := make([]int, n+1)
+	for j := 0; j <= n; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= s.Len(); i++ {
+		cur[0] = i
+		si := s.At(i - 1)
+		for j := 1; j <= n; j++ {
+			cost := 1
+			if si == t.At(j-1) {
+				cost = 0
+			}
+			d := prev[j-1] + cost // substitution / match
+			if up := prev[j] + 1; up < d {
+				d = up // deletion from s
+			}
+			if left := cur[j-1] + 1; left < d {
+				d = left // insertion into s
+			}
+			cur[j] = d
+		}
+		prev, cur = cur, prev
+	}
+	return prev[n]
+}
+
+// EditDistanceAtMost returns min(EditDistance(s,t), limit+1) but abandons the
+// dynamic program as soon as the distance provably exceeds limit, and skips
+// the DP entirely when the length difference alone exceeds it. Bubble
+// filtering only needs "is the distance below the threshold", so this banded
+// variant keeps operation ④ linear-ish for long near-identical arms.
+func EditDistanceAtMost(s, t Seq, limit int) int {
+	if limit < 0 {
+		return 0
+	}
+	diff := s.Len() - t.Len()
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > limit {
+		return limit + 1
+	}
+	if s.Len() < t.Len() {
+		s, t = t, s
+	}
+	n := t.Len()
+	prev := make([]int, n+1)
+	cur := make([]int, n+1)
+	for j := 0; j <= n; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= s.Len(); i++ {
+		cur[0] = i
+		si := s.At(i - 1)
+		rowMin := cur[0]
+		for j := 1; j <= n; j++ {
+			cost := 1
+			if si == t.At(j-1) {
+				cost = 0
+			}
+			d := prev[j-1] + cost
+			if up := prev[j] + 1; up < d {
+				d = up
+			}
+			if left := cur[j-1] + 1; left < d {
+				d = left
+			}
+			cur[j] = d
+			if d < rowMin {
+				rowMin = d
+			}
+		}
+		if rowMin > limit {
+			return limit + 1
+		}
+		prev, cur = cur, prev
+	}
+	if prev[n] > limit {
+		return limit + 1
+	}
+	return prev[n]
+}

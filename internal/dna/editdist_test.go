@@ -1,0 +1,116 @@
+package dna
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEditDistanceBasic(t *testing.T) {
+	for _, tc := range []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"", "ACG", 3},
+		{"ACG", "", 3},
+		{"ACGT", "ACGT", 0},
+		{"ACGT", "ACGA", 1},
+		{"ACGT", "AGT", 1},   // one deletion
+		{"ACGT", "AACGT", 1}, // one insertion
+		{"AAAA", "TTTT", 4},
+		{"GCAAG", "GCTAG", 1}, // bubble arms from Figure 5 region
+		{"ACTG", "GTCA", 4},
+	} {
+		if got := EditDistance(ParseSeq(tc.a), ParseSeq(tc.b)); got != tc.want {
+			t.Errorf("EditDistance(%q,%q) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestEditDistanceAtMost(t *testing.T) {
+	a, b := ParseSeq("ACGTACGTAC"), ParseSeq("TGCATGCATG")
+	full := EditDistance(a, b)
+	if got := EditDistanceAtMost(a, b, full); got != full {
+		t.Errorf("AtMost(limit=full) = %d, want %d", got, full)
+	}
+	if got := EditDistanceAtMost(a, b, full-1); got != full {
+		t.Errorf("AtMost(limit=full-1) = %d, want %d (limit+1)", got, full)
+	}
+	if got := EditDistanceAtMost(a, b, 0); got != 1 {
+		t.Errorf("AtMost(limit=0) = %d, want 1", got)
+	}
+	if got := EditDistanceAtMost(ParseSeq("AAAAAAAA"), ParseSeq("A"), 3); got != 4 {
+		t.Errorf("length-gap early exit = %d, want 4", got)
+	}
+	if got := EditDistanceAtMost(a, a, -1); got != 0 {
+		t.Errorf("negative limit = %d, want 0", got)
+	}
+}
+
+// naiveEdit is a straightforward full-matrix reference implementation.
+func naiveEdit(a, b string) int {
+	m, n := len(a), len(b)
+	d := make([][]int, m+1)
+	for i := range d {
+		d[i] = make([]int, n+1)
+		d[i][0] = i
+	}
+	for j := 0; j <= n; j++ {
+		d[0][j] = j
+	}
+	for i := 1; i <= m; i++ {
+		for j := 1; j <= n; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			best := d[i-1][j-1] + cost
+			if v := d[i-1][j] + 1; v < best {
+				best = v
+			}
+			if v := d[i][j-1] + 1; v < best {
+				best = v
+			}
+			d[i][j] = best
+		}
+	}
+	return d[m][n]
+}
+
+func TestPropEditDistanceMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomSeqString(r, 40)
+		b := randomSeqString(r, 40)
+		want := naiveEdit(a, b)
+		if EditDistance(ParseSeq(a), ParseSeq(b)) != want {
+			return false
+		}
+		limit := r.Intn(10)
+		got := EditDistanceAtMost(ParseSeq(a), ParseSeq(b), limit)
+		if want <= limit {
+			return got == want
+		}
+		return got == limit+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropEditDistanceMetric(t *testing.T) {
+	// Symmetry and triangle inequality on random triples.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := ParseSeq(randomSeqString(r, 25)), ParseSeq(randomSeqString(r, 25)), ParseSeq(randomSeqString(r, 25))
+		ab, ba := EditDistance(a, b), EditDistance(b, a)
+		if ab != ba {
+			return false
+		}
+		return EditDistance(a, c) <= ab+EditDistance(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,226 @@
+package dna
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBaseComplement(t *testing.T) {
+	pairs := map[Base]Base{A: T, T: A, C: G, G: C}
+	for b, want := range pairs {
+		if got := b.Complement(); got != want {
+			t.Errorf("Complement(%v) = %v, want %v", b, got, want)
+		}
+		if got := b.Complement().Complement(); got != b {
+			t.Errorf("double complement of %v = %v", b, got)
+		}
+	}
+}
+
+func TestBaseFromByte(t *testing.T) {
+	for _, tc := range []struct {
+		in   byte
+		want Base
+		ok   bool
+	}{
+		{'A', A, true}, {'a', A, true},
+		{'C', C, true}, {'c', C, true},
+		{'G', G, true}, {'g', G, true},
+		{'T', T, true}, {'t', T, true},
+		{'N', 0, false}, {'X', 0, false}, {' ', 0, false},
+	} {
+		got, ok := BaseFromByte(tc.in)
+		if ok != tc.ok || (ok && got != tc.want) {
+			t.Errorf("BaseFromByte(%q) = %v,%v want %v,%v", tc.in, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestMustBasePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBase('N') did not panic")
+		}
+	}()
+	MustBase('N')
+}
+
+func TestParseSeqRoundTrip(t *testing.T) {
+	for _, s := range []string{"", "A", "ACGT", "TTTT", "GATTACA",
+		strings.Repeat("ACGT", 20),       // crosses a word boundary
+		strings.Repeat("T", 32),          // exactly one word
+		strings.Repeat("G", 33),          // one base past a word
+		strings.Repeat("CAGT", 64) + "A", // several words
+	} {
+		q := ParseSeq(s)
+		if q.Len() != len(s) {
+			t.Errorf("ParseSeq(%q).Len() = %d, want %d", s, q.Len(), len(s))
+		}
+		if got := q.String(); got != s {
+			t.Errorf("round trip of %q = %q", s, got)
+		}
+	}
+}
+
+func TestSeqAt(t *testing.T) {
+	s := ParseSeq("ACGTGCA")
+	want := []Base{A, C, G, T, G, C, A}
+	for i, w := range want {
+		if got := s.At(i); got != w {
+			t.Errorf("At(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestSeqAtPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(-1) did not panic")
+		}
+	}()
+	ParseSeq("ACG").At(-1)
+}
+
+func TestSeqAppendDoesNotCorruptAliases(t *testing.T) {
+	// Two sequences extended from a common prefix must not clobber each
+	// other through a shared backing array.
+	base := ParseSeq("ACGTACGTA") // 9 bases: mid-word
+	x := base.Append(G)
+	y := base.Append(T)
+	if got := x.String(); got != "ACGTACGTAG" {
+		t.Errorf("x = %q after sibling append", got)
+	}
+	if got := y.String(); got != "ACGTACGTAT" {
+		t.Errorf("y = %q", got)
+	}
+}
+
+func TestSeqSliceConcat(t *testing.T) {
+	s := ParseSeq("ACGTGGCATTA")
+	if got := s.Slice(2, 7).String(); got != "GTGGC" {
+		t.Errorf("Slice(2,7) = %q", got)
+	}
+	if got := s.Slice(0, 0).String(); got != "" {
+		t.Errorf("empty slice = %q", got)
+	}
+	a, b := ParseSeq("ACG"), ParseSeq("TTC")
+	if got := a.Concat(b).String(); got != "ACGTTC" {
+		t.Errorf("Concat = %q", got)
+	}
+}
+
+func TestSeqSlicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Slice(3,2) did not panic")
+		}
+	}()
+	ParseSeq("ACGT").Slice(3, 2)
+}
+
+func TestReverseComplement(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"", ""},
+		{"A", "T"},
+		{"ACGT", "ACGT"}, // palindrome
+		{"AAGT", "ACTT"},
+		{"ATTGCAAGTC", "GACTTGCAAT"}, // strand 1 of Figure 3
+	} {
+		if got := ParseSeq(tc.in).ReverseComplement().String(); got != tc.want {
+			t.Errorf("rc(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSeqEqualCompare(t *testing.T) {
+	a := ParseSeq("ACGTT")
+	b := ParseSeq("ACGTT")
+	c := ParseSeq("ACGTG")
+	d := ParseSeq("ACGT")
+	if !a.Equal(b) {
+		t.Error("identical sequences not Equal")
+	}
+	if a.Equal(c) || a.Equal(d) {
+		t.Error("different sequences reported Equal")
+	}
+	if a.Compare(b) != 0 || a.Compare(c) <= 0 || c.Compare(a) >= 0 {
+		t.Error("Compare ordering wrong for same-length sequences")
+	}
+	if d.Compare(a) >= 0 || a.Compare(d) <= 0 {
+		t.Error("prefix must order before its extension")
+	}
+}
+
+func TestSeqGC(t *testing.T) {
+	if got := ParseSeq("GGCCAATT").GC(); got != 4 {
+		t.Errorf("GC = %d, want 4", got)
+	}
+	if got := ParseSeq("").GC(); got != 0 {
+		t.Errorf("GC of empty = %d", got)
+	}
+}
+
+func TestSeqCanonical(t *testing.T) {
+	s := ParseSeq("TTG") // rc = CAA < TTG
+	canon, was := s.Canonical()
+	if was || canon.String() != "CAA" {
+		t.Errorf("Canonical(TTG) = %q,%v", canon.String(), was)
+	}
+	s2 := ParseSeq("AAC") // rc = GTT > AAC
+	canon2, was2 := s2.Canonical()
+	if !was2 || canon2.String() != "AAC" {
+		t.Errorf("Canonical(AAC) = %q,%v", canon2.String(), was2)
+	}
+}
+
+// randomSeqString generates a random ACGT string of length up to maxLen.
+func randomSeqString(r *rand.Rand, maxLen int) string {
+	n := r.Intn(maxLen + 1)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = "ACGT"[r.Intn(4)]
+	}
+	return string(b)
+}
+
+func TestPropRCInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := ParseSeq(randomSeqString(r, 200))
+		return s.ReverseComplement().ReverseComplement().Equal(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropCanonicalInvariant(t *testing.T) {
+	// canonical(s) == canonical(rc(s)) for all s.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := ParseSeq(randomSeqString(r, 100))
+		c1, _ := s.Canonical()
+		c2, _ := s.ReverseComplement().Canonical()
+		return c1.Equal(c2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropSliceConcatIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := ParseSeq(randomSeqString(r, 150))
+		if s.Len() == 0 {
+			return true
+		}
+		cut := r.Intn(s.Len())
+		return s.Slice(0, cut).Concat(s.Slice(cut, s.Len())).Equal(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ppaassembler/internal/core"
+)
+
+const testScale = 0.02 // 4 kbp sim-HC2 etc: fast enough for unit tests
+
+func TestLoadDataset(t *testing.T) {
+	d, err := LoadDataset("sim-HC2", testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Ref.Len() != 4000 {
+		t.Errorf("ref length = %d, want 4000", d.Ref.Len())
+	}
+	if len(d.Reads) == 0 {
+		t.Error("no reads")
+	}
+	if !d.HasRef {
+		t.Error("sim-HC2 must have a reference")
+	}
+	d2, err := LoadDataset("sim-HC14", testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.HasRef {
+		t.Error("sim-HC14 must be reference-free")
+	}
+	if _, err := LoadDataset("nope", 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestTable1Prints(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table1(&buf, testScale); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range AllDatasetNames() {
+		if !strings.Contains(out, name) {
+			t.Errorf("Table1 output missing %s", name)
+		}
+	}
+}
+
+func TestFig12ShapesAtSmallScale(t *testing.T) {
+	d, err := LoadDataset("sim-HC2", testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Fig12(d, []int{1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Fig12Row{}
+	for _, r := range rows {
+		byName[r.Assembler] = r
+	}
+	ppa := byName["PPA-assembler"]
+	if ppa.Seconds[8] >= ppa.Seconds[1] {
+		t.Errorf("PPA did not improve with workers: %v", ppa.Seconds)
+	}
+	ab := byName["ABySS-style"]
+	if ab.Seconds[8] < ab.Seconds[1]/2 {
+		t.Errorf("ABySS-style scaled too well: %v", ab.Seconds)
+	}
+	var buf bytes.Buffer
+	PrintFig12(&buf, "# workers", []int{1, 8}, rows)
+	if !strings.Contains(buf.String(), "Ray-style") {
+		t.Error("PrintFig12 output incomplete")
+	}
+}
+
+func TestLabelComparisonLRBeatsSV(t *testing.T) {
+	d, err := LoadDataset("sim-HC2", testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := LabelComparison(d, 4, "kmer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.LR.Supersteps >= row.SV.Supersteps {
+		t.Errorf("Table II shape violated: LR %d supersteps vs SV %d",
+			row.LR.Supersteps, row.SV.Supersteps)
+	}
+	if row.LR.Messages >= row.SV.Messages {
+		t.Errorf("Table II shape violated: LR %d messages vs SV %d",
+			row.LR.Messages, row.SV.Messages)
+	}
+	rowC, err := LabelComparison(d, 4, "contig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table III's rows are orders of magnitude below Table II's.
+	if rowC.LR.Messages*10 > row.LR.Messages {
+		t.Errorf("contig labeling messages %d not well below k-mer labeling %d",
+			rowC.LR.Messages, row.LR.Messages)
+	}
+	var buf bytes.Buffer
+	PrintLabelTable(&buf, "Table II", []LabelRow{row})
+	if !strings.Contains(buf.String(), "sim-HC2") {
+		t.Error("PrintLabelTable output incomplete")
+	}
+}
+
+func TestQualityComparisonShape(t *testing.T) {
+	d, err := LoadDataset("sim-HC2", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := QualityComparison(d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]QualityRow{}
+	for _, r := range rows {
+		byName[r.Assembler] = r
+	}
+	ppa := byName["PPA-assembler"].Report
+	if !ppa.HasReference {
+		t.Fatal("reference metrics missing")
+	}
+	for _, b := range []string{"ABySS-style", "Ray-style"} {
+		if ppa.N50 < byName[b].Report.N50 {
+			t.Errorf("PPA N50 %d below %s %d", ppa.N50, b, byName[b].Report.N50)
+		}
+	}
+	var buf bytes.Buffer
+	PrintQualityTable(&buf, "Table IV", rows)
+	if !strings.Contains(buf.String(), "Genome fraction") {
+		t.Error("reference metrics not printed")
+	}
+}
+
+func TestN50GrowthAfterErrorCorrection(t *testing.T) {
+	// Experiment E8: the second merge round must grow N50 substantially
+	// (the paper reports ~2x on HC-2).
+	d, err := LoadDataset("sim-HC2", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, final, err := N50Growth(d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final < r1 {
+		t.Errorf("N50 shrank across the second round: %d -> %d", r1, final)
+	}
+	if float64(final) < 1.2*float64(r1) {
+		t.Errorf("N50 growth %d -> %d below 1.2x; error correction ineffective", r1, final)
+	}
+}
+
+func TestVertexCollapseShape(t *testing.T) {
+	// Experiment E9: k-mers >> mid >> final contigs.
+	d, err := LoadDataset("sim-HC2", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kmers, mid, contigs, err := VertexCollapse(d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kmers < mid*10 {
+		t.Errorf("k-mers %d not >> mid %d", kmers, mid)
+	}
+	if mid < contigs {
+		t.Errorf("mid %d below final contigs %d", mid, contigs)
+	}
+}
+
+func TestRunPPAWithBothLabelers(t *testing.T) {
+	d, err := LoadDataset("sim-HC2", testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lab := range []core.Labeler{core.LabelerLR, core.LabelerSV} {
+		res, err := RunPPA(d, 2, lab)
+		if err != nil {
+			t.Fatalf("%v: %v", lab, err)
+		}
+		if len(res.Contigs) == 0 {
+			t.Errorf("%v produced no contigs", lab)
+		}
+	}
+}

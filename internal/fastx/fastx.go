@@ -1,0 +1,160 @@
+// Package fastx reads and writes the FASTA and FASTQ formats used for
+// reference sequences, simulated reads and assembled contigs. The paper's
+// datasets are FASTQ files on HDFS; this reproduction reads them from the
+// local filesystem or the sharded store of package shardio.
+package fastx
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Record is one sequence record. Qual is empty for FASTA records.
+type Record struct {
+	Name string
+	Seq  string
+	Qual string
+}
+
+// ReadFasta parses FASTA records from r. Multi-line sequences are joined.
+func ReadFasta(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	var out []Record
+	var cur *Record
+	var seq strings.Builder
+	flush := func() {
+		if cur != nil {
+			cur.Seq = seq.String()
+			out = append(out, *cur)
+			seq.Reset()
+			cur = nil
+		}
+	}
+	line := 0
+	for sc.Scan() {
+		line++
+		t := strings.TrimSpace(sc.Text())
+		if t == "" {
+			continue
+		}
+		if strings.HasPrefix(t, ">") {
+			flush()
+			cur = &Record{Name: strings.TrimSpace(t[1:])}
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("fastx: line %d: sequence before first header", line)
+		}
+		seq.WriteString(t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("fastx: %w", err)
+	}
+	flush()
+	return out, nil
+}
+
+// WriteFasta writes records to w, wrapping sequence lines at width (<=0
+// means no wrapping).
+func WriteFasta(w io.Writer, recs []Record, width int) error {
+	bw := bufio.NewWriter(w)
+	for _, rec := range recs {
+		if _, err := fmt.Fprintf(bw, ">%s\n", rec.Name); err != nil {
+			return fmt.Errorf("fastx: %w", err)
+		}
+		s := rec.Seq
+		if width <= 0 {
+			if _, err := fmt.Fprintln(bw, s); err != nil {
+				return fmt.Errorf("fastx: %w", err)
+			}
+			continue
+		}
+		for len(s) > 0 {
+			n := width
+			if n > len(s) {
+				n = len(s)
+			}
+			if _, err := fmt.Fprintln(bw, s[:n]); err != nil {
+				return fmt.Errorf("fastx: %w", err)
+			}
+			s = s[n:]
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFastq parses FASTQ records from r (strict four-line records).
+func ReadFastq(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	var out []Record
+	line := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			line++
+			t := strings.TrimRight(sc.Text(), "\r\n")
+			return t, true
+		}
+		return "", false
+	}
+	for {
+		h, ok := next()
+		if !ok {
+			break
+		}
+		if strings.TrimSpace(h) == "" {
+			continue
+		}
+		if !strings.HasPrefix(h, "@") {
+			return nil, fmt.Errorf("fastx: line %d: expected @header, got %q", line, h)
+		}
+		seq, ok := next()
+		if !ok {
+			return nil, fmt.Errorf("fastx: line %d: truncated record", line)
+		}
+		plus, ok := next()
+		if !ok || !strings.HasPrefix(plus, "+") {
+			return nil, fmt.Errorf("fastx: line %d: expected + separator", line)
+		}
+		qual, ok := next()
+		if !ok {
+			return nil, fmt.Errorf("fastx: line %d: missing quality line", line)
+		}
+		if len(qual) != len(seq) {
+			return nil, fmt.Errorf("fastx: line %d: quality length %d != sequence length %d", line, len(qual), len(seq))
+		}
+		out = append(out, Record{Name: strings.TrimSpace(h[1:]), Seq: seq, Qual: qual})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("fastx: %w", err)
+	}
+	return out, nil
+}
+
+// WriteFastq writes records to w; records without quality get a constant
+// high-quality string.
+func WriteFastq(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	for _, rec := range recs {
+		q := rec.Qual
+		if q == "" {
+			q = strings.Repeat("I", len(rec.Seq))
+		}
+		if _, err := fmt.Fprintf(bw, "@%s\n%s\n+\n%s\n", rec.Name, rec.Seq, q); err != nil {
+			return fmt.Errorf("fastx: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Seqs extracts just the sequence strings.
+func Seqs(recs []Record) []string {
+	out := make([]string, len(recs))
+	for i, r := range recs {
+		out[i] = r.Seq
+	}
+	return out
+}

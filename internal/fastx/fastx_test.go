@@ -1,0 +1,114 @@
+package fastx
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFastaRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Name: "ctg1 length=10", Seq: "ACGTACGTAC"},
+		{Name: "ctg2", Seq: strings.Repeat("GATTACA", 30)},
+	}
+	var buf bytes.Buffer
+	if err := WriteFasta(&buf, recs, 60); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFasta(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("records = %d", len(got))
+	}
+	for i := range recs {
+		if got[i].Name != recs[i].Name || got[i].Seq != recs[i].Seq {
+			t.Errorf("record %d mismatch: %+v", i, got[i])
+		}
+	}
+}
+
+func TestFastaNoWrap(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFasta(&buf, []Record{{Name: "x", Seq: "ACGT"}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != ">x\nACGT\n" {
+		t.Errorf("output %q", buf.String())
+	}
+}
+
+func TestFastaMultiline(t *testing.T) {
+	in := ">a\nACGT\nTTTT\n\n>b\nGG\n"
+	recs, err := ReadFasta(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Seq != "ACGTTTTT" || recs[1].Seq != "GG" {
+		t.Errorf("parsed %+v", recs)
+	}
+}
+
+func TestFastaErrors(t *testing.T) {
+	if _, err := ReadFasta(strings.NewReader("ACGT\n")); err == nil {
+		t.Error("sequence before header accepted")
+	}
+}
+
+func TestFastqRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Name: "r1", Seq: "ACGTN", Qual: "IIIII"},
+		{Name: "r2", Seq: "GG", Qual: "!!"},
+	}
+	var buf bytes.Buffer
+	if err := WriteFastq(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFastq(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("records = %d", len(got))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("record %d: %+v != %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestFastqDefaultQuality(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFastq(&buf, []Record{{Name: "r", Seq: "ACG"}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFastq(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Qual != "III" {
+		t.Errorf("qual = %q", got[0].Qual)
+	}
+}
+
+func TestFastqErrors(t *testing.T) {
+	for _, in := range []string{
+		"ACGT\nACGT\n+\nIIII\n", // missing @
+		"@r\nACGT\nIIII\n",      // missing +
+		"@r\nACGT\n+\nII\n",     // quality length mismatch
+		"@r\nACGT\n+\n",         // truncated
+	} {
+		if _, err := ReadFastq(strings.NewReader(in)); err == nil {
+			t.Errorf("malformed FASTQ accepted: %q", in)
+		}
+	}
+}
+
+func TestSeqs(t *testing.T) {
+	s := Seqs([]Record{{Seq: "A"}, {Seq: "CG"}})
+	if len(s) != 2 || s[0] != "A" || s[1] != "CG" {
+		t.Errorf("Seqs = %v", s)
+	}
+}

@@ -1,0 +1,80 @@
+package genome
+
+import (
+	"testing"
+
+	"ppaassembler/internal/dna"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Spec{Name: "x", Length: 5000, Repeats: 3, RepeatLen: 120, Seed: 42}
+	a, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("same spec produced different genomes")
+	}
+	if a.Len() != 5000 {
+		t.Errorf("length = %d", a.Len())
+	}
+	spec.Seed = 43
+	c, _ := Generate(spec)
+	if a.Equal(c) {
+		t.Error("different seeds produced identical genomes")
+	}
+}
+
+func TestGeneratePlantsRepeats(t *testing.T) {
+	spec := Spec{Name: "x", Length: 20000, Repeats: 5, RepeatLen: 200, Seed: 7}
+	g, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A planted repeat means some k-mer occurs at two positions for k well
+	// below RepeatLen.
+	k := 31
+	seen := map[dna.Kmer]bool{}
+	dup := 0
+	for i := 0; i+k <= g.Len(); i++ {
+		c, _ := dna.KmerFromSeq(g, i, k).Canonical(k)
+		if seen[c] {
+			dup++
+		}
+		seen[c] = true
+	}
+	if dup < spec.Repeats*(spec.RepeatLen-k) {
+		t.Errorf("only %d duplicated k-mers; repeats not planted?", dup)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Spec{Length: 0}); err == nil {
+		t.Error("zero length accepted")
+	}
+	if _, err := Generate(Spec{Length: 100, Repeats: 2}); err == nil {
+		t.Error("repeats without length accepted")
+	}
+	if _, err := Generate(Spec{Length: 100, Repeats: 50, RepeatLen: 10}); err == nil {
+		t.Error("repeat overload accepted")
+	}
+}
+
+func TestPaperDatasetsOrdering(t *testing.T) {
+	specs := PaperDatasets()
+	if len(specs) != 4 {
+		t.Fatalf("want 4 datasets, got %d", len(specs))
+	}
+	for i := 1; i < len(specs); i++ {
+		if specs[i].Length <= specs[i-1].Length {
+			t.Errorf("dataset %s not larger than %s", specs[i].Name, specs[i-1].Name)
+		}
+	}
+	if specs[0].Name != "sim-HC2" || specs[3].Name != "sim-BI" {
+		t.Error("dataset names do not match Table I order")
+	}
+}

@@ -1,0 +1,91 @@
+// Package ppa implements the two Practical Pregel Algorithms the paper
+// reviews in §II and uses as building blocks for contig labeling: the BPPA
+// for list ranking (Figure 1) and the simplified Shiloach–Vishkin connected
+// components algorithm without star hooking (Figure 2).
+//
+// Both satisfy the PPA constraints: linear per-superstep space, computation
+// and communication, and O(log n) supersteps.
+package ppa
+
+import (
+	"fmt"
+
+	"ppaassembler/internal/pregel"
+)
+
+// NullID marks "no predecessor" for list ranking.
+const NullID = ^pregel.VertexID(0)
+
+// LRVertex is a linked-list element for list ranking. Pred is the
+// predecessor link (NullID at the head); Val is the element's value; Sum
+// accumulates the sum of values from the element back to the head.
+type LRVertex struct {
+	Val  int64
+	Sum  int64
+	Pred pregel.VertexID
+}
+
+// LRMsg carries either a request for the recipient's (Sum, Pred) or the
+// response to such a request.
+type LRMsg struct {
+	From pregel.VertexID
+	Sum  int64
+	Pred pregel.VertexID
+	Resp bool
+}
+
+// ListRank runs the list-ranking BPPA over g: on return every vertex v has
+// Sum = Σ Val(u) over u from v back to the head following Pred links, and
+// Pred = NullID. Rounds take two supersteps (request, respond) and the
+// pointer-jumping doubles covered distance each round, so the job finishes
+// in O(log ℓ) supersteps for lists of length ℓ.
+func ListRank(g *pregel.Graph[LRVertex, LRMsg]) (*pregel.Stats, error) {
+	return g.Run(func(ctx *pregel.Context[LRMsg], id pregel.VertexID, v *LRVertex, msgs []LRMsg) {
+		if ctx.Superstep() == 0 {
+			v.Sum = v.Val
+		}
+		if ctx.Superstep()%2 == 0 {
+			// Request phase: apply responses from the previous respond
+			// phase, then issue the next request.
+			for _, m := range msgs {
+				if m.Resp {
+					v.Sum += m.Sum
+					v.Pred = m.Pred
+				}
+			}
+			if v.Pred == NullID {
+				ctx.VoteToHalt()
+				return
+			}
+			ctx.Send(v.Pred, LRMsg{From: id})
+			return
+		}
+		// Respond phase: answer every requester with our pre-round state.
+		// Our own Sum/Pred were last modified in the previous request
+		// phase, so they are exactly the synchronous-round values.
+		for _, m := range msgs {
+			if !m.Resp {
+				ctx.Send(m.From, LRMsg{Sum: v.Sum, Pred: v.Pred, Resp: true})
+			}
+		}
+		ctx.VoteToHalt()
+	}, pregel.WithName("list-ranking"))
+}
+
+// BuildList adds a linked list of the given values to a fresh graph with
+// the provided IDs (ids[0] is the head). It returns the graph ready for
+// ListRank.
+func BuildList(cfg pregel.Config, ids []pregel.VertexID, vals []int64) (*pregel.Graph[LRVertex, LRMsg], error) {
+	if len(ids) != len(vals) {
+		return nil, fmt.Errorf("ppa: %d ids but %d values", len(ids), len(vals))
+	}
+	g := pregel.NewGraph[LRVertex, LRMsg](cfg)
+	for i, id := range ids {
+		pred := NullID
+		if i > 0 {
+			pred = ids[i-1]
+		}
+		g.AddVertex(id, LRVertex{Val: vals[i], Pred: pred})
+	}
+	return g, nil
+}

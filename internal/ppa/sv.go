@@ -1,0 +1,124 @@
+package ppa
+
+import (
+	"ppaassembler/internal/pregel"
+)
+
+// SVVertex is a vertex of an undirected graph for the simplified
+// Shiloach–Vishkin connected-components PPA (§II, Figure 2). D is the
+// parent link in the algorithm's forest; on termination D equals the
+// smallest vertex ID in the component.
+type SVVertex struct {
+	D    pregel.VertexID
+	Nbrs []pregel.VertexID
+	dd   pregel.VertexID // D[D[v]] learned this round
+}
+
+// SVMsg carries one of the four per-round message kinds.
+type SVMsg struct {
+	Kind svKind
+	From pregel.VertexID
+	ID   pregel.VertexID
+}
+
+type svKind uint8
+
+const (
+	svQueryParent svKind = iota // ask recipient for its D
+	svReplyParent               // ID = responder's D
+	svNeighborD                 // ID = sender's D, sent along graph edges
+	svHook                      // ID = proposed new (smaller) parent for recipient
+)
+
+const svChanged = "sv-changed"
+
+// SVComponents labels every vertex of g with the minimum vertex ID in its
+// connected component. Each round is four supersteps:
+//
+//	s≡0 (mod 4): every vertex asks its parent D[v] for D[D[v]]
+//	s≡1: parents reply
+//	s≡2: v records dd = D[D[v]] and broadcasts D[v] to its neighbors
+//	s≡3: tree hooking — if D[u] is a root (dd == D[u]) and some neighbor
+//	     has a smaller D, propose that D to the root; then shortcut
+//	     D[u] ← dd. Hook proposals apply (min-fold) at the next s≡0.
+//
+// Rounds repeat until an aggregator reports that no D changed, giving the
+// O(log n)-round bound of the simplified S-V algorithm (star hooking from
+// the original PRAM algorithm is not needed; see §II).
+func SVComponents(g *pregel.Graph[SVVertex, SVMsg]) (*pregel.Stats, error) {
+	return g.Run(func(ctx *pregel.Context[SVMsg], id pregel.VertexID, v *SVVertex, msgs []SVMsg) {
+		switch ctx.Superstep() % 4 {
+		case 0:
+			if ctx.Superstep() == 0 {
+				v.D = id
+			} else {
+				// Convergence check: if the previous round changed no D
+				// anywhere, stop (hook proposals below would be stale).
+				if !ctx.PrevAggOr(svChanged) {
+					ctx.VoteToHalt()
+					return
+				}
+				// Apply hook proposals sent in the previous superstep.
+				for _, m := range msgs {
+					if m.Kind == svHook && m.ID < v.D {
+						v.D = m.ID
+						ctx.AggOr(svChanged, true)
+					}
+				}
+			}
+			ctx.Send(v.D, SVMsg{Kind: svQueryParent, From: id})
+		case 1:
+			for _, m := range msgs {
+				if m.Kind == svQueryParent {
+					ctx.Send(m.From, SVMsg{Kind: svReplyParent, ID: v.D})
+				}
+			}
+		case 2:
+			for _, m := range msgs {
+				if m.Kind == svReplyParent {
+					v.dd = m.ID
+				}
+			}
+			for _, n := range v.Nbrs {
+				ctx.Send(n, SVMsg{Kind: svNeighborD, ID: v.D})
+			}
+		case 3:
+			rootOfMine := v.dd == v.D
+			best := v.D
+			for _, m := range msgs {
+				if m.Kind == svNeighborD && m.ID < best {
+					best = m.ID
+				}
+			}
+			if rootOfMine && best < v.D {
+				ctx.Send(v.D, SVMsg{Kind: svHook, ID: best})
+				ctx.AggOr(svChanged, true)
+			}
+			if v.dd != v.D {
+				v.D = v.dd // shortcutting
+				ctx.AggOr(svChanged, true)
+			}
+		}
+	}, pregel.WithName("simplified-sv"))
+}
+
+// BuildUndirected creates a graph with the given undirected edges. Vertex
+// IDs are taken from the edge list; isolated vertices may be supplied in
+// extra.
+func BuildUndirected(cfg pregel.Config, edges [][2]pregel.VertexID, extra []pregel.VertexID) *pregel.Graph[SVVertex, SVMsg] {
+	adj := map[pregel.VertexID][]pregel.VertexID{}
+	for _, e := range edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	for _, id := range extra {
+		if _, ok := adj[id]; !ok {
+			adj[id] = nil
+		}
+	}
+	g := pregel.NewGraph[SVVertex, SVMsg](cfg)
+	for id, nbrs := range adj {
+		g.AddVertex(id, SVVertex{Nbrs: nbrs})
+	}
+	return g
+}

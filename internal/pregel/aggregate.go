@@ -1,0 +1,86 @@
+package pregel
+
+import (
+	"math"
+	"sync"
+)
+
+// aggState implements Pregel aggregators: values contributed during
+// superstep S become readable by every vertex during superstep S+1.
+// Three aggregator families cover everything the assembler needs:
+// int64 sums, int64 mins, and boolean ORs.
+type aggState struct {
+	mu       sync.Mutex
+	curSum   map[string]int64
+	prevSumV map[string]int64
+	curMin   map[string]int64
+	prevMinV map[string]int64
+	curOr    map[string]bool
+	prevOrV  map[string]bool
+}
+
+func newAggState() *aggState {
+	a := &aggState{}
+	a.reset()
+	return a
+}
+
+func (a *aggState) reset() {
+	a.curSum = map[string]int64{}
+	a.prevSumV = map[string]int64{}
+	a.curMin = map[string]int64{}
+	a.prevMinV = map[string]int64{}
+	a.curOr = map[string]bool{}
+	a.prevOrV = map[string]bool{}
+}
+
+// flip publishes the current superstep's aggregates and clears accumulators.
+func (a *aggState) flip() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.prevSumV, a.curSum = a.curSum, map[string]int64{}
+	a.prevMinV, a.curMin = a.curMin, map[string]int64{}
+	a.prevOrV, a.curOr = a.curOr, map[string]bool{}
+}
+
+func (a *aggState) addSum(name string, delta int64) {
+	a.mu.Lock()
+	a.curSum[name] += delta
+	a.mu.Unlock()
+}
+
+func (a *aggState) addMin(name string, v int64) {
+	a.mu.Lock()
+	if cur, ok := a.curMin[name]; !ok || v < cur {
+		a.curMin[name] = v
+	}
+	a.mu.Unlock()
+}
+
+func (a *aggState) addOr(name string, v bool) {
+	a.mu.Lock()
+	a.curOr[name] = a.curOr[name] || v
+	a.mu.Unlock()
+}
+
+func (a *aggState) prevSum(name string) int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.prevSumV[name]
+}
+
+func (a *aggState) prevMin(name string) (int64, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	v, ok := a.prevMinV[name]
+	if !ok {
+		return math.MaxInt64, false
+	}
+	return v, true
+}
+
+func (a *aggState) prevOr(name string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.prevOrV[name]
+}

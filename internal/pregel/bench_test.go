@@ -1,0 +1,112 @@
+package pregel
+
+import "testing"
+
+// BenchmarkSuperstepOverhead measures the engine's fixed per-superstep cost
+// on a graph where every vertex does trivial work.
+func BenchmarkSuperstepOverhead(b *testing.B) {
+	g := NewGraph[int, int](Config{Workers: 4})
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		g.AddVertex(VertexID(i), 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := g.Run(func(ctx *Context[int], id VertexID, val *int, msgs []int) {
+			if ctx.Superstep() < 3 {
+				return
+			}
+			ctx.VoteToHalt()
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMessageThroughput measures message routing: every vertex sends
+// to a pseudo-random peer each superstep for 4 supersteps.
+func BenchmarkMessageThroughput(b *testing.B) {
+	const n = 10_000
+	g := NewGraph[int, int](Config{Workers: 4})
+	for i := 0; i < n; i++ {
+		g.AddVertex(VertexID(i), 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := g.Run(func(ctx *Context[int], id VertexID, val *int, msgs []int) {
+			for _, m := range msgs {
+				*val += m
+			}
+			if ctx.Superstep() >= 4 {
+				ctx.VoteToHalt()
+				return
+			}
+			ctx.Send((id*2654435761+1)%n, 1)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(st.Messages), "msgs/op")
+	}
+}
+
+// BenchmarkMapReduceShuffle measures the mini-MapReduce over 100k pairs.
+func BenchmarkMapReduceShuffle(b *testing.B) {
+	const n = 100_000
+	items := make([]uint64, n)
+	for i := range items {
+		items[i] = uint64(i % 997)
+	}
+	shards := ShardSlice(items, 4)
+	clock := NewSimClock(DefaultCost())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, _ := MapReduce(
+			clock, 4, 8, shards,
+			func(w int, item uint64, emit func(uint64, uint64)) { emit(item, 1) },
+			Uint64Hash,
+			func(a, c uint64) bool { return a < c },
+			func(w int, key uint64, vals []uint64, emit func(uint64)) { emit(uint64(len(vals))) },
+		)
+		if len(Flatten(out)) != 997 {
+			b.Fatal("wrong group count")
+		}
+	}
+}
+
+// BenchmarkCombinerWin shows the traffic reduction from a sum combiner on
+// an all-to-one pattern.
+func BenchmarkCombinerWin(b *testing.B) {
+	for _, combine := range []bool{false, true} {
+		name := "plain"
+		if combine {
+			name = "combined"
+		}
+		b.Run(name, func(b *testing.B) {
+			const n = 20_000
+			g := NewGraph[int, int](Config{Workers: 4})
+			if combine {
+				g.SetCombiner(func(a, c int) int { return a + c })
+			}
+			for i := 0; i < n; i++ {
+				g.AddVertex(VertexID(i), 0)
+			}
+			b.ResetTimer()
+			var msgs int64
+			for i := 0; i < b.N; i++ {
+				st, err := g.Run(func(ctx *Context[int], id VertexID, val *int, msgs []int) {
+					if ctx.Superstep() == 0 {
+						ctx.Send(0, 1)
+					}
+					ctx.VoteToHalt()
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs += st.Messages
+			}
+			b.ReportMetric(float64(msgs)/float64(b.N), "msgs/op")
+		})
+	}
+}

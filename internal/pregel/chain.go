@@ -1,0 +1,59 @@
+package pregel
+
+// Convert is the paper's second Pregel+ API extension (§II): in-memory job
+// concatenation. It transforms the vertex set of a finished job j (graph
+// src, vertex class V1) into the input vertex set of the next job j′
+// (vertex class V2) without a round trip through the distributed file
+// system. The UDF fn is called once per source vertex and may emit zero or
+// more (id, value) vertices for the new graph; emitted vertices are
+// shuffled to their owning worker by vertex-ID hash, exactly as on load.
+//
+// The new graph shares src's simulated clock, so a pipeline of chained jobs
+// accumulates one end-to-end time. The conversion itself is charged as one
+// shuffle round.
+func Convert[V2, M2, V1, M1 any](
+	src *Graph[V1, M1],
+	cfg Config,
+	fn func(id VertexID, val V1, emit func(VertexID, V2)),
+) *Graph[V2, M2] {
+	cfg = cfg.withDefaults()
+	dst := NewGraph[V2, M2](cfg)
+	dst.clock = src.clock
+
+	convNs := make([]float64, src.cfg.Workers)
+	outBytes := make([]float64, src.cfg.Workers)
+	type pending struct {
+		id  VertexID
+		val V2
+	}
+	var emitted []pending
+	cur := -1
+	var start int64
+	src.ForEachWorker(func(w int, id VertexID, val *V1) {
+		if w != cur {
+			if cur >= 0 && cur < len(convNs) {
+				convNs[cur] += float64(nowNs() - start)
+			}
+			cur = w
+			start = nowNs()
+		}
+		fn(id, *val, func(nid VertexID, nval V2) {
+			emitted = append(emitted, pending{nid, nval})
+			if w < len(outBytes) {
+				outBytes[w] += float64(cfg.MessageBytes)
+			}
+		})
+	})
+	if cur >= 0 && cur < len(convNs) {
+		convNs[cur] += float64(nowNs() - start)
+	}
+	for _, p := range emitted {
+		dst.AddVertex(p.id, p.val)
+	}
+	dst.clock.ChargeSuperstep(convNs, outBytes)
+	return dst
+}
+
+// UseClock replaces g's simulated clock, letting independent graphs charge
+// a shared end-to-end pipeline clock.
+func (g *Graph[V, M]) UseClock(c *SimClock) { g.clock = c }

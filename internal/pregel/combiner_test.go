@@ -1,0 +1,93 @@
+package pregel
+
+import "testing"
+
+func TestCombinerReducesMessages(t *testing.T) {
+	// 100 vertices each send 1 to vertex 0: without a combiner that is 100
+	// messages; with a sum combiner at most one per worker.
+	run := func(combine bool) (int64, int) {
+		g := NewGraph[int, int](Config{Workers: 4})
+		if combine {
+			g.SetCombiner(func(a, b int) int { return a + b })
+		}
+		for i := 0; i < 100; i++ {
+			g.AddVertex(VertexID(i), 0)
+		}
+		st, err := g.Run(func(ctx *Context[int], id VertexID, val *int, msgs []int) {
+			if ctx.Superstep() == 0 {
+				ctx.Send(0, 1)
+				ctx.VoteToHalt()
+				return
+			}
+			for _, m := range msgs {
+				*val += m
+			}
+			ctx.VoteToHalt()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, _ := g.Value(0)
+		return st.Messages, v
+	}
+	plainMsgs, plainSum := run(false)
+	combMsgs, combSum := run(true)
+	if plainSum != 100 || combSum != 100 {
+		t.Errorf("sums = %d/%d, want 100/100", plainSum, combSum)
+	}
+	if plainMsgs != 100 {
+		t.Errorf("uncombined messages = %d, want 100", plainMsgs)
+	}
+	if combMsgs > 4 {
+		t.Errorf("combined messages = %d, want <= 4 (one per worker)", combMsgs)
+	}
+}
+
+func TestCombinerPreservesPerDestinationIsolation(t *testing.T) {
+	// Messages to different destinations must not be folded together.
+	g := NewGraph[int, int](Config{Workers: 2})
+	g.SetCombiner(func(a, b int) int { return a + b })
+	for i := 0; i < 10; i++ {
+		g.AddVertex(VertexID(i), 0)
+	}
+	_, err := g.Run(func(ctx *Context[int], id VertexID, val *int, msgs []int) {
+		if ctx.Superstep() == 0 {
+			// Everyone sends its own ID value to id/2.
+			ctx.Send(id/2, int(id))
+			ctx.VoteToHalt()
+			return
+		}
+		for _, m := range msgs {
+			*val += m
+		}
+		ctx.VoteToHalt()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vertex d receives ids 2d and 2d+1.
+	for d := VertexID(0); d < 5; d++ {
+		v, _ := g.Value(d)
+		want := int(2*d) + int(2*d) + 1
+		if v != want {
+			t.Errorf("vertex %d sum = %d, want %d", d, v, want)
+		}
+	}
+}
+
+func TestCombineEnvelopesOrderStable(t *testing.T) {
+	envs := []envelope[int]{{dst: 5, msg: 1}, {dst: 3, msg: 10}, {dst: 5, msg: 2}, {dst: 3, msg: 20}, {dst: 9, msg: 7}}
+	out := combineEnvelopes(envs, func(a, b int) int { return a + b })
+	if len(out) != 3 {
+		t.Fatalf("combined to %d envelopes, want 3", len(out))
+	}
+	if out[0].dst != 5 || out[0].msg != 3 {
+		t.Errorf("out[0] = %+v", out[0])
+	}
+	if out[1].dst != 3 || out[1].msg != 30 {
+		t.Errorf("out[1] = %+v", out[1])
+	}
+	if out[2].dst != 9 || out[2].msg != 7 {
+		t.Errorf("out[2] = %+v", out[2])
+	}
+}

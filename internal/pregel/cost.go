@@ -1,0 +1,128 @@
+package pregel
+
+import "time"
+
+// CostModel parameterizes the simulated distributed cluster. The paper ran
+// on 16 machines with Gigabit Ethernet; this reproduction runs W logical
+// workers on one host and charges each superstep its critical path
+//
+//	λ  +  max_w(compute_w)  +  max_w(bytes_w)/B  +  serial_w
+//
+// where λ is the per-superstep synchronization latency (barrier + round
+// trips), compute_w the measured CPU time of worker w's partition, B the
+// per-link bandwidth, and serial_w any explicitly charged serial section
+// (used by the ABySS-style baseline's packet-collection stage, which is what
+// makes it insensitive to worker count, as observed in the paper's §V).
+//
+// PPA constraints 1–3 (balanced linear work per superstep) are what make
+// max_w(compute_w) ≈ total/W, so scaling curves emerge from measurement
+// rather than from assumed speedups.
+type CostModel struct {
+	// SuperstepLatency is λ, charged once per superstep/shuffle round.
+	SuperstepLatency time.Duration
+	// BytesPerSecond is the per-worker link bandwidth B.
+	BytesPerSecond float64
+	// ComputeScale multiplies measured compute time (1.0 = as measured).
+	// It lets experiments model slower per-node CPUs if desired.
+	ComputeScale float64
+}
+
+// DefaultCost returns a model resembling the paper's testbed: Gigabit
+// Ethernet (~117 MiB/s per link) and a 1 ms superstep barrier.
+func DefaultCost() CostModel {
+	return CostModel{
+		SuperstepLatency: time.Millisecond,
+		BytesPerSecond:   117 * 1024 * 1024,
+		ComputeScale:     1.0,
+	}
+}
+
+// SimClock accumulates simulated wall-clock time for one pipeline run. The
+// Pregel engine and the mini-MapReduce shuffle both charge it; baselines
+// charge their own stages through the same interface so end-to-end times
+// are comparable.
+type SimClock struct {
+	model CostModel
+	ns    float64
+}
+
+// NewSimClock returns a clock at time zero.
+func NewSimClock(m CostModel) *SimClock {
+	if m == (CostModel{}) {
+		m = DefaultCost()
+	}
+	if m.ComputeScale == 0 {
+		m.ComputeScale = 1
+	}
+	if m.BytesPerSecond == 0 {
+		m.BytesPerSecond = DefaultCost().BytesPerSecond
+	}
+	return &SimClock{model: m}
+}
+
+// Model returns the clock's cost model.
+func (c *SimClock) Model() CostModel { return c.model }
+
+// ChargeSuperstep charges one BSP superstep: barrier latency plus the
+// slowest worker's compute plus the most-loaded link's transfer time.
+func (c *SimClock) ChargeSuperstep(computeNs, bytesPerWorker []float64) {
+	maxC, maxB := 0.0, 0.0
+	for _, v := range computeNs {
+		if v > maxC {
+			maxC = v
+		}
+	}
+	for _, v := range bytesPerWorker {
+		if v > maxB {
+			maxB = v
+		}
+	}
+	c.ns += float64(c.model.SuperstepLatency.Nanoseconds())
+	c.ns += maxC * c.model.ComputeScale
+	c.ns += maxB / c.model.BytesPerSecond * 1e9
+}
+
+// ChargeSerial charges a section that runs on a single node regardless of
+// worker count (e.g. a coordinator stage).
+func (c *SimClock) ChargeSerial(computeNs float64) {
+	c.ns += computeNs * c.model.ComputeScale
+}
+
+// ChargeTransfer charges moving the given number of bytes over one link.
+func (c *SimClock) ChargeTransfer(bytes float64) {
+	c.ns += bytes / c.model.BytesPerSecond * 1e9
+}
+
+// Seconds returns the simulated time elapsed so far.
+func (c *SimClock) Seconds() float64 { return c.ns / 1e9 }
+
+// Reset rewinds the clock to zero.
+func (c *SimClock) Reset() { c.ns = 0 }
+
+// nowNs is the engine's monotonic time source.
+func nowNs() int64 { return time.Now().UnixNano() }
+
+// Stats summarizes one Run (or one MapReduce) for reporting; Tables II/III
+// of the paper are printed directly from these fields.
+type Stats struct {
+	Name            string
+	Workers         int
+	Supersteps      int
+	Messages        int64
+	Bytes           int64
+	DroppedMessages int64
+	// SimSeconds is the simulated clock reading when the run finished
+	// (cumulative across jobs sharing the clock).
+	SimSeconds float64
+}
+
+// Add folds other into s (for aggregating multi-job pipelines).
+func (s *Stats) Add(other *Stats) {
+	s.Supersteps += other.Supersteps
+	s.Messages += other.Messages
+	s.Bytes += other.Bytes
+	s.DroppedMessages += other.DroppedMessages
+	if other.SimSeconds > s.SimSeconds {
+		s.SimSeconds = other.SimSeconds
+	}
+}

@@ -1,0 +1,122 @@
+package pregel
+
+import "sort"
+
+// MapReduce is the paper's first Pregel+ API extension (§II): a mini
+// MapReduce procedure used during graph loading and for the grouping steps
+// of DBG construction (op ①), contig merging (op ③) and bubble filtering
+// (op ④).
+//
+// The input is sharded per worker (input[w] is worker w's shard, mirroring
+// HDFS block placement). Each worker maps its shard, emitted (key, value)
+// pairs are shuffled to worker keyHash(key) % W, sorted by key with keyLess,
+// grouped, and reduced; reduce output stays on the reducing worker (which is
+// how contigs acquire their (worker, ordinal) IDs in op ③).
+//
+// Cost: the clock is charged one shuffle round — barrier latency + slowest
+// mapper + most-loaded link — and one reduce round. pairBytes is the charged
+// wire size of one shuffled pair.
+func MapReduce[I, K, V, O any](
+	clock *SimClock,
+	workers int,
+	pairBytes int,
+	input [][]I,
+	mapFn func(worker int, item I, emit func(K, V)),
+	keyHash func(K) uint64,
+	keyLess func(K, K) bool,
+	reduceFn func(worker int, key K, vals []V, emit func(O)),
+) ([][]O, *Stats) {
+	if workers <= 0 {
+		workers = 1
+	}
+	if pairBytes <= 0 {
+		pairBytes = DefaultMessageBytes
+	}
+	type pair struct {
+		k K
+		v V
+	}
+	stats := &Stats{Name: "mapreduce", Workers: workers}
+
+	// Map phase: each worker maps its shard into per-destination buckets.
+	buckets := make([][][]pair, workers) // [src][dst][]pair
+	mapNs := make([]float64, workers)
+	outBytes := make([]float64, workers)
+	for w := 0; w < workers; w++ {
+		buckets[w] = make([][]pair, workers)
+		if w >= len(input) {
+			continue
+		}
+		start := nowNs()
+		emitted := int64(0)
+		for _, item := range input[w] {
+			mapFn(w, item, func(k K, v V) {
+				d := int(keyHash(k) % uint64(workers))
+				buckets[w][d] = append(buckets[w][d], pair{k, v})
+				emitted++
+			})
+		}
+		mapNs[w] = float64(nowNs() - start)
+		outBytes[w] = float64(emitted) * float64(pairBytes)
+		stats.Messages += emitted
+		stats.Bytes += emitted * int64(pairBytes)
+	}
+	clock.ChargeSuperstep(mapNs, outBytes)
+
+	// Shuffle + sort + reduce phase.
+	out := make([][]O, workers)
+	redNs := make([]float64, workers)
+	for d := 0; d < workers; d++ {
+		var pairs []pair
+		for s := 0; s < workers; s++ {
+			pairs = append(pairs, buckets[s][d]...)
+			buckets[s][d] = nil
+		}
+		start := nowNs()
+		sort.SliceStable(pairs, func(a, b int) bool { return keyLess(pairs[a].k, pairs[b].k) })
+		i := 0
+		for i < len(pairs) {
+			j := i + 1
+			for j < len(pairs) && !keyLess(pairs[i].k, pairs[j].k) && !keyLess(pairs[j].k, pairs[i].k) {
+				j++
+			}
+			vals := make([]V, 0, j-i)
+			for _, p := range pairs[i:j] {
+				vals = append(vals, p.v)
+			}
+			reduceFn(d, pairs[i].k, vals, func(o O) { out[d] = append(out[d], o) })
+			i = j
+		}
+		redNs[d] = float64(nowNs() - start)
+	}
+	clock.ChargeSuperstep(redNs, make([]float64, workers))
+	stats.Supersteps = 2
+	stats.SimSeconds = clock.Seconds()
+	return out, stats
+}
+
+// Uint64Hash is a keyHash for uint64-like keys (it applies the same mixing
+// as vertex partitioning so adversarially structured keys still spread).
+func Uint64Hash(k uint64) uint64 { return hashID(VertexID(k)) }
+
+// ShardSlice splits items into w shards round-robin, simulating an even
+// HDFS block distribution.
+func ShardSlice[T any](items []T, w int) [][]T {
+	if w <= 0 {
+		w = 1
+	}
+	out := make([][]T, w)
+	for i, it := range items {
+		out[i%w] = append(out[i%w], it)
+	}
+	return out
+}
+
+// Flatten concatenates per-worker shards in worker order.
+func Flatten[T any](shards [][]T) []T {
+	var out []T
+	for _, s := range shards {
+		out = append(out, s...)
+	}
+	return out
+}

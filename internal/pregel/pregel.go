@@ -1,0 +1,514 @@
+// Package pregel implements a Pregel-like bulk-synchronous vertex-centric
+// graph-processing engine in the spirit of Pregel+ (the backend the paper
+// builds PPA-assembler on), together with the paper's two API extensions:
+// a mini-MapReduce procedure for loading/grouping data by key (§II), and
+// in-memory job concatenation via a convert UDF (§II).
+//
+// The engine partitions vertices across W logical workers by a hash of the
+// vertex ID, runs user compute functions in numbered supersteps, shuffles
+// messages between supersteps, supports vote-to-halt with reactivation on
+// message receipt, aggregators, and vertex removal. It records per-superstep
+// metrics (message counts, bytes, per-worker compute time) and charges them
+// to a simulated distributed-cluster clock (see cost.go), which is how this
+// reproduction obtains multi-machine scaling curves on a single host.
+package pregel
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// VertexID identifies a vertex. The assembler encodes k-mer sequences and
+// contig (worker, ordinal) pairs directly into these 64-bit IDs (§IV-A).
+type VertexID uint64
+
+// hashID mixes a vertex ID before partitioning so that structured IDs (e.g.
+// contig IDs, which have a worker number in their high bits) still spread
+// evenly across workers. SplitMix64 finalizer.
+func hashID(id VertexID) uint64 {
+	z := uint64(id) + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Config controls engine construction.
+type Config struct {
+	// Workers is the number of logical workers (simulated machines).
+	Workers int
+	// Parallel runs workers on goroutines. The default (false) runs them
+	// sequentially, which is deterministic and gives exact per-worker
+	// compute timings for the simulated clock; on a single-core host it is
+	// also just as fast.
+	Parallel bool
+	// MessageBytes is the charged wire size of one message for the cost
+	// model and byte metrics. Zero means DefaultMessageBytes.
+	MessageBytes int
+	// MaxSupersteps aborts a run that fails to terminate. Zero means
+	// DefaultMaxSupersteps.
+	MaxSupersteps int
+	// Strict makes a message sent to a nonexistent vertex a run error
+	// instead of a silently dropped (but counted) message.
+	Strict bool
+	// Cost is the simulated-cluster cost model. Zero value = DefaultCost().
+	Cost CostModel
+}
+
+// Defaults for Config fields.
+const (
+	DefaultMessageBytes  = 16
+	DefaultMaxSupersteps = 10000
+)
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.MessageBytes <= 0 {
+		c.MessageBytes = DefaultMessageBytes
+	}
+	if c.MaxSupersteps <= 0 {
+		c.MaxSupersteps = DefaultMaxSupersteps
+	}
+	if c.Cost == (CostModel{}) {
+		c.Cost = DefaultCost()
+	}
+	return c
+}
+
+// Compute is the user-defined compute(.) function: called once per active
+// vertex per superstep with the messages delivered to that vertex.
+type Compute[V, M any] func(ctx *Context[M], id VertexID, val *V, msgs []M)
+
+// envelope is a routed message.
+type envelope[M any] struct {
+	dst VertexID
+	msg M
+}
+
+// worker holds one partition of the vertex set. Vertices are kept in a
+// slice sorted by ID (plus an index map) so iteration order — and therefore
+// message emission order and the whole computation — is deterministic.
+type worker[V, M any] struct {
+	ids     []VertexID
+	idx     map[VertexID]int
+	vals    []V
+	active  []bool
+	dead    []bool
+	inbox   [][]M
+	nextIn  [][]M
+	outbox  [][]envelope[M] // one slice per destination worker
+	nDead   int
+	msgsOut int64 // messages sent by this worker in current superstep
+}
+
+func (w *worker[V, M]) vertexCount() int { return len(w.ids) - w.nDead }
+
+// Graph is a distributed vertex collection plus engine state. Create one
+// with NewGraph, populate it with AddVertex (or via MapReduce/Convert), then
+// Run one or more jobs over it.
+type Graph[V, M any] struct {
+	cfg      Config
+	workers  []*worker[V, M]
+	clock    *SimClock
+	agg      *aggState
+	combiner func(a, b M) M
+}
+
+// NewGraph creates an empty graph with the given configuration.
+func NewGraph[V, M any](cfg Config) *Graph[V, M] {
+	cfg = cfg.withDefaults()
+	g := &Graph[V, M]{cfg: cfg, clock: NewSimClock(cfg.Cost), agg: newAggState()}
+	for i := 0; i < cfg.Workers; i++ {
+		g.workers = append(g.workers, &worker[V, M]{idx: make(map[VertexID]int)})
+	}
+	return g
+}
+
+// Workers returns the number of logical workers.
+func (g *Graph[V, M]) Workers() int { return g.cfg.Workers }
+
+// Clock returns the simulated-cluster clock shared by all jobs on g.
+func (g *Graph[V, M]) Clock() *SimClock { return g.clock }
+
+// WorkerOf returns the worker index that owns id.
+func (g *Graph[V, M]) WorkerOf(id VertexID) int {
+	return int(hashID(id) % uint64(g.cfg.Workers))
+}
+
+// AddVertex inserts a vertex. Adding an existing ID replaces its value.
+// AddVertex must not be called while Run is executing.
+func (g *Graph[V, M]) AddVertex(id VertexID, val V) {
+	w := g.workers[g.WorkerOf(id)]
+	if i, ok := w.idx[id]; ok {
+		if w.dead[i] {
+			w.dead[i] = false
+			w.nDead--
+		}
+		w.vals[i] = val
+		return
+	}
+	w.idx[id] = len(w.ids)
+	w.ids = append(w.ids, id)
+	w.vals = append(w.vals, val)
+	w.active = append(w.active, true)
+	w.dead = append(w.dead, false)
+	w.inbox = append(w.inbox, nil)
+	w.nextIn = append(w.nextIn, nil)
+}
+
+// sortVertices restores sorted-by-ID order inside each worker and compacts
+// away removed vertices. Called before every Run.
+func (g *Graph[V, M]) sortVertices() {
+	for _, w := range g.workers {
+		type rec struct {
+			id  VertexID
+			val V
+		}
+		recs := make([]rec, 0, w.vertexCount())
+		for i, id := range w.ids {
+			if !w.dead[i] {
+				recs = append(recs, rec{id, w.vals[i]})
+			}
+		}
+		sort.Slice(recs, func(a, b int) bool { return recs[a].id < recs[b].id })
+		n := len(recs)
+		w.ids = make([]VertexID, n)
+		w.vals = make([]V, n)
+		w.active = make([]bool, n)
+		w.dead = make([]bool, n)
+		w.inbox = make([][]M, n)
+		w.nextIn = make([][]M, n)
+		w.idx = make(map[VertexID]int, n)
+		w.nDead = 0
+		for i, r := range recs {
+			w.ids[i] = r.id
+			w.vals[i] = r.val
+			w.active[i] = true
+			w.idx[r.id] = i
+		}
+	}
+}
+
+// VertexCount returns the number of live vertices.
+func (g *Graph[V, M]) VertexCount() int {
+	n := 0
+	for _, w := range g.workers {
+		n += w.vertexCount()
+	}
+	return n
+}
+
+// ForEach calls fn for every live vertex, in worker order then ID order.
+// The value pointer may be used to read or mutate the vertex value.
+func (g *Graph[V, M]) ForEach(fn func(id VertexID, val *V)) {
+	for _, w := range g.workers {
+		for i, id := range w.ids {
+			if !w.dead[i] {
+				fn(id, &w.vals[i])
+			}
+		}
+	}
+}
+
+// ForEachWorker calls fn(workerIndex, id, val) for every live vertex. Used
+// by the convert/chaining path and by contig-ID assignment, which needs to
+// know which worker owns a vertex.
+func (g *Graph[V, M]) ForEachWorker(fn func(worker int, id VertexID, val *V)) {
+	for wi, w := range g.workers {
+		for i, id := range w.ids {
+			if !w.dead[i] {
+				fn(wi, id, &w.vals[i])
+			}
+		}
+	}
+}
+
+// Value returns the value of vertex id, if present.
+func (g *Graph[V, M]) Value(id VertexID) (V, bool) {
+	w := g.workers[g.WorkerOf(id)]
+	if i, ok := w.idx[id]; ok && !w.dead[i] {
+		return w.vals[i], true
+	}
+	var zero V
+	return zero, false
+}
+
+// SetValue overwrites the value of an existing vertex and reports whether
+// the vertex was present.
+func (g *Graph[V, M]) SetValue(id VertexID, val V) bool {
+	w := g.workers[g.WorkerOf(id)]
+	if i, ok := w.idx[id]; ok && !w.dead[i] {
+		w.vals[i] = val
+		return true
+	}
+	return false
+}
+
+// RemoveVertex deletes a vertex outside of a run.
+func (g *Graph[V, M]) RemoveVertex(id VertexID) {
+	w := g.workers[g.WorkerOf(id)]
+	if i, ok := w.idx[id]; ok && !w.dead[i] {
+		w.dead[i] = true
+		w.nDead++
+	}
+}
+
+// RunOption modifies a single Run.
+type RunOption func(*runOpts)
+
+type runOpts struct {
+	activateAll bool
+	name        string
+}
+
+// WithName labels the run in its Stats (useful when several jobs share a
+// graph and a clock).
+func WithName(name string) RunOption { return func(o *runOpts) { o.name = name } }
+
+// SetCombiner installs a Pregel message combiner for subsequent runs:
+// messages addressed to the same destination vertex within one worker's
+// outbox are folded pairwise with fn before shuffling, reducing message
+// traffic exactly as Google's Pregel combiners do. Pass nil to remove.
+// The combiner must be commutative and associative; compute functions then
+// receive at most one combined message per (worker, destination) pair.
+func (g *Graph[V, M]) SetCombiner(fn func(a, b M) M) { g.combiner = fn }
+
+// Run executes compute over the graph in supersteps until every vertex has
+// voted to halt and no messages are in flight, or the superstep limit is
+// reached. All vertices start active (standard Pregel semantics). It returns
+// per-run statistics; simulated time is also accumulated on g.Clock().
+func (g *Graph[V, M]) Run(compute Compute[V, M], opts ...RunOption) (*Stats, error) {
+	o := runOpts{activateAll: true}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	g.sortVertices()
+	g.agg.reset()
+	stats := &Stats{Name: o.name, Workers: g.cfg.Workers}
+
+	pending := int64(0) // messages delivered this superstep
+	for step := 0; ; step++ {
+		if step >= g.cfg.MaxSupersteps {
+			return stats, fmt.Errorf("pregel: job %q exceeded %d supersteps", o.name, g.cfg.MaxSupersteps)
+		}
+		anyActive := false
+		for _, w := range g.workers {
+			for i := range w.active {
+				if w.active[i] && !w.dead[i] {
+					anyActive = true
+					break
+				}
+			}
+			if anyActive {
+				break
+			}
+		}
+		if !anyActive && pending == 0 {
+			break
+		}
+
+		computeNs := make([]float64, g.cfg.Workers)
+		if g.cfg.Parallel && g.cfg.Workers > 1 {
+			var wg sync.WaitGroup
+			for wi := range g.workers {
+				wg.Add(1)
+				go func(wi int) {
+					defer wg.Done()
+					computeNs[wi] = g.runWorker(wi, step, compute)
+				}(wi)
+			}
+			wg.Wait()
+		} else {
+			for wi := range g.workers {
+				computeNs[wi] = g.runWorker(wi, step, compute)
+			}
+		}
+
+		// Barrier: deliver messages, apply aggregator values, record stats.
+		delivered, dropped, err := g.deliver()
+		if err != nil {
+			return stats, err
+		}
+		msgs := int64(0)
+		for _, w := range g.workers {
+			msgs += w.msgsOut
+		}
+		bytesPerWorker := make([]float64, g.cfg.Workers)
+		for wi, w := range g.workers {
+			bytesPerWorker[wi] = float64(w.msgsOut) * float64(g.cfg.MessageBytes)
+		}
+		g.clock.ChargeSuperstep(computeNs, bytesPerWorker)
+		stats.Supersteps++
+		stats.Messages += msgs
+		stats.Bytes += msgs * int64(g.cfg.MessageBytes)
+		stats.DroppedMessages += dropped
+		g.agg.flip()
+		pending = delivered
+	}
+	stats.SimSeconds = g.clock.Seconds() // cumulative; callers can diff
+	return stats, nil
+}
+
+// runWorker executes one superstep for one worker partition and returns the
+// measured compute nanoseconds.
+func (g *Graph[V, M]) runWorker(wi, step int, compute Compute[V, M]) float64 {
+	w := g.workers[wi]
+	if w.outbox == nil {
+		w.outbox = make([][]envelope[M], g.cfg.Workers)
+	}
+	for i := range w.outbox {
+		w.outbox[i] = w.outbox[i][:0]
+	}
+	w.msgsOut = 0
+	ctx := &Context[M]{g: gAdapter[V, M]{g}, worker: wi, superstep: step}
+	start := nowNs()
+	for i := range w.ids {
+		if w.dead[i] {
+			continue
+		}
+		msgs := w.inbox[i]
+		if len(msgs) > 0 {
+			w.active[i] = true
+		}
+		if !w.active[i] {
+			continue
+		}
+		ctx.halt = false
+		ctx.remove = false
+		compute(ctx, w.ids[i], &w.vals[i], msgs)
+		if ctx.remove {
+			w.dead[i] = true
+			w.nDead++
+		} else if ctx.halt {
+			w.active[i] = false
+		}
+		w.inbox[i] = nil
+	}
+	if g.combiner != nil {
+		w.msgsOut = 0
+		for d := range w.outbox {
+			w.outbox[d] = combineEnvelopes(w.outbox[d], g.combiner)
+			w.msgsOut += int64(len(w.outbox[d]))
+		}
+	}
+	return float64(nowNs() - start)
+}
+
+// combineEnvelopes folds messages sharing a destination, preserving the
+// first-occurrence order of destinations for determinism.
+func combineEnvelopes[M any](envs []envelope[M], fn func(a, b M) M) []envelope[M] {
+	if len(envs) < 2 {
+		return envs
+	}
+	idx := make(map[VertexID]int, len(envs))
+	out := envs[:0]
+	for _, e := range envs {
+		if i, ok := idx[e.dst]; ok {
+			out[i].msg = fn(out[i].msg, e.msg)
+			continue
+		}
+		idx[e.dst] = len(out)
+		out = append(out, e)
+	}
+	return out
+}
+
+// deliver routes every outbox envelope into the destination vertex's inbox
+// for the next superstep, reactivating recipients.
+func (g *Graph[V, M]) deliver() (delivered, dropped int64, err error) {
+	for _, src := range g.workers {
+		for dwi, envs := range src.outbox {
+			dst := g.workers[dwi]
+			for _, e := range envs {
+				i, ok := dst.idx[e.dst]
+				if !ok || dst.dead[i] {
+					dropped++
+					if g.cfg.Strict {
+						return delivered, dropped, fmt.Errorf("pregel: message to nonexistent vertex %d", e.dst)
+					}
+					continue
+				}
+				dst.nextIn[i] = append(dst.nextIn[i], e.msg)
+				delivered++
+			}
+		}
+	}
+	for _, w := range g.workers {
+		w.inbox, w.nextIn = w.nextIn, w.inbox
+		for i := range w.nextIn {
+			w.nextIn[i] = nil
+		}
+	}
+	return delivered, dropped, nil
+}
+
+// gAdapter lets Context stay non-generic in V by capturing only what it
+// needs from the graph.
+type gAdapter[V, M any] struct{ g *Graph[V, M] }
+
+func (a gAdapter[V, M]) send(from int, dst VertexID, m M) {
+	w := a.g.workers[from]
+	dwi := a.g.WorkerOf(dst)
+	w.outbox[dwi] = append(w.outbox[dwi], envelope[M]{dst, m})
+	w.msgsOut++
+}
+func (a gAdapter[V, M]) workers() int    { return a.g.cfg.Workers }
+func (a gAdapter[V, M]) aggs() *aggState { return a.g.agg }
+
+type graphPort[M any] interface {
+	send(from int, dst VertexID, m M)
+	workers() int
+	aggs() *aggState
+}
+
+// Context is passed to the compute function. It is only valid for the
+// duration of one compute call.
+type Context[M any] struct {
+	g         graphPort[M]
+	worker    int
+	superstep int
+	halt      bool
+	remove    bool
+}
+
+// Superstep returns the current superstep number (0-based).
+func (c *Context[M]) Superstep() int { return c.superstep }
+
+// Worker returns the index of the worker executing this vertex.
+func (c *Context[M]) Worker() int { return c.worker }
+
+// NumWorkers returns the number of logical workers.
+func (c *Context[M]) NumWorkers() int { return c.g.workers() }
+
+// Send sends m to vertex dst, to be delivered next superstep.
+func (c *Context[M]) Send(dst VertexID, m M) { c.g.send(c.worker, dst, m) }
+
+// VoteToHalt deactivates this vertex; it is reactivated by any incoming
+// message.
+func (c *Context[M]) VoteToHalt() { c.halt = true }
+
+// RemoveSelf deletes this vertex at the end of the superstep. Messages
+// already addressed to it are dropped.
+func (c *Context[M]) RemoveSelf() { c.remove = true }
+
+// AggSum adds delta to the named sum aggregator for this superstep.
+func (c *Context[M]) AggSum(name string, delta int64) { c.g.aggs().addSum(name, delta) }
+
+// AggMin folds v into the named min aggregator for this superstep.
+func (c *Context[M]) AggMin(name string, v int64) { c.g.aggs().addMin(name, v) }
+
+// AggOr ORs v into the named boolean aggregator for this superstep.
+func (c *Context[M]) AggOr(name string, v bool) { c.g.aggs().addOr(name, v) }
+
+// PrevAggSum returns the value the named sum aggregator had at the end of
+// the previous superstep (0 if never set).
+func (c *Context[M]) PrevAggSum(name string) int64 { return c.g.aggs().prevSum(name) }
+
+// PrevAggMin returns the previous-superstep min aggregator value and whether
+// any vertex contributed to it.
+func (c *Context[M]) PrevAggMin(name string) (int64, bool) { return c.g.aggs().prevMin(name) }
+
+// PrevAggOr returns the previous-superstep boolean OR aggregator value.
+func (c *Context[M]) PrevAggOr(name string) bool { return c.g.aggs().prevOr(name) }

@@ -1,0 +1,102 @@
+package pregel
+
+import "testing"
+
+func TestRequestRespondBasic(t *testing.T) {
+	g := NewGraph[int, struct{}](Config{Workers: 3})
+	for i := 0; i < 30; i++ {
+		g.AddVertex(VertexID(i), i*10)
+	}
+	// Every vertex asks for the value of vertex (id+1)%30.
+	st, err := RequestRespond(g,
+		func(id VertexID, _ *int) []VertexID { return []VertexID{(id + 1) % 30} },
+		func(_ VertexID, val *int) int { return *val },
+		func(id VertexID, val *int, get func(VertexID) (int, bool)) {
+			v, ok := get((id + 1) % 30)
+			if !ok {
+				t.Errorf("vertex %d: missing response", id)
+				return
+			}
+			*val += v
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Supersteps != 3 {
+		t.Errorf("supersteps = %d", st.Supersteps)
+	}
+	g.ForEach(func(id VertexID, val *int) {
+		want := int(id)*10 + int((id+1)%30)*10
+		if *val != want {
+			t.Errorf("vertex %d = %d, want %d", id, *val, want)
+		}
+	})
+}
+
+func TestRequestRespondDeduplicatesSkewedFanIn(t *testing.T) {
+	// 1000 vertices all request vertex 0's value: naive fan-in would be
+	// 1000 request messages; the worker-level dedup sends at most one per
+	// worker.
+	const n = 1000
+	const workers = 4
+	g := NewGraph[int, struct{}](Config{Workers: workers})
+	for i := 0; i < n; i++ {
+		g.AddVertex(VertexID(i), 7)
+	}
+	st, err := RequestRespond(g,
+		func(id VertexID, _ *int) []VertexID {
+			if id == 0 {
+				return nil
+			}
+			return []VertexID{0}
+		},
+		func(_ VertexID, val *int) int { return *val },
+		func(id VertexID, val *int, get func(VertexID) (int, bool)) {
+			if id == 0 {
+				return
+			}
+			if v, ok := get(0); ok {
+				*val += v
+			}
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 messages (request+response) per requesting worker, not per vertex.
+	if st.Messages > 2*workers {
+		t.Errorf("messages = %d, want <= %d (deduplicated)", st.Messages, 2*workers)
+	}
+	hit := 0
+	g.ForEach(func(id VertexID, val *int) {
+		if id != 0 && *val == 14 {
+			hit++
+		}
+	})
+	if hit != n-1 {
+		t.Errorf("%d of %d requesters served", hit, n-1)
+	}
+}
+
+func TestRequestRespondMissingTarget(t *testing.T) {
+	g := NewGraph[int, struct{}](Config{Workers: 2})
+	g.AddVertex(1, 5)
+	got := false
+	st, err := RequestRespond(g,
+		func(id VertexID, _ *int) []VertexID { return []VertexID{999} },
+		func(_ VertexID, val *int) int { return *val },
+		func(id VertexID, val *int, get func(VertexID) (int, bool)) {
+			_, got = get(999)
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Error("response for nonexistent target")
+	}
+	if st.DroppedMessages != 1 {
+		t.Errorf("dropped = %d, want 1", st.DroppedMessages)
+	}
+}

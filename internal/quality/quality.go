@@ -1,0 +1,190 @@
+// Package quality computes assembly-quality metrics in the style of QUAST
+// [7], which the paper uses for Tables IV and V: contig counts and lengths,
+// N50, GC%, and — when a reference is available — genome fraction,
+// misassemblies, unaligned length, mismatch and indel rates, and largest
+// alignment.
+package quality
+
+import (
+	"sort"
+
+	"ppaassembler/internal/align"
+	"ppaassembler/internal/dna"
+)
+
+// MinContigLen is QUAST's default: contigs shorter than 500 bp are ignored
+// by the headline metrics.
+const MinContigLen = 500
+
+// Report holds the Table IV/V metric set. Reference-based fields are zero
+// when no reference was supplied (HasReference false), matching Table V's
+// reduced metric set.
+type Report struct {
+	// Contig statistics (reference-free; Table V).
+	NumContigs    int
+	TotalLength   int
+	N50           int
+	N75           int
+	L50           int
+	LargestContig int
+	GCPercent     float64
+
+	// Reference-based statistics (Table IV).
+	HasReference        bool
+	NG50                int     // N50 against the reference length
+	GenomeFraction      float64 // percent of reference bases covered
+	Misassemblies       int     // contigs with >= 1 breakpoint
+	MisassembledLength  int
+	UnalignedLength     int
+	MismatchesPer100kbp float64
+	IndelsPer100kbp     float64
+	LargestAlignment    int
+}
+
+// Evaluate computes the report for the given contigs; ref may be the zero
+// Seq for reference-free evaluation. Contigs shorter than minLen (pass
+// MinContigLen for QUAST behavior, or 0 to keep everything) are excluded.
+func Evaluate(contigs []dna.Seq, ref dna.Seq, minLen int) Report {
+	var kept []dna.Seq
+	for _, c := range contigs {
+		if c.Len() >= minLen {
+			kept = append(kept, c)
+		}
+	}
+	r := Report{NumContigs: len(kept)}
+	gc := 0
+	lens := make([]int, 0, len(kept))
+	for _, c := range kept {
+		r.TotalLength += c.Len()
+		gc += c.GC()
+		lens = append(lens, c.Len())
+		if c.Len() > r.LargestContig {
+			r.LargestContig = c.Len()
+		}
+	}
+	r.N50 = N50(lens)
+	r.N75 = nxx(lens, 75)
+	r.L50 = l50(lens)
+	if r.TotalLength > 0 {
+		r.GCPercent = 100 * float64(gc) / float64(r.TotalLength)
+	}
+	if ref.Len() == 0 {
+		return r
+	}
+
+	r.HasReference = true
+	r.NG50 = ngxx(lens, ref.Len(), 50)
+	ix := align.NewIndex(ref, align.Options{})
+	covered := make([]bool, ref.Len())
+	alignedTotal := 0
+	mismatches, indels := 0, 0
+	for _, c := range kept {
+		res := ix.Align(c)
+		if res.Breakpoints > 0 {
+			r.Misassemblies++
+			r.MisassembledLength += c.Len()
+		}
+		r.UnalignedLength += res.UnalignedLen
+		alignedTotal += res.AlignedLen
+		mismatches += res.Mismatches
+		indels += res.Indels
+		for _, b := range res.Blocks {
+			if b.Len() > r.LargestAlignment {
+				r.LargestAlignment = b.Len()
+			}
+			for p := b.RStart; p < b.REnd && p < len(covered); p++ {
+				if p >= 0 {
+					covered[p] = true
+				}
+			}
+		}
+	}
+	cov := 0
+	for _, c := range covered {
+		if c {
+			cov++
+		}
+	}
+	r.GenomeFraction = 100 * float64(cov) / float64(ref.Len())
+	if alignedTotal > 0 {
+		r.MismatchesPer100kbp = float64(mismatches) / float64(alignedTotal) * 100_000
+		r.IndelsPer100kbp = float64(indels) / float64(alignedTotal) * 100_000
+	}
+	return r
+}
+
+// N50 is the length of the contig at which the cumulative length, walking
+// contigs from longest to shortest, first reaches half the total.
+func N50(lens []int) int { return nxx(lens, 50) }
+
+// nxx generalizes N50 to any percentile of the total assembly length.
+func nxx(lens []int, pct int) int {
+	if len(lens) == 0 {
+		return 0
+	}
+	sorted := sortedDesc(lens)
+	total := 0
+	for _, l := range sorted {
+		total += l
+	}
+	return nAtTarget(sorted, (total*pct+99)/100)
+}
+
+// ngxx is the NG-variant: the target is a percentile of the reference
+// length rather than of the assembly length (QUAST's NG50). It returns 0
+// when the assembly never reaches the target.
+func ngxx(lens []int, refLen, pct int) int {
+	if len(lens) == 0 {
+		return 0
+	}
+	sorted := sortedDesc(lens)
+	target := (refLen*pct + 99) / 100
+	acc := 0
+	for _, l := range sorted {
+		acc += l
+		if acc >= target {
+			return l
+		}
+	}
+	return 0
+}
+
+// l50 is the smallest number of contigs whose lengths sum to half the
+// assembly.
+func l50(lens []int) int {
+	if len(lens) == 0 {
+		return 0
+	}
+	sorted := sortedDesc(lens)
+	total := 0
+	for _, l := range sorted {
+		total += l
+	}
+	half := (total + 1) / 2
+	acc := 0
+	for i, l := range sorted {
+		acc += l
+		if acc >= half {
+			return i + 1
+		}
+	}
+	return len(sorted)
+}
+
+func sortedDesc(lens []int) []int {
+	sorted := make([]int, len(lens))
+	copy(sorted, lens)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	return sorted
+}
+
+func nAtTarget(sortedDesc []int, target int) int {
+	acc := 0
+	for _, l := range sortedDesc {
+		acc += l
+		if acc >= target {
+			return l
+		}
+	}
+	return sortedDesc[len(sortedDesc)-1]
+}

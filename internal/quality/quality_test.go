@@ -1,0 +1,178 @@
+package quality
+
+import (
+	"testing"
+
+	"ppaassembler/internal/dna"
+	"ppaassembler/internal/genome"
+)
+
+func TestN50(t *testing.T) {
+	for _, tc := range []struct {
+		lens []int
+		want int
+	}{
+		{nil, 0},
+		{[]int{100}, 100},
+		{[]int{1, 1, 1, 1}, 1},
+		{[]int{80, 70, 50, 40, 30, 20}, 70}, // total 290, half 145: 80+70 >= 145
+		{[]int{10, 9, 8, 7, 6, 5}, 8},       // total 45, half 23: 10+9+8 >= 23
+	} {
+		if got := N50(tc.lens); got != tc.want {
+			t.Errorf("N50(%v) = %d, want %d", tc.lens, got, tc.want)
+		}
+	}
+}
+
+func TestNxxL50NG50(t *testing.T) {
+	lens := []int{80, 70, 50, 40, 30, 20} // total 290
+	if got := nxx(lens, 75); got != 40 {  // 3/4 of 290 = 218: 80+70+50+40=240
+		t.Errorf("N75 = %d, want 40", got)
+	}
+	if got := l50(lens); got != 2 { // 80+70 = 150 >= 145
+		t.Errorf("L50 = %d, want 2", got)
+	}
+	if got := l50(nil); got != 0 {
+		t.Errorf("L50(nil) = %d", got)
+	}
+	// NG50 against a 400 bp reference: target 200: 80+70+50=200 -> 50.
+	if got := ngxx(lens, 400, 50); got != 50 {
+		t.Errorf("NG50 = %d, want 50", got)
+	}
+	// Assembly too small for the reference target: 0.
+	if got := ngxx(lens, 10_000, 50); got != 0 {
+		t.Errorf("NG50 with huge reference = %d, want 0", got)
+	}
+}
+
+func TestEvaluateReportsNG50(t *testing.T) {
+	ref, err := genome.Generate(genome.Spec{Name: "r", Length: 4000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Evaluate([]dna.Seq{ref.Slice(0, 3000), ref.Slice(3000, 4000)}, ref, 500)
+	if r.NG50 != 3000 {
+		t.Errorf("NG50 = %d, want 3000", r.NG50)
+	}
+	if r.L50 != 1 {
+		t.Errorf("L50 = %d, want 1", r.L50)
+	}
+	if r.N75 != 3000 { // 75% of 4000 = 3000; the first contig reaches it
+		t.Errorf("N75 = %d, want 3000", r.N75)
+	}
+}
+
+func TestEvaluateReferenceFree(t *testing.T) {
+	contigs := []dna.Seq{
+		dna.ParseSeq(repeatStr("ACGT", 200)), // 800 bp, 50% GC
+		dna.ParseSeq(repeatStr("AT", 300)),   // 600 bp, 0% GC
+		dna.ParseSeq("ACGT"),                 // below MinContigLen
+	}
+	r := Evaluate(contigs, dna.Seq{}, MinContigLen)
+	if r.NumContigs != 2 {
+		t.Errorf("NumContigs = %d", r.NumContigs)
+	}
+	if r.TotalLength != 1400 {
+		t.Errorf("TotalLength = %d", r.TotalLength)
+	}
+	if r.N50 != 800 || r.LargestContig != 800 {
+		t.Errorf("N50 = %d, largest = %d", r.N50, r.LargestContig)
+	}
+	wantGC := 100 * 400.0 / 1400.0
+	if r.GCPercent < wantGC-0.01 || r.GCPercent > wantGC+0.01 {
+		t.Errorf("GC%% = %f, want %f", r.GCPercent, wantGC)
+	}
+	if r.HasReference {
+		t.Error("HasReference set without a reference")
+	}
+}
+
+func repeatStr(s string, n int) string {
+	out := make([]byte, 0, len(s)*n)
+	for i := 0; i < n; i++ {
+		out = append(out, s...)
+	}
+	return string(out)
+}
+
+func TestEvaluatePerfectAssembly(t *testing.T) {
+	ref, err := genome.Generate(genome.Spec{Name: "r", Length: 5000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Evaluate([]dna.Seq{ref}, ref, MinContigLen)
+	if !r.HasReference {
+		t.Fatal("reference ignored")
+	}
+	if r.GenomeFraction < 99.9 {
+		t.Errorf("GenomeFraction = %f", r.GenomeFraction)
+	}
+	if r.Misassemblies != 0 || r.MismatchesPer100kbp != 0 || r.IndelsPer100kbp != 0 {
+		t.Errorf("perfect assembly scored %+v", r)
+	}
+	if r.LargestAlignment != 5000 {
+		t.Errorf("LargestAlignment = %d", r.LargestAlignment)
+	}
+}
+
+func TestEvaluateFragmentedAssembly(t *testing.T) {
+	ref, err := genome.Generate(genome.Spec{Name: "r", Length: 6000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	contigs := []dna.Seq{
+		ref.Slice(0, 2000),
+		ref.Slice(2500, 4000).ReverseComplement(),
+	}
+	r := Evaluate(contigs, ref, MinContigLen)
+	wantFrac := 100 * 3500.0 / 6000.0
+	if r.GenomeFraction < wantFrac-1 || r.GenomeFraction > wantFrac+1 {
+		t.Errorf("GenomeFraction = %f, want ~%f", r.GenomeFraction, wantFrac)
+	}
+	if r.Misassemblies != 0 {
+		t.Errorf("Misassemblies = %d", r.Misassemblies)
+	}
+}
+
+func TestEvaluateMisassembledContig(t *testing.T) {
+	ref, err := genome.Generate(genome.Spec{Name: "r", Length: 6000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chimera := ref.Slice(0, 600).Concat(ref.Slice(4000, 4600))
+	r := Evaluate([]dna.Seq{chimera}, ref, MinContigLen)
+	if r.Misassemblies != 1 {
+		t.Errorf("Misassemblies = %d, want 1", r.Misassemblies)
+	}
+	if r.MisassembledLength != 1200 {
+		t.Errorf("MisassembledLength = %d", r.MisassembledLength)
+	}
+}
+
+func TestEvaluateUnalignedContig(t *testing.T) {
+	ref, _ := genome.Generate(genome.Spec{Name: "r", Length: 3000, Seed: 6})
+	foreign, _ := genome.Generate(genome.Spec{Name: "f", Length: 800, Seed: 99})
+	r := Evaluate([]dna.Seq{foreign}, ref, MinContigLen)
+	if r.UnalignedLength < 700 {
+		t.Errorf("UnalignedLength = %d, want ~800", r.UnalignedLength)
+	}
+}
+
+func TestEvaluateMismatchRate(t *testing.T) {
+	ref, _ := genome.Generate(genome.Spec{Name: "r", Length: 5000, Seed: 7})
+	// One substitution in an otherwise perfect contig of 2000 bases:
+	// 1/2000 aligned bases = 50 per 100 kbp.
+	var b dna.Builder
+	sl := ref.Slice(1000, 3000)
+	for i := 0; i < sl.Len(); i++ {
+		base := sl.At(i)
+		if i == 1000 {
+			base = (base + 1) & 3
+		}
+		b.Append(base)
+	}
+	r := Evaluate([]dna.Seq{b.Seq()}, ref, MinContigLen)
+	if r.MismatchesPer100kbp < 45 || r.MismatchesPer100kbp > 55 {
+		t.Errorf("MismatchesPer100kbp = %f, want ~50", r.MismatchesPer100kbp)
+	}
+}

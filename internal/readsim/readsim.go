@@ -1,0 +1,97 @@
+// Package readsim simulates short-read sequencing, standing in for the ART
+// simulator the paper uses to produce reads from reference sequences
+// (Table I: 100–155 bp reads at high coverage). It models the error
+// processes the assembler's error-correction operations target: base
+// substitutions (tips and bubbles in the DBG) and undetermined 'N' bases
+// (read splitting during DBG construction), with reads drawn uniformly from
+// both strands.
+package readsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ppaassembler/internal/dna"
+)
+
+// Profile configures the simulated sequencer.
+type Profile struct {
+	// ReadLen is the read length in bases.
+	ReadLen int
+	// Coverage is the mean per-base coverage (total read bases ≈
+	// Coverage × reference length).
+	Coverage float64
+	// SubRate is the per-base substitution error probability.
+	SubRate float64
+	// NRate is the per-base probability of an undetermined 'N'.
+	NRate float64
+	// Seed makes simulation deterministic.
+	Seed int64
+}
+
+// Validate checks the profile.
+func (p Profile) Validate() error {
+	if p.ReadLen <= 0 {
+		return fmt.Errorf("readsim: non-positive read length %d", p.ReadLen)
+	}
+	if p.Coverage <= 0 {
+		return fmt.Errorf("readsim: non-positive coverage %g", p.Coverage)
+	}
+	if p.SubRate < 0 || p.SubRate > 1 || p.NRate < 0 || p.NRate > 1 {
+		return fmt.Errorf("readsim: rates must be in [0,1]")
+	}
+	return nil
+}
+
+// Simulate draws reads from the reference until the target coverage is
+// reached. Each read samples a uniform start position and a uniform strand;
+// strand-2 reads are reverse complements, read in the 5'→3' direction
+// exactly as §III describes.
+func Simulate(ref dna.Seq, p Profile) ([]string, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if ref.Len() < p.ReadLen {
+		return nil, fmt.Errorf("readsim: reference (%d bp) shorter than read length %d", ref.Len(), p.ReadLen)
+	}
+	r := rand.New(rand.NewSource(p.Seed))
+	n := int(p.Coverage * float64(ref.Len()) / float64(p.ReadLen))
+	if n < 1 {
+		n = 1
+	}
+	reads := make([]string, 0, n)
+	buf := make([]byte, p.ReadLen)
+	for i := 0; i < n; i++ {
+		pos := r.Intn(ref.Len() - p.ReadLen + 1)
+		rc := r.Intn(2) == 1
+		for j := 0; j < p.ReadLen; j++ {
+			var b dna.Base
+			if rc {
+				b = ref.At(pos + p.ReadLen - 1 - j).Complement()
+			} else {
+				b = ref.At(pos + j)
+			}
+			switch {
+			case p.NRate > 0 && r.Float64() < p.NRate:
+				buf[j] = 'N'
+				continue
+			case p.SubRate > 0 && r.Float64() < p.SubRate:
+				b = (b + dna.Base(1+r.Intn(3))) & 3 // any different base
+			}
+			buf[j] = b.Byte()
+		}
+		reads = append(reads, string(buf))
+	}
+	return reads, nil
+}
+
+// PaperProfile returns the read profile used for the named paper dataset
+// stand-in (read lengths follow Table I's ordering: ~100 bp for the
+// chromosome datasets, longer for Bombus impatiens).
+func PaperProfile(dataset string, seed int64) Profile {
+	p := Profile{ReadLen: 100, Coverage: 15, SubRate: 0.005, NRate: 0.0005, Seed: seed}
+	if dataset == "sim-BI" {
+		p.ReadLen = 124
+	}
+	return p
+}

@@ -1,0 +1,140 @@
+package readsim
+
+import (
+	"strings"
+	"testing"
+
+	"ppaassembler/internal/dna"
+	"ppaassembler/internal/genome"
+)
+
+func ref(t *testing.T, n int) dna.Seq {
+	t.Helper()
+	g, err := genome.Generate(genome.Spec{Name: "t", Length: n, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSimulateCoverageAndLength(t *testing.T) {
+	g := ref(t, 10000)
+	reads, err := Simulate(g, Profile{ReadLen: 100, Coverage: 12, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 12 * 10000 / 100
+	if len(reads) != want {
+		t.Errorf("reads = %d, want %d", len(reads), want)
+	}
+	for _, r := range reads {
+		if len(r) != 100 {
+			t.Fatalf("read length %d", len(r))
+		}
+	}
+}
+
+func TestSimulateErrorFreeReadsAreSubstrings(t *testing.T) {
+	g := ref(t, 4000)
+	reads, err := Simulate(g, Profile{ReadLen: 80, Coverage: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd := g.String()
+	rc := g.ReverseComplement().String()
+	nRC := 0
+	for _, r := range reads {
+		inF := strings.Contains(fwd, r)
+		inR := strings.Contains(rc, r)
+		if !inF && !inR {
+			t.Fatalf("error-free read %q not found on either strand", r)
+		}
+		if inR && !inF {
+			nRC++
+		}
+	}
+	if nRC == 0 {
+		t.Error("no reads from strand 2; both strands must be sampled")
+	}
+}
+
+func TestSimulateSubstitutionRate(t *testing.T) {
+	g := ref(t, 20000)
+	p := Profile{ReadLen: 100, Coverage: 10, SubRate: 0.01, Seed: 3}
+	reads, err := Simulate(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd := g.String()
+	rc := g.ReverseComplement().String()
+	errs, total := 0, 0
+	for _, r := range reads {
+		total += len(r)
+		if strings.Contains(fwd, r) || strings.Contains(rc, r) {
+			continue
+		}
+		errs++ // at least one error in this read
+	}
+	// With 1% per-base errors a 100 bp read is erroneous with prob
+	// ~1-0.99^100 ≈ 63%. Accept a broad band.
+	frac := float64(errs) / float64(len(reads))
+	if frac < 0.40 || frac > 0.85 {
+		t.Errorf("erroneous-read fraction = %.2f, want ~0.63", frac)
+	}
+	_ = total
+}
+
+func TestSimulateNRate(t *testing.T) {
+	g := ref(t, 5000)
+	reads, err := Simulate(g, Profile{ReadLen: 100, Coverage: 10, NRate: 0.02, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, r := range reads {
+		n += strings.Count(r, "N")
+	}
+	if n == 0 {
+		t.Error("NRate produced no N bases")
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	g := ref(t, 3000)
+	p := Profile{ReadLen: 50, Coverage: 3, SubRate: 0.01, Seed: 9}
+	a, _ := Simulate(g, p)
+	b, _ := Simulate(g, p)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different reads")
+		}
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	g := ref(t, 100)
+	if _, err := Simulate(g, Profile{ReadLen: 0, Coverage: 1}); err == nil {
+		t.Error("zero read length accepted")
+	}
+	if _, err := Simulate(g, Profile{ReadLen: 50, Coverage: 0}); err == nil {
+		t.Error("zero coverage accepted")
+	}
+	if _, err := Simulate(g, Profile{ReadLen: 200, Coverage: 1}); err == nil {
+		t.Error("read longer than reference accepted")
+	}
+	if _, err := Simulate(g, Profile{ReadLen: 50, Coverage: 1, SubRate: 2}); err == nil {
+		t.Error("rate > 1 accepted")
+	}
+}
+
+func TestPaperProfile(t *testing.T) {
+	if PaperProfile("sim-HC2", 1).ReadLen != 100 {
+		t.Error("sim-HC2 read length")
+	}
+	if PaperProfile("sim-BI", 1).ReadLen != 124 {
+		t.Error("sim-BI read length")
+	}
+}

@@ -1,0 +1,131 @@
+// Package shardio is a minimal sharded line store standing in for HDFS:
+// each logical worker owns one part-file (part-00000, part-00001, ...), as
+// Hadoop would place blocks. Operations may load their input from a store
+// or — the point of the paper's in-memory chaining extension — skip it
+// entirely and hand shards between jobs in memory. The store exists so the
+// CLI tools and examples can demonstrate both paths.
+package shardio
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Store is a directory of part-files.
+type Store struct {
+	dir string
+}
+
+// Open returns a store rooted at dir, creating the directory if needed.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("shardio: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) partPath(i int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("part-%05d", i))
+}
+
+// WriteShards writes one part-file per shard, replacing existing parts.
+func (s *Store) WriteShards(shards [][]string) error {
+	if err := s.removeParts(); err != nil {
+		return err
+	}
+	for i, shard := range shards {
+		f, err := os.Create(s.partPath(i))
+		if err != nil {
+			return fmt.Errorf("shardio: %w", err)
+		}
+		w := bufio.NewWriter(f)
+		for _, line := range shard {
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				f.Close()
+				return fmt.Errorf("shardio: %w", err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return fmt.Errorf("shardio: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("shardio: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadShards loads every part-file in order. If workers > 0 and differs
+// from the stored part count, lines are redistributed round-robin across
+// the requested number of shards (as a re-replicated HDFS read would).
+func (s *Store) ReadShards(workers int) ([][]string, error) {
+	parts, err := s.partFiles()
+	if err != nil {
+		return nil, err
+	}
+	var all [][]string
+	for _, p := range parts {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, fmt.Errorf("shardio: %w", err)
+		}
+		var lines []string
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+		for sc.Scan() {
+			lines = append(lines, sc.Text())
+		}
+		if err := sc.Err(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("shardio: %w", err)
+		}
+		f.Close()
+		all = append(all, lines)
+	}
+	if workers <= 0 || workers == len(all) {
+		return all, nil
+	}
+	out := make([][]string, workers)
+	i := 0
+	for _, shard := range all {
+		for _, line := range shard {
+			out[i%workers] = append(out[i%workers], line)
+			i++
+		}
+	}
+	return out, nil
+}
+
+func (s *Store) partFiles() ([]string, error) {
+	var parts []string
+	for i := 0; ; i++ {
+		p := s.partPath(i)
+		if _, err := os.Stat(p); err != nil {
+			if os.IsNotExist(err) {
+				break
+			}
+			return nil, fmt.Errorf("shardio: %w", err)
+		}
+		parts = append(parts, p)
+	}
+	return parts, nil
+}
+
+func (s *Store) removeParts() error {
+	parts, err := s.partFiles()
+	if err != nil {
+		return err
+	}
+	for _, p := range parts {
+		if err := os.Remove(p); err != nil {
+			return fmt.Errorf("shardio: %w", err)
+		}
+	}
+	return nil
+}

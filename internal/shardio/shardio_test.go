@@ -1,0 +1,97 @@
+package shardio
+
+import (
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	s, err := Open(filepath.Join(t.TempDir(), "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := [][]string{{"a", "b"}, {"c"}, {"d", "e", "f"}}
+	if err := s.WriteShards(shards); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadShards(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("shards = %d", len(got))
+	}
+	for i := range shards {
+		if len(got[i]) != len(shards[i]) {
+			t.Fatalf("shard %d length %d", i, len(got[i]))
+		}
+		for j := range shards[i] {
+			if got[i][j] != shards[i][j] {
+				t.Errorf("shard %d line %d = %q", i, j, got[i][j])
+			}
+		}
+	}
+}
+
+func TestReadShardsRedistributes(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteShards([][]string{{"1", "2", "3", "4", "5"}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadShards(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("shards = %d", len(got))
+	}
+	var all []string
+	for _, sh := range got {
+		all = append(all, sh...)
+	}
+	sort.Strings(all)
+	want := []string{"1", "2", "3", "4", "5"}
+	for i := range want {
+		if all[i] != want[i] {
+			t.Errorf("line %d = %q", i, all[i])
+		}
+	}
+}
+
+func TestWriteReplacesOldParts(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteShards([][]string{{"a"}, {"b"}, {"c"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteShards([][]string{{"x"}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadShards(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0][0] != "x" {
+		t.Errorf("stale parts survived: %v", got)
+	}
+}
+
+func TestEmptyStore(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadShards(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty store returned %v", got)
+	}
+}
