@@ -19,6 +19,7 @@ import (
 	"ppaassembler/internal/pregel"
 	"ppaassembler/internal/quality"
 	"ppaassembler/internal/readsim"
+	"ppaassembler/internal/scaffold"
 )
 
 // benchScale shrinks the DESIGN.md dataset sizes for benchmarking.
@@ -302,6 +303,62 @@ func BenchmarkDBGConstruction(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkScaffolding measures the paired-end scaffolding stage ⑦ end to
+// end on a repeat-bearing genome: assembly fragments at the planted repeats
+// and the scaffolder re-joins the flanks, reporting scaffold N50 alongside
+// the plain contig N50 and the stage's simulated cluster time.
+func BenchmarkScaffolding(b *testing.B) {
+	ref, err := genome.Generate(genome.Spec{
+		Name: "bench-scaffold", Length: 60_000, Repeats: 4, RepeatLen: 300, Seed: 17,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	simPairs, err := readsim.SimulatePairs(ref, readsim.PairProfile{
+		Profile:    readsim.Profile{ReadLen: 100, Coverage: 25, Seed: 18},
+		InsertMean: 700, InsertSD: 60,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs := make([]scaffold.Pair, len(simPairs))
+	for i, p := range simPairs {
+		pairs[i] = scaffold.Pair{R1: p.R1, R2: p.R2}
+	}
+	reads := readsim.Interleave(simPairs)
+	b.ResetTimer()
+	var contigN50, scafN50, sim float64
+	for i := 0; i < b.N; i++ {
+		opt := core.DefaultOptions(4)
+		opt.K = experiments.K
+		res, err := core.Assemble(pregel.ShardSlice(reads, 4), opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var clens []int
+		for _, c := range res.Contigs {
+			clens = append(clens, c.Len())
+		}
+		contigN50 += float64(quality.N50(clens))
+		sres, contigs, err := core.ScaffoldContigs(res, opt, pairs, scaffold.Options{
+			InsertMean: 700, InsertSD: 60,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var slens []int
+		for _, s := range sres.Scaffolds {
+			slens = append(slens, s.Span(contigs))
+		}
+		scafN50 += float64(quality.N50(slens))
+		sim += sres.SimSeconds
+	}
+	n := float64(b.N)
+	b.ReportMetric(contigN50/n, "contig-N50")
+	b.ReportMetric(scafN50/n, "scaffold-N50")
+	b.ReportMetric(sim/n, "scaffold-sim-sec")
 }
 
 // BenchmarkReadSimulation measures the ART-substitute throughput.

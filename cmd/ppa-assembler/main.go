@@ -1,87 +1,133 @@
 // Command ppa-assembler runs the full PPA-assembler workflow ①②③④⑤⑥②③ over
 // a FASTQ (or plain-text, one read per line) input and writes the assembled
-// contigs as FASTA.
+// contigs as FASTA. With -scaffold it appends the paired-end scaffolding
+// stage ⑦: the input is then read as interleaved pairs (R1, R2, R1, R2, ...,
+// as written by readsim -paired), and ordered, oriented, N-gapped scaffolds
+// are written alongside the contigs.
 //
 // Usage:
 //
 //	ppa-assembler -in reads.fastq -out contigs.fasta [flags]
+//	ppa-assembler -in pairs.fastq -out contigs.fasta -scaffold scaffolds.fasta [-insert 500]
 //
 // Flags mirror the paper's parameters: -k (k-mer length), -theta
 // ((k+1)-mer coverage threshold), -tip (tip-length threshold, paper: 80),
 // -editdist (bubble edit-distance threshold, paper: 5), -workers (logical
-// Pregel workers), -labeler (lr or sv), -rounds (1 or 2).
+// Pregel workers), -labeler (lr or sv), -rounds (1 or 2). FASTQ/FASTA
+// inputs may be gzip-compressed (.fastq.gz, .fa.gz, ...).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"path/filepath"
 	"strings"
 
 	"ppaassembler/internal/core"
 	"ppaassembler/internal/fastx"
 	"ppaassembler/internal/pregel"
+	"ppaassembler/internal/scaffold"
 	"ppaassembler/internal/shardio"
 )
 
+// cliOpts carries every flag so run stays testable.
+type cliOpts struct {
+	in, out  string
+	k        int
+	theta    uint32
+	tip      int
+	editDist int
+	workers  int
+	labeler  string
+	rounds   int
+	minLen   int
+	gfa      string
+	quiet    bool
+
+	scaffoldOut string
+	insert      float64
+	insertSD    float64
+	minSupport  int
+	scafMinLen  int
+}
+
 func main() {
-	var (
-		in       = flag.String("in", "", "input reads: FASTQ/FASTA file, one-read-per-line text file, or a shardio store directory")
-		out      = flag.String("out", "contigs.fasta", "output FASTA path (\"-\" for stdout)")
-		k        = flag.Int("k", 21, "k-mer length (odd, <= 31)")
-		theta    = flag.Uint("theta", 1, "drop (k+1)-mers with coverage <= theta")
-		tip      = flag.Int("tip", 80, "tip-length threshold")
-		editDist = flag.Int("editdist", 5, "bubble edit-distance threshold")
-		workers  = flag.Int("workers", 4, "logical Pregel workers")
-		labeler  = flag.String("labeler", "lr", "contig labeling algorithm: lr or sv")
-		rounds   = flag.Int("rounds", 2, "labeling+merging rounds (1 = no error correction)")
-		minLen   = flag.Int("minlen", 0, "omit contigs shorter than this from the output")
-		gfa      = flag.String("gfa", "", "also write the assembly graph in GFA v1 to this path")
-		quiet    = flag.Bool("q", false, "suppress the run summary")
-	)
+	var o cliOpts
+	var theta uint
+	flag.StringVar(&o.in, "in", "", "input reads: FASTQ/FASTA file (optionally .gz), one-read-per-line text file, or a shardio store directory")
+	flag.StringVar(&o.out, "out", "contigs.fasta", "output FASTA path (\"-\" for stdout)")
+	flag.IntVar(&o.k, "k", 21, "k-mer length (odd, <= 31)")
+	flag.UintVar(&theta, "theta", 1, "drop (k+1)-mers with coverage <= theta")
+	flag.IntVar(&o.tip, "tip", 80, "tip-length threshold")
+	flag.IntVar(&o.editDist, "editdist", 5, "bubble edit-distance threshold")
+	flag.IntVar(&o.workers, "workers", 4, "logical Pregel workers")
+	flag.StringVar(&o.labeler, "labeler", "lr", "contig labeling algorithm: lr or sv")
+	flag.IntVar(&o.rounds, "rounds", 2, "labeling+merging rounds (1 = no error correction)")
+	flag.IntVar(&o.minLen, "minlen", 0, "omit contigs shorter than this from the output")
+	flag.StringVar(&o.gfa, "gfa", "", "also write the assembly graph in GFA v1 to this path")
+	flag.BoolVar(&o.quiet, "q", false, "suppress the run summary")
+	flag.StringVar(&o.scaffoldOut, "scaffold", "", "scaffold the contigs with the (interleaved paired) input reads and write scaffold FASTA here")
+	flag.Float64Var(&o.insert, "insert", 0, "paired-end mean insert size (0 = estimate from the data)")
+	flag.Float64Var(&o.insertSD, "insertsd", 0, "insert-size standard deviation (0 = estimate)")
+	flag.IntVar(&o.minSupport, "minsupport", 3, "minimum read pairs supporting a scaffold link")
+	flag.IntVar(&o.scafMinLen, "scafminlen", 500, "exclude shorter contigs from scaffold linking")
 	flag.Parse()
-	if *in == "" {
+	o.theta = uint32(theta)
+	if o.in == "" {
 		fmt.Fprintln(os.Stderr, "ppa-assembler: -in is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*in, *out, *k, uint32(*theta), *tip, *editDist, *workers, *labeler, *rounds, *minLen, *gfa, *quiet); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "ppa-assembler:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out string, k int, theta uint32, tip, editDist, workers int, labeler string, rounds, minLen int, gfa string, quiet bool) error {
-	shards, err := loadReads(in, workers)
-	if err != nil {
-		return err
+func run(o cliOpts) error {
+	// Validate flag combinations before any work is done or output written.
+	if o.gfa != "" && o.rounds != 2 {
+		return fmt.Errorf("-gfa requires -rounds 2 (the graph is built during error correction)")
 	}
 	opt := core.Options{
-		K:              k,
-		Theta:          theta,
-		TipLen:         tip,
-		BubbleEditDist: editDist,
-		Workers:        workers,
-		Rounds:         rounds,
-		KeepGraph:      gfa != "",
+		K:              o.k,
+		Theta:          o.theta,
+		TipLen:         o.tip,
+		BubbleEditDist: o.editDist,
+		Workers:        o.workers,
+		Rounds:         o.rounds,
+		KeepGraph:      o.gfa != "",
 	}
-	switch strings.ToLower(labeler) {
+	switch strings.ToLower(o.labeler) {
 	case "lr":
 		opt.Labeler = core.LabelerLR
 	case "sv":
 		opt.Labeler = core.LabelerSV
 	default:
-		return fmt.Errorf("unknown labeler %q (want lr or sv)", labeler)
+		return fmt.Errorf("unknown labeler %q (want lr or sv)", o.labeler)
 	}
-	res, err := core.Assemble(shards, opt)
+
+	reads, err := loadReadList(o.in)
+	if err != nil {
+		return err
+	}
+	var pairs []scaffold.Pair
+	if o.scaffoldOut != "" {
+		// Pair up front so an odd read count fails before assembly.
+		if pairs, err = scaffold.PairUp(reads); err != nil {
+			return err
+		}
+	}
+
+	res, err := core.Assemble(pregel.ShardSlice(reads, o.workers), opt)
 	if err != nil {
 		return err
 	}
 
 	var recs []fastx.Record
 	for i, c := range res.Contigs {
-		if c.Len() < minLen {
+		if c.Len() < o.minLen {
 			continue
 		}
 		recs = append(recs, fastx.Record{
@@ -90,8 +136,8 @@ func run(in, out string, k int, theta uint32, tip, editDist, workers int, labele
 		})
 	}
 	w := os.Stdout
-	if out != "-" {
-		f, err := os.Create(out)
+	if o.out != "-" {
+		f, err := os.Create(o.out)
 		if err != nil {
 			return err
 		}
@@ -101,35 +147,74 @@ func run(in, out string, k int, theta uint32, tip, editDist, workers int, labele
 	if err := fastx.WriteFasta(w, recs, 70); err != nil {
 		return err
 	}
-	if gfa != "" {
-		if res.FinalGraph == nil {
-			return fmt.Errorf("-gfa requires -rounds 2 (the graph is built during error correction)")
-		}
-		gf, err := os.Create(gfa)
+	if o.gfa != "" {
+		gf, err := os.Create(o.gfa)
 		if err != nil {
 			return err
 		}
 		defer gf.Close()
-		if err := core.WriteGFA(gf, res.FinalGraph, k); err != nil {
+		if err := core.WriteGFA(gf, res.FinalGraph, o.k); err != nil {
 			return err
 		}
 	}
-	if !quiet {
+	// Scaffolding runs after the contig and GFA outputs are on disk, so a
+	// scaffolding failure (e.g. no pairs to estimate the insert size from)
+	// never discards the finished assembly.
+	var sres *scaffold.Result
+	if o.scaffoldOut != "" {
+		var scontigs []scaffold.Contig
+		sres, scontigs, err = core.ScaffoldContigs(res, opt, pairs, scaffold.Options{
+			InsertMean: o.insert, InsertSD: o.insertSD,
+			MinSupport: o.minSupport, MinContigLen: o.scafMinLen,
+		})
+		if err != nil {
+			return err
+		}
+		sf, err := os.Create(o.scaffoldOut)
+		if err != nil {
+			return err
+		}
+		defer sf.Close()
+		if err := fastx.WriteFasta(sf, scaffold.Records(scontigs, sres.Scaffolds), 70); err != nil {
+			return err
+		}
+	}
+	if !o.quiet {
 		fmt.Fprintf(os.Stderr, "k-mer vertices:    %d\n", res.KmerVertices)
-		fmt.Fprintf(os.Stderr, "(k+1)-mers kept:   %d / %d (theta=%d)\n", res.K1Kept, res.K1Distinct, theta)
+		fmt.Fprintf(os.Stderr, "(k+1)-mers kept:   %d / %d (theta=%d)\n", res.K1Kept, res.K1Distinct, o.theta)
 		fmt.Fprintf(os.Stderr, "bubbles pruned:    %d\n", res.BubblesPruned)
 		fmt.Fprintf(os.Stderr, "tip vertices gone: %d (+%d+%d dropped at merge)\n",
 			res.TipVerticesRemoved, res.TipsDroppedAtMerge[0], res.TipsDroppedAtMerge[1])
 		fmt.Fprintf(os.Stderr, "contigs written:   %d\n", len(recs))
+		if sres != nil {
+			multi, largest := 0, 0
+			for _, s := range sres.Scaffolds {
+				if s.Len() > 1 {
+					multi++
+				}
+				if s.Len() > largest {
+					largest = s.Len()
+				}
+			}
+			fmt.Fprintf(os.Stderr, "scaffolds written: %d (%d multi-contig, largest chain %d contigs)\n",
+				len(sres.Scaffolds), multi, largest)
+			fmt.Fprintf(os.Stderr, "scaffold links:    %d bundles, %d kept (insert %.0f±%.0f, %d/%d pairs placed)\n",
+				sres.LinkBundles, sres.LinksKept, sres.InsertMean, sres.InsertSD,
+				sres.PairsPlaced, sres.PairsTotal)
+			fmt.Fprintf(os.Stderr, "scaffold jobs:     %d supersteps, %d messages, %.2fs simulated\n",
+				sres.Stats.Supersteps, sres.Stats.Messages, sres.SimSeconds)
+		}
 		fmt.Fprintf(os.Stderr, "simulated time:    %.2fs (%d workers), wall %.2fs\n",
-			res.SimSeconds, workers, res.WallSeconds)
+			res.SimSeconds, o.workers, res.WallSeconds)
 	}
 	return nil
 }
 
-// loadReads accepts a FASTQ/FASTA file (by extension), a shardio store
-// directory, or a plain one-read-per-line file.
-func loadReads(path string, workers int) ([][]string, error) {
+// loadReadList accepts a FASTQ/FASTA file (by extension, optionally
+// gzip-compressed), a shardio store directory, or a plain one-read-per-line
+// file, and returns the reads in their on-disk order (so interleaved pairs
+// stay adjacent).
+func loadReadList(path string) ([]string, error) {
 	st, err := os.Stat(path)
 	if err != nil {
 		return nil, err
@@ -139,38 +224,42 @@ func loadReads(path string, workers int) ([][]string, error) {
 		if err != nil {
 			return nil, err
 		}
-		return store.ReadShards(workers)
+		shards, err := store.ReadShards(0)
+		if err != nil {
+			return nil, err
+		}
+		return pregel.Flatten(shards), nil
 	}
-	f, err := os.Open(path)
+	f, err := fastx.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	var reads []string
-	switch strings.ToLower(filepath.Ext(path)) {
+	switch fastx.BaseExt(path) {
 	case ".fastq", ".fq":
 		recs, err := fastx.ReadFastq(f)
 		if err != nil {
 			return nil, err
 		}
-		reads = fastx.Seqs(recs)
+		return fastx.Seqs(recs), nil
 	case ".fasta", ".fa":
 		recs, err := fastx.ReadFasta(f)
 		if err != nil {
 			return nil, err
 		}
-		reads = fastx.Seqs(recs)
+		return fastx.Seqs(recs), nil
 	default:
-		data, err := os.ReadFile(path)
+		data, err := io.ReadAll(f)
 		if err != nil {
 			return nil, err
 		}
+		var reads []string
 		for _, line := range strings.Split(string(data), "\n") {
 			line = strings.TrimSpace(line)
 			if line != "" {
 				reads = append(reads, line)
 			}
 		}
+		return reads, nil
 	}
-	return pregel.ShardSlice(reads, workers), nil
 }

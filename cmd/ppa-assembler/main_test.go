@@ -1,6 +1,7 @@
 package main
 
 import (
+	"compress/gzip"
 	"os"
 	"path/filepath"
 	"strings"
@@ -8,6 +9,7 @@ import (
 
 	"ppaassembler/internal/fastx"
 	"ppaassembler/internal/genome"
+	"ppaassembler/internal/quality"
 	"ppaassembler/internal/readsim"
 )
 
@@ -29,6 +31,14 @@ func writeReadsFastq(t *testing.T, dir string, reads []string) string {
 	return path
 }
 
+func defaultOpts(in, out string) cliOpts {
+	return cliOpts{
+		in: in, out: out, k: 15, theta: 1, tip: 80, editDist: 5,
+		workers: 3, labeler: "lr", rounds: 2, quiet: true,
+		insert: 0, insertSD: 0, minSupport: 3, scafMinLen: 500,
+	}
+}
+
 func TestEndToEndCLI(t *testing.T) {
 	dir := t.TempDir()
 	ref, err := genome.Generate(genome.Spec{Name: "t", Length: 20_000, Seed: 5})
@@ -41,8 +51,9 @@ func TestEndToEndCLI(t *testing.T) {
 	}
 	in := writeReadsFastq(t, dir, reads)
 	out := filepath.Join(dir, "contigs.fasta")
-	gfaPath := filepath.Join(dir, "graph.gfa")
-	if err := run(in, out, 15, 1, 80, 5, 3, "lr", 2, 0, gfaPath, true); err != nil {
+	o := defaultOpts(in, out)
+	o.gfa = filepath.Join(dir, "graph.gfa")
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -68,7 +79,7 @@ func TestEndToEndCLI(t *testing.T) {
 	if total < 15_000 {
 		t.Errorf("contigs cover %d of 20000 bases", total)
 	}
-	gfaData, err := os.ReadFile(gfaPath)
+	gfaData, err := os.ReadFile(o.gfa)
 	if err != nil {
 		t.Fatalf("GFA not written: %v", err)
 	}
@@ -77,11 +88,145 @@ func TestEndToEndCLI(t *testing.T) {
 	}
 }
 
+// TestEndToEndScaffolding is the subsystem acceptance scenario: simulate
+// pairs from a repeat-bearing genome, assemble (contigs break at the
+// repeats), scaffold, and check that at least one multi-contig scaffold is
+// produced with correctly sized gaps and zero misjoins against the known
+// reference.
+func TestEndToEndScaffolding(t *testing.T) {
+	dir := t.TempDir()
+	ref, err := genome.Generate(genome.Spec{
+		Name: "t", Length: 40_000, Repeats: 3, RepeatLen: 300, Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const insertMean, insertSD = 700.0, 60.0
+	pairs, err := readsim.SimulatePairs(ref, readsim.PairProfile{
+		Profile:    readsim.Profile{ReadLen: 100, Coverage: 25, SubRate: 0.001, Seed: 78},
+		InsertMean: insertMean, InsertSD: insertSD,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := writeReadsFastq(t, dir, readsim.Interleave(pairs))
+	out := filepath.Join(dir, "contigs.fasta")
+	scafOut := filepath.Join(dir, "scaffolds.fasta")
+	o := defaultOpts(in, out)
+	o.k = 21
+	o.scaffoldOut = scafOut
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+
+	sf, err := os.Open(scafOut)
+	if err != nil {
+		t.Fatalf("scaffold FASTA not written: %v", err)
+	}
+	defer sf.Close()
+	recs, err := fastx.ReadFasta(sf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no scaffolds written")
+	}
+	var scafs []quality.ScaffoldParts
+	maxParts := 0
+	for _, r := range recs {
+		p := quality.ParseScaffold(r.Seq)
+		scafs = append(scafs, p)
+		if len(p.Contigs) > maxParts {
+			maxParts = len(p.Contigs)
+		}
+	}
+	if maxParts < 2 {
+		t.Fatal("no multi-contig scaffold produced")
+	}
+	rep := quality.EvaluateScaffolds(scafs, ref, 0, int(2*insertSD))
+	if rep.Misjoins != 0 {
+		t.Errorf("misjoins = %d, want 0", rep.Misjoins)
+	}
+	if rep.Joins == 0 {
+		t.Error("no evaluated joins")
+	}
+	if rep.GapsOutOfTolerance != 0 {
+		t.Errorf("%d of %d gaps deviate more than 2 insert s.d. (mean abs error %.0f)",
+			rep.GapsOutOfTolerance, rep.GapsEvaluated, rep.MeanAbsGapError)
+	}
+}
+
 func TestCLIRejectsBadLabeler(t *testing.T) {
 	dir := t.TempDir()
 	in := writeReadsFastq(t, dir, []string{"ACGTACGTACGTACGT"})
-	if err := run(in, "-", 15, 1, 80, 5, 2, "bogus", 2, 0, "", true); err == nil {
+	o := defaultOpts(in, "-")
+	o.labeler = "bogus"
+	if err := run(o); err == nil {
 		t.Fatal("bogus labeler accepted")
+	}
+}
+
+// TestCLIValidatesGFARoundsUpFront checks that the -gfa / -rounds conflict
+// is reported before assembly runs or any output file is created.
+func TestCLIValidatesGFARoundsUpFront(t *testing.T) {
+	dir := t.TempDir()
+	in := writeReadsFastq(t, dir, []string{"ACGTACGTACGTACGT"})
+	out := filepath.Join(dir, "contigs.fasta")
+	o := defaultOpts(in, out)
+	o.rounds = 1
+	o.gfa = filepath.Join(dir, "graph.gfa")
+	if err := run(o); err == nil {
+		t.Fatal("-gfa with -rounds 1 accepted")
+	}
+	if _, err := os.Stat(out); !os.IsNotExist(err) {
+		t.Error("contigs file was written despite the flag conflict")
+	}
+}
+
+func TestCLIRejectsOddPairedInput(t *testing.T) {
+	dir := t.TempDir()
+	in := writeReadsFastq(t, dir, []string{"ACGTACGTACGTACGT", "TTACGGACGTACGTAC", "GGACGTACGTACGTAC"})
+	out := filepath.Join(dir, "contigs.fasta")
+	o := defaultOpts(in, out)
+	o.scaffoldOut = filepath.Join(dir, "scaffolds.fasta")
+	if err := run(o); err == nil {
+		t.Fatal("odd interleaved read count accepted with -scaffold")
+	}
+	if _, err := os.Stat(out); !os.IsNotExist(err) {
+		t.Error("contigs file was written despite the pairing error")
+	}
+}
+
+// TestScaffoldFailureKeepsContigs: when scaffolding fails after a
+// successful assembly (here: every contig is below -scafminlen, so there is
+// nothing to estimate the insert size from), the contig output must already
+// be on disk.
+func TestScaffoldFailureKeepsContigs(t *testing.T) {
+	dir := t.TempDir()
+	ref, err := genome.Generate(genome.Spec{Name: "t", Length: 15_000, Seed: 55})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := readsim.SimulatePairs(ref, readsim.PairProfile{
+		Profile:    readsim.Profile{ReadLen: 80, Coverage: 15, Seed: 56},
+		InsertMean: 400, InsertSD: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := writeReadsFastq(t, dir, readsim.Interleave(pairs))
+	out := filepath.Join(dir, "contigs.fasta")
+	o := defaultOpts(in, out)
+	o.scaffoldOut = filepath.Join(dir, "scaffolds.fasta")
+	o.scafMinLen = 1 << 30 // exclude everything: insert estimation must fail
+	if err := run(o); err == nil {
+		t.Fatal("scaffolding with no linkable contigs succeeded")
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Errorf("contigs output lost on scaffolding failure: %v", err)
+	}
+	if _, err := os.Stat(o.scaffoldOut); !os.IsNotExist(err) {
+		t.Error("scaffold file written despite failure")
 	}
 }
 
@@ -91,16 +236,12 @@ func TestLoadReadsPlainText(t *testing.T) {
 	if err := os.WriteFile(path, []byte("ACGT\n\nTTGCA\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	shards, err := loadReads(path, 2)
+	reads, err := loadReadList(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var all []string
-	for _, s := range shards {
-		all = append(all, s...)
-	}
-	if len(all) != 2 {
-		t.Errorf("reads = %v", all)
+	if len(reads) != 2 {
+		t.Errorf("reads = %v", reads)
 	}
 }
 
@@ -110,17 +251,43 @@ func TestLoadReadsFasta(t *testing.T) {
 	if err := os.WriteFile(path, []byte(">a\nACGT\n>b\nGGTT\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	shards, err := loadReads(path, 1)
+	reads, err := loadReadList(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(shards[0]) != 2 {
-		t.Errorf("reads = %v", shards)
+	if len(reads) != 2 {
+		t.Errorf("reads = %v", reads)
+	}
+}
+
+func TestLoadReadsGzippedFastq(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "reads.fastq.gz")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gz := gzip.NewWriter(f)
+	if err := fastx.WriteFastq(gz, []fastx.Record{{Name: "a", Seq: "ACGTACGT"}, {Name: "b", Seq: "TTGGCCAA"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reads, err := loadReadList(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reads) != 2 || reads[0] != "ACGTACGT" || reads[1] != "TTGGCCAA" {
+		t.Errorf("reads = %v", reads)
 	}
 }
 
 func TestLoadReadsMissingFile(t *testing.T) {
-	if _, err := loadReads(filepath.Join(t.TempDir(), "nope.fastq"), 1); err == nil {
+	if _, err := loadReadList(filepath.Join(t.TempDir(), "nope.fastq")); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }

@@ -1,11 +1,15 @@
 // Command quastlite evaluates assembled contigs in the style of QUAST [7]
 // (the tool the paper uses for Tables IV and V): contig counts, N50, GC%,
 // and — when a reference FASTA is supplied — genome fraction,
-// misassemblies, unaligned length and mismatch/indel rates.
+// misassemblies, unaligned length and mismatch/indel rates. With
+// -scaffolds it additionally evaluates an N-gapped scaffold FASTA (as
+// written by ppa-assembler -scaffold): scaffold N50, join/misjoin counts
+// and gap-size accuracy against the reference.
 //
 // Usage:
 //
 //	quastlite -contigs contigs.fasta [-ref reference.fasta]
+//	quastlite -contigs contigs.fasta -scaffolds scaffolds.fasta -ref reference.fasta [-gaptol 120]
 package main
 
 import (
@@ -20,9 +24,11 @@ import (
 
 func main() {
 	var (
-		contigsPath = flag.String("contigs", "", "assembled contigs FASTA (required)")
-		refPath     = flag.String("ref", "", "reference FASTA (optional)")
-		minLen      = flag.Int("minlen", quality.MinContigLen, "ignore contigs shorter than this")
+		contigsPath   = flag.String("contigs", "", "assembled contigs FASTA (required)")
+		refPath       = flag.String("ref", "", "reference FASTA (optional)")
+		minLen        = flag.Int("minlen", quality.MinContigLen, "ignore contigs shorter than this")
+		scaffoldsPath = flag.String("scaffolds", "", "N-gapped scaffold FASTA to evaluate (optional)")
+		gapTol        = flag.Int("gaptol", 100, "gap-size tolerance in bases for scaffold evaluation")
 	)
 	flag.Parse()
 	if *contigsPath == "" {
@@ -30,13 +36,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*contigsPath, *refPath, *minLen); err != nil {
+	if err := run(*contigsPath, *refPath, *scaffoldsPath, *minLen, *gapTol); err != nil {
 		fmt.Fprintln(os.Stderr, "quastlite:", err)
 		os.Exit(1)
 	}
 }
 
-func run(contigsPath, refPath string, minLen int) error {
+func run(contigsPath, refPath, scaffoldsPath string, minLen, gapTol int) error {
 	contigs, err := readSeqs(contigsPath)
 	if err != nil {
 		return err
@@ -70,11 +76,48 @@ func run(contigsPath, refPath string, minLen int) error {
 		fmt.Printf("# indels per 100 kbp      %.2f\n", r.IndelsPer100kbp)
 		fmt.Printf("Largest alignment         %d\n", r.LargestAlignment)
 	}
+	if scaffoldsPath == "" {
+		return nil
+	}
+	sr, err := evaluateScaffolds(scaffoldsPath, ref, gapTol)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n# of scaffolds            %d\n", sr.NumScaffolds)
+	fmt.Printf("Multi-contig scaffolds    %d\n", sr.MultiContig)
+	fmt.Printf("Scaffold total length     %d\n", sr.TotalLength)
+	fmt.Printf("Scaffold N50              %d\n", sr.ScaffoldN50)
+	fmt.Printf("Largest scaffold          %d\n", sr.LargestScaffold)
+	if sr.HasReference {
+		fmt.Printf("# joins                   %d\n", sr.Joins)
+		fmt.Printf("# misjoins                %d\n", sr.Misjoins)
+		fmt.Printf("Unaligned contigs         %d\n", sr.UnalignedContigs)
+		fmt.Printf("Gaps off by > %-4d bp     %d / %d\n", gapTol, sr.GapsOutOfTolerance, sr.GapsEvaluated)
+		fmt.Printf("Mean abs gap error (bp)   %.1f\n", sr.MeanAbsGapError)
+	}
 	return nil
 }
 
+// evaluateScaffolds loads an N-gapped scaffold FASTA and scores it.
+func evaluateScaffolds(path string, ref dna.Seq, gapTol int) (quality.ScaffoldReport, error) {
+	f, err := fastx.Open(path)
+	if err != nil {
+		return quality.ScaffoldReport{}, err
+	}
+	defer f.Close()
+	recs, err := fastx.ReadFasta(f)
+	if err != nil {
+		return quality.ScaffoldReport{}, err
+	}
+	parts := make([]quality.ScaffoldParts, len(recs))
+	for i, r := range recs {
+		parts[i] = quality.ParseScaffold(r.Seq)
+	}
+	return quality.EvaluateScaffolds(parts, ref, 0, gapTol), nil
+}
+
 func readSeqs(path string) ([]dna.Seq, error) {
-	f, err := os.Open(path)
+	f, err := fastx.Open(path)
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"ppaassembler/internal/fastx"
@@ -34,17 +35,45 @@ func TestQuastliteRuns(t *testing.T) {
 		{Name: "c1", Seq: ref.Slice(0, 2500).String()},
 		{Name: "c2", Seq: ref.Slice(2600, 3900).String()},
 	})
-	if err := run(ctgPath, refPath, 500); err != nil {
+	if err := run(ctgPath, refPath, "", 500, 100); err != nil {
 		t.Fatal(err)
 	}
 	// Reference-free mode.
-	if err := run(ctgPath, "", 500); err != nil {
+	if err := run(ctgPath, "", "", 500, 100); err != nil {
 		t.Fatal(err)
 	}
 }
 
+func TestQuastliteScaffoldMode(t *testing.T) {
+	dir := t.TempDir()
+	ref, err := genome.Generate(genome.Spec{Name: "q", Length: 5000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refPath := filepath.Join(dir, "ref.fasta")
+	ctgPath := filepath.Join(dir, "ctg.fasta")
+	scafPath := filepath.Join(dir, "scaf.fasta")
+	writeFasta(t, refPath, []fastx.Record{{Name: "ref", Seq: ref.String()}})
+	a, b := ref.Slice(0, 2200), ref.Slice(2400, 4600)
+	writeFasta(t, ctgPath, []fastx.Record{
+		{Name: "c1", Seq: a.String()}, {Name: "c2", Seq: b.String()},
+	})
+	writeFasta(t, scafPath, []fastx.Record{
+		{Name: "scaffold_1", Seq: a.String() + strings.Repeat("N", 200) + b.String()},
+	})
+	if err := run(ctgPath, refPath, scafPath, 500, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(ctgPath, "", scafPath, 500, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(ctgPath, refPath, filepath.Join(dir, "nope.fasta"), 500, 100); err == nil {
+		t.Fatal("missing scaffolds file accepted")
+	}
+}
+
 func TestQuastliteMissingFiles(t *testing.T) {
-	if err := run(filepath.Join(t.TempDir(), "nope.fasta"), "", 500); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "nope.fasta"), "", "", 500, 100); err == nil {
 		t.Fatal("missing contigs file accepted")
 	}
 }

@@ -5,6 +5,11 @@
 // Usage:
 //
 //	readsim -len 200000 -coverage 15 -readlen 100 -ref ref.fasta -out reads.fastq
+//
+// With -paired the simulator draws read pairs in FR orientation with a
+// normally distributed insert size (-insert, -insertsd) and writes them as
+// interleaved FASTQ (pair_N/1 followed by pair_N/2), the layout
+// ppa-assembler's -scaffold stage consumes.
 package main
 
 import (
@@ -31,15 +36,18 @@ func main() {
 		subRate   = flag.Float64("sub", 0.005, "per-base substitution error rate")
 		nRate     = flag.Float64("nrate", 0.0005, "per-base N rate")
 		seed      = flag.Int64("seed", 1, "random seed")
+		paired    = flag.Bool("paired", false, "simulate read pairs and write interleaved FASTQ")
+		insert    = flag.Float64("insert", 500, "mean insert size (with -paired)")
+		insertSD  = flag.Float64("insertsd", 50, "insert-size standard deviation (with -paired)")
 	)
 	flag.Parse()
-	if err := run(*length, *repeats, *repeatLen, *from, *refOut, *out, *readLen, *coverage, *subRate, *nRate, *seed); err != nil {
+	if err := run(*length, *repeats, *repeatLen, *from, *refOut, *out, *readLen, *coverage, *subRate, *nRate, *seed, *paired, *insert, *insertSD); err != nil {
 		fmt.Fprintln(os.Stderr, "readsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(length, repeats, repeatLen int, from, refOut, out string, readLen int, coverage, subRate, nRate float64, seed int64) error {
+func run(length, repeats, repeatLen int, from, refOut, out string, readLen int, coverage, subRate, nRate float64, seed int64, paired bool, insert, insertSD float64) error {
 	var ref dna.Seq
 	if from != "" {
 		f, err := os.Open(from)
@@ -75,15 +83,32 @@ func run(length, repeats, repeatLen int, from, refOut, out string, readLen int, 
 			return err
 		}
 	}
-	reads, err := readsim.Simulate(ref, readsim.Profile{
+	profile := readsim.Profile{
 		ReadLen: readLen, Coverage: coverage, SubRate: subRate, NRate: nRate, Seed: seed + 1,
-	})
-	if err != nil {
-		return err
 	}
-	recs := make([]fastx.Record, len(reads))
-	for i, r := range reads {
-		recs[i] = fastx.Record{Name: fmt.Sprintf("read_%d", i+1), Seq: r}
+	var recs []fastx.Record
+	if paired {
+		pairs, err := readsim.SimulatePairs(ref, readsim.PairProfile{
+			Profile: profile, InsertMean: insert, InsertSD: insertSD,
+		})
+		if err != nil {
+			return err
+		}
+		recs = make([]fastx.Record, 0, 2*len(pairs))
+		for i, p := range pairs {
+			recs = append(recs,
+				fastx.Record{Name: fmt.Sprintf("pair_%d/1", i+1), Seq: p.R1},
+				fastx.Record{Name: fmt.Sprintf("pair_%d/2", i+1), Seq: p.R2})
+		}
+	} else {
+		reads, err := readsim.Simulate(ref, profile)
+		if err != nil {
+			return err
+		}
+		recs = make([]fastx.Record, len(reads))
+		for i, r := range reads {
+			recs[i] = fastx.Record{Name: fmt.Sprintf("read_%d", i+1), Seq: r}
+		}
 	}
 	w := os.Stdout
 	if out != "-" {
@@ -97,7 +122,12 @@ func run(length, repeats, repeatLen int, from, refOut, out string, readLen int, 
 	if err := fastx.WriteFastq(w, recs); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "readsim: %d reads of %d bp (%.1fx) from %d bp reference\n",
-		len(reads), readLen, coverage, ref.Len())
+	if paired {
+		fmt.Fprintf(os.Stderr, "readsim: %d read pairs of 2x%d bp (%.1fx, insert %.0f±%.0f) from %d bp reference\n",
+			len(recs)/2, readLen, coverage, insert, insertSD, ref.Len())
+	} else {
+		fmt.Fprintf(os.Stderr, "readsim: %d reads of %d bp (%.1fx) from %d bp reference\n",
+			len(recs), readLen, coverage, ref.Len())
+	}
 	return nil
 }

@@ -12,7 +12,7 @@ func TestReadsimGeneratesFastqAndRef(t *testing.T) {
 	dir := t.TempDir()
 	refPath := filepath.Join(dir, "ref.fasta")
 	outPath := filepath.Join(dir, "reads.fastq")
-	if err := run(5000, 2, 100, "", refPath, outPath, 60, 8, 0.01, 0.001, 3); err != nil {
+	if err := run(5000, 2, 100, "", refPath, outPath, 60, 8, 0.01, 0.001, 3, false, 500, 50); err != nil {
 		t.Fatal(err)
 	}
 	rf, err := os.Open(refPath)
@@ -49,7 +49,7 @@ func TestReadsimFromExistingReference(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := filepath.Join(dir, "reads.fastq")
-	if err := run(0, 0, 0, src, "", out, 50, 4, 0, 0, 1); err != nil {
+	if err := run(0, 0, 0, src, "", out, 50, 4, 0, 0, 1, false, 500, 50); err != nil {
 		t.Fatal(err)
 	}
 	f, _ := os.Open(out)
@@ -63,8 +63,38 @@ func TestReadsimFromExistingReference(t *testing.T) {
 	}
 }
 
+func TestReadsimPairedInterleaved(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "pairs.fastq")
+	if err := run(8000, 0, 0, "", "", out, 60, 6, 0, 0, 2, true, 400, 40); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := fastx.ReadFastq(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 6 * 8000 / (2 * 60) * 2
+	if len(recs) != want {
+		t.Errorf("records = %d, want %d", len(recs), want)
+	}
+	if len(recs)%2 != 0 {
+		t.Fatal("odd record count in interleaved output")
+	}
+	for i := 0; i+1 < len(recs); i += 2 {
+		if recs[i].Name != recs[i+1].Name[:len(recs[i+1].Name)-1]+"1" ||
+			recs[i].Name[len(recs[i].Name)-2:] != "/1" || recs[i+1].Name[len(recs[i+1].Name)-2:] != "/2" {
+			t.Fatalf("records %d/%d not an interleaved pair: %q %q", i, i+1, recs[i].Name, recs[i+1].Name)
+		}
+	}
+}
+
 func TestReadsimBadProfile(t *testing.T) {
-	if err := run(1000, 0, 0, "", "", filepath.Join(t.TempDir(), "r.fastq"), 0, 5, 0, 0, 1); err == nil {
+	if err := run(1000, 0, 0, "", "", filepath.Join(t.TempDir(), "r.fastq"), 0, 5, 0, 0, 1, false, 500, 50); err == nil {
 		t.Fatal("zero read length accepted")
 	}
 }

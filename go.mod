@@ -1,0 +1,3 @@
+module ppaassembler
+
+go 1.24

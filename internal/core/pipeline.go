@@ -6,6 +6,7 @@ import (
 
 	"ppaassembler/internal/dbg"
 	"ppaassembler/internal/pregel"
+	"ppaassembler/internal/scaffold"
 )
 
 // Options configures an assembly run. The defaults mirror the paper's
@@ -107,6 +108,11 @@ type Result struct {
 	// FinalGraph is the post-error-correction mixed graph (only when
 	// Options.KeepGraph was set); pass it to WriteGFA.
 	FinalGraph *Graph
+
+	// Clock is the simulated-cluster clock the run charged; follow-on
+	// stages (scaffolding) keep charging it so the pipeline accumulates
+	// one end-to-end simulated time.
+	Clock *pregel.SimClock
 }
 
 // Assemble runs the paper's workflow ①②③④⑤⑥②③ over the sharded reads: DBG
@@ -126,7 +132,7 @@ func Assemble(readShards [][]string, opt Options) (*Result, error) {
 	start := time.Now()
 	cfg := pregel.Config{Workers: opt.Workers, Parallel: opt.Parallel, Cost: opt.Cost}
 	clock := pregel.NewSimClock(opt.Cost)
-	res := &Result{}
+	res := &Result{Clock: clock}
 
 	// ① DBG construction.
 	build, err := dbg.BuildDBG(clock, cfg, readShards, opt.K, opt.Theta)
@@ -210,6 +216,44 @@ func Assemble(readShards [][]string, opt Options) (*Result, error) {
 	res.SimSeconds = clock.Seconds()
 	res.WallSeconds = time.Since(start).Seconds()
 	return res, nil
+}
+
+// ScaffoldContigs is the pipeline's seventh stage (⑦): paired-end
+// scaffolding of the final contig set with package scaffold. The contigs
+// keep their (worker, ordinal) vertex IDs, and the scaffolding jobs charge
+// the assembly's simulated clock, so the stage extends the same end-to-end
+// accounting as operations ①–⑥. Library options (insert size, support,
+// seed length) come in via opt; Workers/Parallel/Cost and the clock are
+// inherited from the assembly run unless opt overrides them.
+func ScaffoldContigs(res *Result, asmOpt Options, pairs []scaffold.Pair, opt scaffold.Options) (*scaffold.Result, []scaffold.Contig, error) {
+	contigs := make([]scaffold.Contig, len(res.Contigs))
+	for i, c := range res.Contigs {
+		contigs[i] = scaffold.Contig{
+			ID:   c.ID,
+			Name: fmt.Sprintf("contig_%d", i+1),
+			Seq:  c.Node.Seq,
+		}
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = asmOpt.Workers
+	}
+	if opt.Cost == (pregel.CostModel{}) {
+		opt.Cost = asmOpt.Cost
+	}
+	if !opt.Parallel {
+		opt.Parallel = asmOpt.Parallel
+	}
+	if opt.Clock == nil {
+		opt.Clock = res.Clock
+	}
+	sres, err := scaffold.Build(contigs, pairs, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	if res.Clock != nil {
+		res.SimSeconds = res.Clock.Seconds()
+	}
+	return sres, contigs, nil
 }
 
 // BuildMixedGraph assembles the operation-⑤ input graph: the ambiguous

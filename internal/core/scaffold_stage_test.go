@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+
+	"ppaassembler/internal/genome"
+	"ppaassembler/internal/pregel"
+	"ppaassembler/internal/readsim"
+	"ppaassembler/internal/scaffold"
+)
+
+// TestScaffoldContigsStage runs the full pipeline ①–⑥ plus stage ⑦ and
+// checks the stage wiring: contig IDs pass through, scaffolding charges the
+// assembly's simulated clock, and the result SimSeconds reflects it.
+func TestScaffoldContigsStage(t *testing.T) {
+	ref, err := genome.Generate(genome.Spec{
+		Name: "stage7", Length: 30_000, Repeats: 2, RepeatLen: 300, Seed: 91,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simPairs, err := readsim.SimulatePairs(ref, readsim.PairProfile{
+		Profile:    readsim.Profile{ReadLen: 100, Coverage: 25, Seed: 92},
+		InsertMean: 700, InsertSD: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions(3)
+	res, err := Assemble(pregel.ShardSlice(readsim.Interleave(simPairs), 3), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clock == nil {
+		t.Fatal("assembly result carries no clock")
+	}
+	simBefore := res.SimSeconds
+
+	pairs := make([]scaffold.Pair, len(simPairs))
+	for i, p := range simPairs {
+		pairs[i] = scaffold.Pair{R1: p.R1, R2: p.R2}
+	}
+	sres, contigs, err := ScaffoldContigs(res, opt, pairs, scaffold.Options{
+		InsertMean: 700, InsertSD: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(contigs) != len(res.Contigs) {
+		t.Fatalf("%d scaffold contigs from %d assembly contigs", len(contigs), len(res.Contigs))
+	}
+	for i, c := range contigs {
+		if c.ID != res.Contigs[i].ID {
+			t.Fatalf("contig %d: ID %x does not match assembly ID %x", i, c.ID, res.Contigs[i].ID)
+		}
+	}
+	if sres.SimSeconds <= 0 {
+		t.Error("scaffolding charged no simulated time")
+	}
+	if res.SimSeconds <= simBefore {
+		t.Errorf("pipeline SimSeconds did not grow: %.4f -> %.4f", simBefore, res.SimSeconds)
+	}
+	if sres.Stats.Supersteps == 0 || sres.Stats.Messages == 0 {
+		t.Errorf("no scaffolding supersteps/messages recorded: %+v", sres.Stats)
+	}
+	total := 0
+	for _, s := range sres.Scaffolds {
+		total += s.Len()
+	}
+	if total != len(contigs) {
+		t.Errorf("scaffolds cover %d contigs, input had %d", total, len(contigs))
+	}
+}

@@ -6,8 +6,10 @@ package fastx
 
 import (
 	"bufio"
+	"compress/gzip"
 	"fmt"
 	"io"
+	"os"
 	"strings"
 )
 
@@ -148,6 +150,51 @@ func WriteFastq(w io.Writer, recs []Record) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// Open opens path for reading, transparently decompressing when the name
+// ends in .gz (the form sequencing archives usually ship in). Closing the
+// returned reader closes the underlying file.
+func Open(path string) (io.ReadCloser, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	if !strings.HasSuffix(strings.ToLower(path), ".gz") {
+		return f, nil
+	}
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("fastx: %s: %w", path, err)
+	}
+	return &gzFile{gz: gz, f: f}, nil
+}
+
+// BaseExt returns the lower-cased filename extension with a trailing .gz
+// stripped, so callers can dispatch on ".fastq" for "reads.FASTQ.gz".
+func BaseExt(path string) string {
+	p := strings.ToLower(path)
+	p = strings.TrimSuffix(p, ".gz")
+	if i := strings.LastIndexByte(p, '.'); i >= 0 {
+		return p[i:]
+	}
+	return ""
+}
+
+type gzFile struct {
+	gz *gzip.Reader
+	f  *os.File
+}
+
+func (g *gzFile) Read(p []byte) (int, error) { return g.gz.Read(p) }
+
+func (g *gzFile) Close() error {
+	gzErr := g.gz.Close()
+	if err := g.f.Close(); err != nil {
+		return err
+	}
+	return gzErr
 }
 
 // Seqs extracts just the sequence strings.

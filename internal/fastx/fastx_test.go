@@ -2,6 +2,9 @@ package fastx
 
 import (
 	"bytes"
+	"compress/gzip"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -110,5 +113,72 @@ func TestSeqs(t *testing.T) {
 	s := Seqs([]Record{{Seq: "A"}, {Seq: "CG"}})
 	if len(s) != 2 || s[0] != "A" || s[1] != "CG" {
 		t.Errorf("Seqs = %v", s)
+	}
+}
+
+func TestOpenPlainAndGzip(t *testing.T) {
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "reads.fastq")
+	const content = "@r1\nACGT\n+\nIIII\n"
+	if err := os.WriteFile(plain, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	zipped := filepath.Join(dir, "reads.fastq.gz")
+	f, err := os.Create(zipped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gz := gzip.NewWriter(f)
+	if _, err := gz.Write([]byte(content)); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{plain, zipped} {
+		r, err := Open(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		recs, err := ReadFastq(r)
+		if cerr := r.Close(); cerr != nil {
+			t.Fatalf("%s: close: %v", path, cerr)
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if len(recs) != 1 || recs[0].Seq != "ACGT" {
+			t.Errorf("%s: records = %v", path, recs)
+		}
+	}
+}
+
+func TestOpenRejectsCorruptGzip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.fa.gz")
+	if err := os.WriteFile(path, []byte("not gzip data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("corrupt gzip accepted")
+	}
+	if _, err := Open(filepath.Join(t.TempDir(), "missing.fa")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestBaseExt(t *testing.T) {
+	for _, c := range []struct{ in, want string }{
+		{"reads.fastq", ".fastq"},
+		{"reads.FASTQ.gz", ".fastq"},
+		{"a/b/ref.fa.GZ", ".fa"},
+		{"noext", ""},
+		{"reads.gz", ""},
+	} {
+		if got := BaseExt(c.in); got != c.want {
+			t.Errorf("BaseExt(%q) = %q, want %q", c.in, got, c.want)
+		}
 	}
 }

@@ -91,3 +91,52 @@ func TestCombineEnvelopesOrderStable(t *testing.T) {
 		t.Errorf("out[2] = %+v", out[2])
 	}
 }
+
+// TestCombinerDeterministicUnderParallel checks the engine's determinism
+// guarantee with goroutine-per-worker execution: each worker's outbox is
+// folded in sorted-vertex emission order and delivered in worker order, so
+// even an order-sensitive fold must produce identical results run after run
+// and agree with sequential execution. (API combiners must be commutative
+// and associative; the order-sensitive fold here exists to catch scheduling
+// races that a commutative fold would mask.)
+func TestCombinerDeterministicUnderParallel(t *testing.T) {
+	run := func(parallel bool) (int64, []int64) {
+		g := NewGraph[int64, int64](Config{Workers: 8, Parallel: parallel})
+		g.SetCombiner(func(a, b int64) int64 { return a*1000003 + b })
+		for i := 0; i < 400; i++ {
+			g.AddVertex(VertexID(i), 0)
+		}
+		st, err := g.Run(func(ctx *Context[int64], id VertexID, val *int64, msgs []int64) {
+			if ctx.Superstep() == 0 {
+				// Fan-in: everyone messages id%7, creating many combinable
+				// destinations per worker.
+				ctx.Send(id%7, int64(id)+1)
+				ctx.VoteToHalt()
+				return
+			}
+			for _, m := range msgs {
+				*val = *val*31 + m // order-sensitive apply
+			}
+			ctx.VoteToHalt()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var vals []int64
+		g.ForEach(func(id VertexID, v *int64) { vals = append(vals, *v) })
+		return st.Messages, vals
+	}
+
+	refMsgs, refVals := run(false)
+	for trial := 0; trial < 5; trial++ {
+		msgs, vals := run(true)
+		if msgs != refMsgs {
+			t.Fatalf("trial %d: parallel messages = %d, sequential = %d", trial, msgs, refMsgs)
+		}
+		for i := range refVals {
+			if vals[i] != refVals[i] {
+				t.Fatalf("trial %d: vertex %d value %d != sequential %d", trial, i, vals[i], refVals[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package quality
+
+import (
+	"ppaassembler/internal/align"
+	"ppaassembler/internal/dna"
+)
+
+// MisjoinSlack is the reference-distance threshold beyond which a scaffold
+// join counts as a misjoin rather than a mis-sized gap (QUAST counts
+// relocations at kbp scale similarly).
+const MisjoinSlack = 1000
+
+// ScaffoldParts is one scaffold decomposed into its contig parts and the
+// N-gap lengths between them (len(Gaps) == len(Contigs)-1).
+type ScaffoldParts struct {
+	Contigs []dna.Seq
+	Gaps    []int
+}
+
+// Span returns the scaffold's total length including gaps.
+func (s ScaffoldParts) Span() int {
+	n := 0
+	for _, c := range s.Contigs {
+		n += c.Len()
+	}
+	for _, g := range s.Gaps {
+		n += g
+	}
+	return n
+}
+
+// ParseScaffold splits an N-gapped scaffold sequence (as written by the
+// assembler's -scaffold output) into parts: maximal N-free stretches become
+// contigs, runs of N become gaps.
+func ParseScaffold(seq string) ScaffoldParts {
+	var p ScaffoldParts
+	i := 0
+	for i < len(seq) {
+		if seq[i] == 'N' || seq[i] == 'n' {
+			j := i
+			for j < len(seq) && (seq[j] == 'N' || seq[j] == 'n') {
+				j++
+			}
+			if len(p.Contigs) > 0 && j < len(seq) {
+				p.Gaps = append(p.Gaps, j-i)
+			}
+			i = j
+			continue
+		}
+		j := i
+		for j < len(seq) && seq[j] != 'N' && seq[j] != 'n' {
+			j++
+		}
+		p.Contigs = append(p.Contigs, dna.ParseSeq(seq[i:j]))
+		i = j
+	}
+	return p
+}
+
+// ScaffoldReport is the scaffold-aware metric set: size statistics over
+// whole scaffolds (gaps included) plus, with a reference, join correctness
+// and gap-size accuracy.
+type ScaffoldReport struct {
+	NumScaffolds    int
+	TotalLength     int // includes gap Ns
+	ScaffoldN50     int
+	LargestScaffold int
+	// MultiContig counts scaffolds joining at least two contigs.
+	MultiContig int
+
+	// Reference-based join metrics (zero without a reference).
+	HasReference bool
+	// Joins counts adjacent contig pairs where both sides aligned; a join
+	// is a Misjoin when the two contigs align to different strands, in the
+	// wrong order, or more than MisjoinSlack away from the gap estimate.
+	Joins, Misjoins int
+	// UnalignedContigs counts scaffold members without a dominant
+	// reference alignment (their joins are not evaluated).
+	UnalignedContigs int
+	// Gap accuracy over correct joins: GapsOutOfTolerance counts estimates
+	// deviating from the reference distance by more than the tolerance
+	// passed to EvaluateScaffolds.
+	GapsEvaluated, GapsOutOfTolerance int
+	MeanAbsGapError                   float64
+}
+
+// contigSpot is a contig's dominant placement on the reference.
+type contigSpot struct {
+	start, end int
+	rc         bool
+	ok         bool
+}
+
+// EvaluateScaffolds computes scaffold metrics. ref may be the zero Seq for
+// reference-free evaluation; scaffolds spanning less than minLen are
+// ignored; gapTol is the tolerance (in bases) for counting a gap estimate
+// as correct — pass about twice the library's insert-size standard
+// deviation.
+func EvaluateScaffolds(scaffolds []ScaffoldParts, ref dna.Seq, minLen, gapTol int) ScaffoldReport {
+	var r ScaffoldReport
+	var kept []ScaffoldParts
+	var lens []int
+	for _, s := range scaffolds {
+		sp := s.Span()
+		if sp < minLen {
+			continue
+		}
+		kept = append(kept, s)
+		lens = append(lens, sp)
+		r.TotalLength += sp
+		if sp > r.LargestScaffold {
+			r.LargestScaffold = sp
+		}
+		if len(s.Contigs) > 1 {
+			r.MultiContig++
+		}
+	}
+	r.NumScaffolds = len(kept)
+	r.ScaffoldN50 = N50(lens)
+	if ref.Len() == 0 {
+		return r
+	}
+	r.HasReference = true
+	ix := align.NewIndex(ref, align.Options{})
+	sumAbsErr := 0.0
+	for _, s := range kept {
+		spots := make([]contigSpot, len(s.Contigs))
+		for i, c := range s.Contigs {
+			spots[i] = locate(ix, c)
+			if !spots[i].ok {
+				r.UnalignedContigs++
+			}
+		}
+		for i := 0; i+1 < len(s.Contigs); i++ {
+			a, b := spots[i], spots[i+1]
+			if !a.ok || !b.ok {
+				continue
+			}
+			r.Joins++
+			est := s.Gaps[i]
+			if a.rc != b.rc {
+				r.Misjoins++
+				continue
+			}
+			// Scaffold members are already in scaffold orientation, so on
+			// the forward strand b follows a; on the reverse strand the
+			// reference order is flipped.
+			var obs int
+			if !a.rc {
+				obs = b.start - a.end
+			} else {
+				obs = a.start - b.end
+			}
+			err := obs - est
+			if err < -MisjoinSlack || err > MisjoinSlack {
+				r.Misjoins++
+				continue
+			}
+			r.GapsEvaluated++
+			if err < 0 {
+				err = -err
+			}
+			sumAbsErr += float64(err)
+			if err > gapTol {
+				r.GapsOutOfTolerance++
+			}
+		}
+	}
+	if r.GapsEvaluated > 0 {
+		r.MeanAbsGapError = sumAbsErr / float64(r.GapsEvaluated)
+	}
+	return r
+}
+
+// locate finds a contig's dominant reference placement: the largest aligned
+// block, accepted when it covers at least half the contig.
+func locate(ix *align.Index, c dna.Seq) contigSpot {
+	res := ix.Align(c)
+	var best align.Block
+	for _, b := range res.Blocks {
+		if b.Len() > best.Len() {
+			best = b
+		}
+	}
+	if best.Len()*2 < c.Len() {
+		return contigSpot{}
+	}
+	// Extrapolate the block to the whole contig so distances measure
+	// between contig boundaries, not block boundaries.
+	if !best.RC {
+		return contigSpot{start: best.RStart - best.QStart, end: best.REnd + (c.Len() - best.QEnd), rc: false, ok: true}
+	}
+	return contigSpot{start: best.RStart - (c.Len() - best.QEnd), end: best.REnd + best.QStart, rc: true, ok: true}
+}
+

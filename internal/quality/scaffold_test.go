@@ -1,0 +1,122 @@
+package quality
+
+import (
+	"strings"
+	"testing"
+
+	"ppaassembler/internal/dna"
+	"ppaassembler/internal/genome"
+)
+
+func scaffoldRef(t *testing.T, n int, seed int64) dna.Seq {
+	t.Helper()
+	g, err := genome.Generate(genome.Spec{Name: "t", Length: n, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestParseScaffold(t *testing.T) {
+	p := ParseScaffold("ACGT" + strings.Repeat("N", 5) + "GGCC" + strings.Repeat("N", 2) + "TTAA")
+	if len(p.Contigs) != 3 || len(p.Gaps) != 2 {
+		t.Fatalf("parts = %d contigs, %d gaps", len(p.Contigs), len(p.Gaps))
+	}
+	if p.Gaps[0] != 5 || p.Gaps[1] != 2 {
+		t.Errorf("gaps = %v", p.Gaps)
+	}
+	if p.Contigs[1].String() != "GGCC" {
+		t.Errorf("middle contig = %s", p.Contigs[1])
+	}
+	if p.Span() != 4+5+4+2+4 {
+		t.Errorf("span = %d", p.Span())
+	}
+	// Leading/trailing Ns are not joins.
+	p = ParseScaffold("NNNACGTACGTNN")
+	if len(p.Contigs) != 1 || len(p.Gaps) != 0 {
+		t.Errorf("edge-N parts = %d contigs, %d gaps", len(p.Contigs), len(p.Gaps))
+	}
+}
+
+func TestEvaluateScaffoldsSizesAndN50(t *testing.T) {
+	mk := func(lens ...int) ScaffoldParts {
+		var p ScaffoldParts
+		for i, l := range lens {
+			p.Contigs = append(p.Contigs, scaffoldRef(t, l, int64(100+i)))
+			if i > 0 {
+				p.Gaps = append(p.Gaps, 10)
+			}
+		}
+		return p
+	}
+	r := EvaluateScaffolds([]ScaffoldParts{mk(600, 400), mk(500)}, dna.Seq{}, 0, 50)
+	if r.NumScaffolds != 2 || r.MultiContig != 1 {
+		t.Errorf("counts = %d/%d", r.NumScaffolds, r.MultiContig)
+	}
+	if r.TotalLength != 600+400+10+500 {
+		t.Errorf("total = %d", r.TotalLength)
+	}
+	if r.ScaffoldN50 != 1010 {
+		t.Errorf("scaffold N50 = %d, want 1010", r.ScaffoldN50)
+	}
+	if r.HasReference {
+		t.Error("reference-free report claims a reference")
+	}
+}
+
+func TestEvaluateScaffoldsJoins(t *testing.T) {
+	ref := scaffoldRef(t, 6000, 9)
+	a := ref.Slice(0, 2000)
+	b := ref.Slice(2200, 4000)
+	c := ref.Slice(4300, 5800)
+
+	// Correct scaffold: a --200-- b --300-- c.
+	good := ScaffoldParts{Contigs: []dna.Seq{a, b, c}, Gaps: []int{200, 300}}
+	r := EvaluateScaffolds([]ScaffoldParts{good}, ref, 0, 50)
+	if r.Joins != 2 || r.Misjoins != 0 {
+		t.Errorf("good scaffold: joins=%d misjoins=%d", r.Joins, r.Misjoins)
+	}
+	if r.GapsEvaluated != 2 || r.GapsOutOfTolerance != 0 || r.MeanAbsGapError > 1 {
+		t.Errorf("gap accuracy: %+v", r)
+	}
+
+	// A reverse-complemented scaffold is internally consistent too.
+	rc := ScaffoldParts{
+		Contigs: []dna.Seq{c.ReverseComplement(), b.ReverseComplement(), a.ReverseComplement()},
+		Gaps:    []int{300, 200},
+	}
+	r = EvaluateScaffolds([]ScaffoldParts{rc}, ref, 0, 50)
+	if r.Joins != 2 || r.Misjoins != 0 {
+		t.Errorf("rc scaffold: joins=%d misjoins=%d", r.Joins, r.Misjoins)
+	}
+
+	// Wrong orientation of the middle contig: both joins are misjoins.
+	bad := ScaffoldParts{Contigs: []dna.Seq{a, b.ReverseComplement(), c}, Gaps: []int{200, 300}}
+	r = EvaluateScaffolds([]ScaffoldParts{bad}, ref, 0, 50)
+	if r.Misjoins != 2 {
+		t.Errorf("flipped middle: misjoins=%d, want 2", r.Misjoins)
+	}
+
+	// Wrong order: c before b jumps backwards on the reference.
+	wrongOrder := ScaffoldParts{Contigs: []dna.Seq{a, c, b}, Gaps: []int{200, 300}}
+	r = EvaluateScaffolds([]ScaffoldParts{wrongOrder}, ref, 0, 50)
+	if r.Misjoins == 0 {
+		t.Error("wrong-order scaffold reported no misjoins")
+	}
+
+	// A badly mis-sized (but in-order) gap inside MisjoinSlack counts
+	// against tolerance, not as a misjoin.
+	offGap := ScaffoldParts{Contigs: []dna.Seq{a, b}, Gaps: []int{700}}
+	r = EvaluateScaffolds([]ScaffoldParts{offGap}, ref, 0, 50)
+	if r.Misjoins != 0 || r.GapsOutOfTolerance != 1 {
+		t.Errorf("off gap: misjoins=%d outOfTol=%d", r.Misjoins, r.GapsOutOfTolerance)
+	}
+
+	// An unalignable contig suppresses its joins.
+	junk := scaffoldRef(t, 1000, 999)
+	withJunk := ScaffoldParts{Contigs: []dna.Seq{a, junk, b}, Gaps: []int{200, 200}}
+	r = EvaluateScaffolds([]ScaffoldParts{withJunk}, ref, 0, 50)
+	if r.UnalignedContigs != 1 || r.Joins != 0 {
+		t.Errorf("junk contig: unaligned=%d joins=%d", r.UnalignedContigs, r.Joins)
+	}
+}

@@ -64,25 +64,121 @@ func Simulate(ref dna.Seq, p Profile) ([]string, error) {
 	for i := 0; i < n; i++ {
 		pos := r.Intn(ref.Len() - p.ReadLen + 1)
 		rc := r.Intn(2) == 1
-		for j := 0; j < p.ReadLen; j++ {
-			var b dna.Base
-			if rc {
-				b = ref.At(pos + p.ReadLen - 1 - j).Complement()
-			} else {
-				b = ref.At(pos + j)
-			}
-			switch {
-			case p.NRate > 0 && r.Float64() < p.NRate:
-				buf[j] = 'N'
-				continue
-			case p.SubRate > 0 && r.Float64() < p.SubRate:
-				b = (b + dna.Base(1+r.Intn(3))) & 3 // any different base
-			}
-			buf[j] = b.Byte()
-		}
-		reads = append(reads, string(buf))
+		reads = append(reads, drawRead(r, ref, pos, rc, p, buf))
 	}
 	return reads, nil
+}
+
+// drawRead samples one read of p.ReadLen bases starting at pos (rc = read the
+// reverse complement 5'→3' from the other strand), applying the profile's
+// substitution and N error processes.
+func drawRead(r *rand.Rand, ref dna.Seq, pos int, rc bool, p Profile, buf []byte) string {
+	for j := 0; j < p.ReadLen; j++ {
+		var b dna.Base
+		if rc {
+			b = ref.At(pos + p.ReadLen - 1 - j).Complement()
+		} else {
+			b = ref.At(pos + j)
+		}
+		switch {
+		case p.NRate > 0 && r.Float64() < p.NRate:
+			buf[j] = 'N'
+			continue
+		case p.SubRate > 0 && r.Float64() < p.SubRate:
+			b = (b + dna.Base(1+r.Intn(3))) & 3 // any different base
+		}
+		buf[j] = b.Byte()
+	}
+	return string(buf)
+}
+
+// PairProfile configures paired-end simulation: fragments of normally
+// distributed length are drawn from either strand and sequenced from both
+// ends inward (Illumina FR orientation), each mate with the embedded
+// Profile's length and error processes.
+type PairProfile struct {
+	Profile
+	// InsertMean is the mean outer fragment length (R1 start to R2 start,
+	// end to end).
+	InsertMean float64
+	// InsertSD is the fragment-length standard deviation.
+	InsertSD float64
+}
+
+// Pair is one simulated read pair. Both mates are given 5'→3'; R2 reads the
+// opposite strand of the fragment, so on the reference the pair faces
+// forward-reverse.
+type Pair struct {
+	R1, R2 string
+}
+
+// Validate checks the pair profile.
+func (p PairProfile) Validate() error {
+	if err := p.Profile.Validate(); err != nil {
+		return err
+	}
+	if p.InsertMean < float64(p.ReadLen) {
+		return fmt.Errorf("readsim: insert mean %g below read length %d", p.InsertMean, p.ReadLen)
+	}
+	if p.InsertSD < 0 {
+		return fmt.Errorf("readsim: negative insert s.d. %g", p.InsertSD)
+	}
+	return nil
+}
+
+// SimulatePairs draws read pairs until Coverage counts the bases of both
+// mates. Each fragment samples a uniform start, a normal length (clamped to
+// [ReadLen, reference length]) and a uniform strand; the mates are the
+// fragment's two ends read inward.
+func SimulatePairs(ref dna.Seq, p PairProfile) ([]Pair, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if float64(ref.Len()) < p.InsertMean {
+		return nil, fmt.Errorf("readsim: reference (%d bp) shorter than insert mean %g", ref.Len(), p.InsertMean)
+	}
+	r := rand.New(rand.NewSource(p.Seed))
+	n := int(p.Coverage * float64(ref.Len()) / float64(2*p.ReadLen))
+	if n < 1 {
+		n = 1
+	}
+	pairs := make([]Pair, 0, n)
+	buf := make([]byte, p.ReadLen)
+	for i := 0; i < n; i++ {
+		insert := int(p.InsertMean + r.NormFloat64()*p.InsertSD)
+		if insert < p.ReadLen {
+			insert = p.ReadLen
+		}
+		if insert > ref.Len() {
+			insert = ref.Len()
+		}
+		pos := r.Intn(ref.Len() - insert + 1)
+		// The fragment [pos, pos+insert) comes from either strand; its
+		// "first" end is the left end on the forward strand, the right end
+		// otherwise.
+		flip := r.Intn(2) == 1
+		var pair Pair
+		if !flip {
+			pair.R1 = drawRead(r, ref, pos, false, p.Profile, buf)
+			pair.R2 = drawRead(r, ref, pos+insert-p.ReadLen, true, p.Profile, buf)
+		} else {
+			pair.R1 = drawRead(r, ref, pos+insert-p.ReadLen, true, p.Profile, buf)
+			pair.R2 = drawRead(r, ref, pos, false, p.Profile, buf)
+		}
+		pairs = append(pairs, pair)
+	}
+	return pairs, nil
+}
+
+// Interleave flattens pairs into the conventional interleaved order
+// (R1, R2, R1, R2, ...), the layout cmd/readsim writes and the scaffolder
+// reads back.
+func Interleave(pairs []Pair) []string {
+	out := make([]string, 0, 2*len(pairs))
+	for _, p := range pairs {
+		out = append(out, p.R1, p.R2)
+	}
+	return out
 }
 
 // PaperProfile returns the read profile used for the named paper dataset

@@ -130,6 +130,114 @@ func TestSimulateValidation(t *testing.T) {
 	}
 }
 
+func TestSimulatePairsCoverageAndLengths(t *testing.T) {
+	g := ref(t, 20000)
+	pairs, err := SimulatePairs(g, PairProfile{
+		Profile:    Profile{ReadLen: 100, Coverage: 10, Seed: 1},
+		InsertMean: 500, InsertSD: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10 * 20000 / (2 * 100)
+	if len(pairs) != want {
+		t.Errorf("pairs = %d, want %d", len(pairs), want)
+	}
+	for _, p := range pairs {
+		if len(p.R1) != 100 || len(p.R2) != 100 {
+			t.Fatalf("mate lengths %d/%d", len(p.R1), len(p.R2))
+		}
+	}
+}
+
+// TestSimulatePairsFROrientation checks the defining paired-end invariant:
+// for an error-free pair, one mate matches the forward strand and the other
+// the reverse strand, facing each other, separated by approximately the
+// insert size.
+func TestSimulatePairsFROrientation(t *testing.T) {
+	g := ref(t, 30000)
+	const mean, sd = 400.0, 40.0
+	pairs, err := SimulatePairs(g, PairProfile{
+		Profile:    Profile{ReadLen: 80, Coverage: 6, Seed: 2},
+		InsertMean: mean, InsertSD: sd,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd := g.String()
+	sumInsert, n := 0.0, 0
+	for _, p := range pairs {
+		r1f := strings.Index(fwd, p.R1)
+		r2f := strings.Index(fwd, p.R2)
+		r1r := strings.Index(fwd, revComp(p.R1))
+		r2r := strings.Index(fwd, revComp(p.R2))
+		var left, right int
+		switch {
+		case r1f >= 0 && r2r >= 0: // R1 forward, R2 on reverse strand
+			left, right = r1f, r2r
+		case r2f >= 0 && r1r >= 0: // flipped fragment
+			left, right = r2f, r1r
+		default:
+			t.Fatalf("pair not in FR orientation (indices %d %d %d %d)", r1f, r2f, r1r, r2r)
+		}
+		insert := right + 80 - left
+		if insert < 80 {
+			t.Fatalf("mates face away from each other (insert %d)", insert)
+		}
+		sumInsert += float64(insert)
+		n++
+	}
+	if m := sumInsert / float64(n); m < mean-3*sd || m > mean+3*sd {
+		t.Errorf("mean observed insert = %.0f, want ~%.0f", m, mean)
+	}
+}
+
+func TestSimulatePairsDeterministicAndValidated(t *testing.T) {
+	g := ref(t, 5000)
+	p := PairProfile{Profile: Profile{ReadLen: 50, Coverage: 4, SubRate: 0.01, Seed: 7}, InsertMean: 300, InsertSD: 30}
+	a, _ := SimulatePairs(g, p)
+	b, _ := SimulatePairs(g, p)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different pairs")
+		}
+	}
+	if _, err := SimulatePairs(g, PairProfile{Profile: Profile{ReadLen: 50, Coverage: 1}, InsertMean: 20}); err == nil {
+		t.Error("insert below read length accepted")
+	}
+	if _, err := SimulatePairs(g, PairProfile{Profile: Profile{ReadLen: 50, Coverage: 1}, InsertMean: 300, InsertSD: -1}); err == nil {
+		t.Error("negative insert s.d. accepted")
+	}
+	if _, err := SimulatePairs(g, PairProfile{Profile: Profile{ReadLen: 50, Coverage: 1}, InsertMean: 9000}); err == nil {
+		t.Error("insert beyond reference accepted")
+	}
+}
+
+func TestInterleave(t *testing.T) {
+	got := Interleave([]Pair{{R1: "AA", R2: "CC"}, {R1: "GG", R2: "TT"}})
+	want := []string{"AA", "CC", "GG", "TT"}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("interleave[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func revComp(s string) string {
+	comp := map[byte]byte{'A': 'T', 'C': 'G', 'G': 'C', 'T': 'A', 'N': 'N'}
+	b := make([]byte, len(s))
+	for i := 0; i < len(s); i++ {
+		b[len(s)-1-i] = comp[s[i]]
+	}
+	return string(b)
+}
+
 func TestPaperProfile(t *testing.T) {
 	if PaperProfile("sim-HC2", 1).ReadLen != 100 {
 		t.Error("sim-HC2 read length")

@@ -1,6 +1,7 @@
 package shardio
 
 import (
+	"fmt"
 	"path/filepath"
 	"sort"
 	"testing"
@@ -93,5 +94,75 @@ func TestEmptyStore(t *testing.T) {
 	}
 	if len(got) != 0 {
 		t.Errorf("empty store returned %v", got)
+	}
+}
+
+// TestInterleavedPairsRoundTrip covers the scaffolding input path: an
+// interleaved paired read set must survive a store round-trip with mates
+// kept adjacent when read back in on-disk order (workers = 0), and must
+// lose no reads when redistributed to any other shard count.
+func TestInterleavedPairsRoundTrip(t *testing.T) {
+	var interleaved []string
+	for i := 0; i < 20; i++ {
+		interleaved = append(interleaved,
+			fmt.Sprintf("PAIR%02d/1", i), fmt.Sprintf("PAIR%02d/2", i))
+	}
+	for _, parts := range []int{1, 3} {
+		s, err := Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Shard whole pairs: each part receives consecutive (R1, R2) blocks.
+		shards := make([][]string, parts)
+		for i := 0; i+1 < len(interleaved); i += 2 {
+			w := (i / 2) % parts
+			shards[w] = append(shards[w], interleaved[i], interleaved[i+1])
+		}
+		if err := s.WriteShards(shards); err != nil {
+			t.Fatal(err)
+		}
+
+		// workers=0: on-disk order, mates stay adjacent.
+		got, err := s.ReadShards(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var flat []string
+		for _, sh := range got {
+			flat = append(flat, sh...)
+		}
+		if len(flat) != len(interleaved) {
+			t.Fatalf("parts=%d: %d reads back, want %d", parts, len(flat), len(interleaved))
+		}
+		for i := 0; i+1 < len(flat); i += 2 {
+			if flat[i][:6] != flat[i+1][:6] || flat[i][6:] != "/1" || flat[i+1][6:] != "/2" {
+				t.Fatalf("parts=%d: mates separated at %d: %q %q", parts, i, flat[i], flat[i+1])
+			}
+		}
+
+		// Any re-replicated shard count preserves the read multiset.
+		for _, workers := range []int{1, 2, 5, 7} {
+			re, err := s.ReadShards(workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(re) != workers {
+				t.Fatalf("asked for %d shards, got %d", workers, len(re))
+			}
+			count := map[string]int{}
+			for _, sh := range re {
+				for _, line := range sh {
+					count[line]++
+				}
+			}
+			if len(count) != len(interleaved) {
+				t.Fatalf("parts=%d workers=%d: %d distinct reads, want %d", parts, workers, len(count), len(interleaved))
+			}
+			for _, r := range interleaved {
+				if count[r] != 1 {
+					t.Fatalf("parts=%d workers=%d: read %q seen %d times", parts, workers, r, count[r])
+				}
+			}
+		}
 	}
 }
