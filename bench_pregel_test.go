@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"ppaassembler/internal/pregel"
+)
+
+// The engine-shuffle regression workload: a message-heavy Pregel job whose
+// per-superstep traffic dominates compute, mirroring
+// internal/pregel.BenchmarkShuffle. The emission test below re-runs it via
+// testing.Benchmark and writes BENCH_pregel.json so CI archives the perf
+// trajectory of the engine's hot path.
+const (
+	shuffleVertices   = 20_000
+	shuffleFanout     = 8
+	shuffleSupersteps = 6
+	shuffleWorkers    = 4
+)
+
+// shuffleBenchmark returns a benchmark function running the canonical
+// shuffle workload in the given mode and accumulating total messages.
+func shuffleBenchmark(parallel bool, msgs *int64) func(b *testing.B) {
+	return func(b *testing.B) {
+		g := pregel.NewGraph[int64, int64](pregel.Config{Workers: shuffleWorkers, Parallel: parallel})
+		for i := 0; i < shuffleVertices; i++ {
+			g.AddVertex(pregel.VertexID(i), 0)
+		}
+		*msgs = 0 // testing.Benchmark invokes this repeatedly; keep the final run's count
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st, err := g.Run(func(ctx *pregel.Context[int64], id pregel.VertexID, val *int64, in []int64) {
+				for _, m := range in {
+					*val += m
+				}
+				if ctx.Superstep() >= shuffleSupersteps {
+					ctx.VoteToHalt()
+					return
+				}
+				for j := 0; j < shuffleFanout; j++ {
+					dst := pregel.VertexID((uint64(id)*2654435761 + uint64(j)*40503 + 7) % shuffleVertices)
+					ctx.Send(dst, int64(id)+int64(j))
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			*msgs += st.Messages
+		}
+	}
+}
+
+// shuffleResult is one mode's row in BENCH_pregel.json.
+type shuffleResult struct {
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	MsgsPerSec  float64 `json:"msgs_per_sec"`
+}
+
+// benchArtifact is the schema of BENCH_pregel.json.
+type benchArtifact struct {
+	GeneratedUnix int64 `json:"generated_unix"`
+	NumCPU        int   `json:"num_cpu"`
+	GoMaxProcs    int   `json:"go_max_procs"`
+	Workload      struct {
+		Vertices   int `json:"vertices"`
+		Fanout     int `json:"fanout"`
+		Supersteps int `json:"supersteps"`
+		Workers    int `json:"workers"`
+	} `json:"workload"`
+	Sequential shuffleResult `json:"sequential"`
+	Parallel   shuffleResult `json:"parallel"`
+	// ParallelSpeedup is sequential ns/op divided by parallel ns/op; > 1
+	// means goroutine-per-worker execution wins on this host. Expect < 1 on
+	// single-core runners and > 1 from 4 cores up.
+	ParallelSpeedup float64 `json:"parallel_speedup"`
+}
+
+// runShuffleMode measures one mode with testing.Benchmark.
+func runShuffleMode(parallel bool) shuffleResult {
+	var msgs int64
+	r := testing.Benchmark(shuffleBenchmark(parallel, &msgs))
+	return shuffleResult{
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		MsgsPerSec:  float64(msgs) / r.T.Seconds(),
+	}
+}
+
+// TestEmitPregelBenchArtifact runs the shuffle workload in both modes and
+// writes BENCH_pregel.json to the path in $BENCH_PREGEL_JSON. Without the
+// variable it skips, so plain `go test ./...` stays fast; CI sets it and
+// uploads the artifact:
+//
+//	BENCH_PREGEL_JSON=BENCH_pregel.json go test -run TestEmitPregelBenchArtifact .
+func TestEmitPregelBenchArtifact(t *testing.T) {
+	path := os.Getenv("BENCH_PREGEL_JSON")
+	if path == "" {
+		t.Skip("set BENCH_PREGEL_JSON=<path> to emit the benchmark artifact")
+	}
+	var a benchArtifact
+	a.GeneratedUnix = time.Now().Unix()
+	a.NumCPU = runtime.NumCPU()
+	a.GoMaxProcs = runtime.GOMAXPROCS(0)
+	a.Workload.Vertices = shuffleVertices
+	a.Workload.Fanout = shuffleFanout
+	a.Workload.Supersteps = shuffleSupersteps
+	a.Workload.Workers = shuffleWorkers
+	a.Sequential = runShuffleMode(false)
+	a.Parallel = runShuffleMode(true)
+	if a.Parallel.NsPerOp > 0 {
+		a.ParallelSpeedup = float64(a.Sequential.NsPerOp) / float64(a.Parallel.NsPerOp)
+	}
+	out, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: sequential %d ns/op %d allocs/op, parallel %d ns/op %d allocs/op, speedup %.2fx (%d CPUs)",
+		path, a.Sequential.NsPerOp, a.Sequential.AllocsPerOp,
+		a.Parallel.NsPerOp, a.Parallel.AllocsPerOp, a.ParallelSpeedup, a.NumCPU)
+
+	// Regression gates that hold on any hardware: the arena-based shuffle
+	// must stay allocation-light (the pre-arena engine spent ~480k allocs on
+	// this workload; the floor guards the ≥50% reduction with huge margin),
+	// and parallel mode must not lose badly to sequential when enough cores
+	// are present. The speedup threshold sits below 1.0 to absorb scheduler
+	// jitter on shared CI runners — a genuine serialization regression shows
+	// up far below it, and the artifact records the exact ratio either way.
+	if a.Sequential.AllocsPerOp > 240_000 {
+		t.Errorf("sequential shuffle allocs/op = %d, want <= 240000 (arena regression)", a.Sequential.AllocsPerOp)
+	}
+	if a.NumCPU >= 4 && a.ParallelSpeedup < 0.9 {
+		t.Errorf("parallel shuffle much slower than sequential on %d cores (speedup %.2fx)", a.NumCPU, a.ParallelSpeedup)
+	}
+}

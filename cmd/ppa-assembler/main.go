@@ -39,6 +39,7 @@ type cliOpts struct {
 	tip      int
 	editDist int
 	workers  int
+	parallel bool
 	labeler  string
 	rounds   int
 	minLen   int
@@ -62,6 +63,7 @@ func main() {
 	flag.IntVar(&o.tip, "tip", 80, "tip-length threshold")
 	flag.IntVar(&o.editDist, "editdist", 5, "bubble edit-distance threshold")
 	flag.IntVar(&o.workers, "workers", 4, "logical Pregel workers")
+	flag.BoolVar(&o.parallel, "parallel", false, "run workers on goroutines (multi-core; output is identical to sequential mode)")
 	flag.StringVar(&o.labeler, "labeler", "lr", "contig labeling algorithm: lr or sv")
 	flag.IntVar(&o.rounds, "rounds", 2, "labeling+merging rounds (1 = no error correction)")
 	flag.IntVar(&o.minLen, "minlen", 0, "omit contigs shorter than this from the output")
@@ -96,6 +98,7 @@ func run(o cliOpts) error {
 		TipLen:         o.tip,
 		BubbleEditDist: o.editDist,
 		Workers:        o.workers,
+		Parallel:       o.parallel,
 		Rounds:         o.rounds,
 		KeepGraph:      o.gfa != "",
 	}

@@ -42,13 +42,26 @@ func pairLess(a, b endPair) bool {
 // is pruned whenever a stronger parallel arm exists, regardless of edit
 // distance.
 func FilterBubbles(clock *pregel.SimClock, workers int, contigs [][]ContigRec, maxEditDist int, minArmCov uint32) (*BubbleResult, error) {
+	return FilterBubblesCfg(clock, pregel.MRConfig{Workers: workers, PairBytes: 64}, contigs, maxEditDist, minArmCov)
+}
+
+// FilterBubblesCfg is FilterBubbles with explicit shuffle configuration;
+// cfg.Parallel runs one mapper/reducer goroutine per worker.
+func FilterBubblesCfg(clock *pregel.SimClock, cfg pregel.MRConfig, contigs [][]ContigRec, maxEditDist int, minArmCov uint32) (*BubbleResult, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.PairBytes <= 0 {
+		cfg.PairBytes = 64
+	}
 	res := &BubbleResult{}
 	type keyed struct {
 		rec      ContigRec
 		inBubble bool
 	}
-	out, st := pregel.MapReduce(
-		clock, workers, 64,
+	prunedPerWorker := make([]int, cfg.Workers)
+	out, st := pregel.MapReduceCfg(
+		clock, cfg,
 		contigs,
 		func(w int, c ContigRec, emit func(endPair, keyed)) {
 			nb1, nb2 := c.Node.Adj[0].Nbr, c.Node.Adj[1].Nbr
@@ -122,13 +135,16 @@ func FilterBubbles(clock *pregel.SimClock, workers int, contigs [][]ContigRec, m
 			}
 			for i, kd := range group {
 				if pruned[i] {
-					res.Pruned++
+					prunedPerWorker[w]++
 					continue
 				}
 				emit(kd.rec)
 			}
 		},
 	)
+	for _, p := range prunedPerWorker {
+		res.Pruned += p
+	}
 	res.Contigs = out
 	res.Stats = st
 	return res, nil

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+
+	"ppaassembler/internal/fastx"
+	"ppaassembler/internal/genome"
+	"ppaassembler/internal/pregel"
+	"ppaassembler/internal/readsim"
+	"ppaassembler/internal/scaffold"
+)
+
+// assembleAndScaffoldOnce runs the full pipeline (assemble + scaffold) over
+// the example genome's paired reads and renders both FASTA outputs exactly
+// as cmd/ppa-assembler does, so byte equality here is byte equality of the
+// shipped artifacts.
+func assembleAndScaffoldOnce(t *testing.T, reads []string, pairs []scaffold.Pair, workers int, parallel bool) (contigFasta, scaffoldFasta []byte, res *Result, sres *scaffold.Result) {
+	t.Helper()
+	opt := DefaultOptions(workers)
+	opt.K = 21
+	opt.Parallel = parallel
+	res, err := Assemble(pregel.ShardSlice(reads, workers), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []fastx.Record
+	for i, c := range res.Contigs {
+		recs = append(recs, fastx.Record{
+			Name: fmt.Sprintf("contig_%d length=%d cov=%d", i+1, c.Len(), c.Node.Cov),
+			Seq:  c.Node.Seq.String(),
+		})
+	}
+	var cb bytes.Buffer
+	if err := fastx.WriteFasta(&cb, recs, 70); err != nil {
+		t.Fatal(err)
+	}
+	sres, scontigs, err := ScaffoldContigs(res, opt, pairs, scaffold.Options{
+		InsertMean: 600, InsertSD: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb bytes.Buffer
+	if err := fastx.WriteFasta(&sb, scaffold.Records(scontigs, sres.Scaffolds), 70); err != nil {
+		t.Fatal(err)
+	}
+	return cb.Bytes(), sb.Bytes(), res, sres
+}
+
+// exampleGenomeReads builds the deterministic paired-read set shared by the
+// determinism tests: a repeat-bearing reference, so scaffolding has real
+// joins to make.
+func exampleGenomeReads(t *testing.T) ([]string, []scaffold.Pair) {
+	t.Helper()
+	ref, err := genome.Generate(genome.Spec{
+		Name: "determinism", Length: 30_000, Repeats: 2, RepeatLen: 300, Seed: 41,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simPairs, err := readsim.SimulatePairs(ref, readsim.PairProfile{
+		Profile:    readsim.Profile{ReadLen: 100, Coverage: 18, Seed: 42},
+		InsertMean: 600, InsertSD: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := make([]scaffold.Pair, len(simPairs))
+	for i, p := range simPairs {
+		pairs[i] = scaffold.Pair{R1: p.R1, R2: p.R2}
+	}
+	return readsim.Interleave(simPairs), pairs
+}
+
+// TestPipelineParallelDeterminism is the engine-shuffle determinism contract
+// at pipeline scale: assembling and scaffolding the example genome with
+// Parallel: true must produce byte-identical contig and scaffold FASTA and
+// identical message/superstep statistics to sequential mode, for worker
+// counts 1, 4 and 7.
+func TestPipelineParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline determinism matrix is slow")
+	}
+	reads, pairs := exampleGenomeReads(t)
+	perWorkerSorted := map[int][]string{}
+	for _, workers := range []int{1, 4, 7} {
+		cSeq, sSeq, resSeq, sresSeq := assembleAndScaffoldOnce(t, reads, pairs, workers, false)
+		cPar, sPar, resPar, sresPar := assembleAndScaffoldOnce(t, reads, pairs, workers, true)
+		if !bytes.Equal(cSeq, cPar) {
+			t.Errorf("workers=%d: contig FASTA differs between Parallel=false and true", workers)
+		}
+		if !bytes.Equal(sSeq, sPar) {
+			t.Errorf("workers=%d: scaffold FASTA differs between Parallel=false and true", workers)
+		}
+		for _, cmp := range []struct {
+			name               string
+			seqMsgs, parMsgs   int64
+			seqSteps, parSteps int
+		}{
+			{"kmer-label", resSeq.KmerLabel.Messages, resPar.KmerLabel.Messages,
+				resSeq.KmerLabel.Supersteps, resPar.KmerLabel.Supersteps},
+			{"contig-label", resSeq.ContigLabel.Messages, resPar.ContigLabel.Messages,
+				resSeq.ContigLabel.Supersteps, resPar.ContigLabel.Supersteps},
+			{"scaffold", sresSeq.Stats.Messages, sresPar.Stats.Messages,
+				sresSeq.Stats.Supersteps, sresPar.Stats.Supersteps},
+		} {
+			if cmp.seqMsgs != cmp.parMsgs || cmp.seqSteps != cmp.parSteps {
+				t.Errorf("workers=%d %s: parallel stats (msgs=%d steps=%d) != sequential (msgs=%d steps=%d)",
+					workers, cmp.name, cmp.parMsgs, cmp.parSteps, cmp.seqMsgs, cmp.seqSteps)
+			}
+		}
+		perWorkerSorted[workers] = sortedContigSeqs(resSeq)
+	}
+	// Across worker counts the contig ordering (and so the FASTA bytes) may
+	// legitimately differ — contigs are named by the reducer that created
+	// them — but the assembled sequence content must not.
+	base := perWorkerSorted[1]
+	for _, workers := range []int{4, 7} {
+		got := perWorkerSorted[workers]
+		if len(got) != len(base) {
+			t.Errorf("workers=%d produced %d contigs, workers=1 produced %d", workers, len(got), len(base))
+			continue
+		}
+		for i := range base {
+			if got[i] != base[i] {
+				t.Errorf("workers=%d: contig sequence set differs from workers=1 (first at %d)", workers, i)
+				break
+			}
+		}
+	}
+}
+
+// sortedContigSeqs canonicalizes an assembly's contig set: each contig as
+// the lexicographically smaller of itself and its reverse complement, the
+// whole set sorted.
+func sortedContigSeqs(res *Result) []string {
+	out := make([]string, 0, len(res.Contigs))
+	for _, c := range res.Contigs {
+		s := c.Node.Seq.String()
+		if rc := c.Node.Seq.ReverseComplement().String(); rc < s {
+			s = rc
+		}
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestPipelineRepeatRunsIdentical: two identical parallel runs produce the
+// same bytes (no hidden dependence on scheduling or map iteration).
+func TestPipelineRepeatRunsIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline determinism matrix is slow")
+	}
+	reads, pairs := exampleGenomeReads(t)
+	c1, s1, _, _ := assembleAndScaffoldOnce(t, reads, pairs, 4, true)
+	c2, s2, _, _ := assembleAndScaffoldOnce(t, reads, pairs, 4, true)
+	if !bytes.Equal(c1, c2) {
+		t.Error("two identical parallel runs produced different contig FASTA")
+	}
+	if !bytes.Equal(s1, s2) {
+		t.Error("two identical parallel runs produced different scaffold FASTA")
+	}
+}

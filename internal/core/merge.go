@@ -54,25 +54,31 @@ func MergeContigs(g *Graph, k, tipLen int) (*MergeResult, error) {
 		}
 	})
 
+	// Reducers run concurrently under Parallel (reduceFn(w, ...) is only
+	// ever called from reducer w), so every side effect — ordinal
+	// assignment, group/tip counters, error capture — is partitioned by
+	// reducer index and folded after the shuffle.
 	res := &MergeResult{}
 	ordinals := make([]uint32, workers)
-	var firstErr error
-	out, st := pregel.MapReduce(
-		g.Clock(), workers, 64, // id + packed node on the wire, rough charge
-		input,
+	groups := make([]int, workers)
+	droppedTips := make([]int, workers)
+	errs := make([]error, workers)
+	out, st := pregel.MapReduceCfg(
+		g.Clock(), pregel.MRConfig{Workers: workers, PairBytes: 64, Parallel: g.Config().Parallel},
+		input, // 64 ≈ id + packed node on the wire, rough charge
 		func(w int, m member, emit func(uint64, member)) {
 			emit(uint64(m.label), m)
 		},
 		pregel.Uint64Hash,
 		func(a, b uint64) bool { return a < b },
 		func(w int, key uint64, group []member, emit func(ContigRec)) {
-			res.Groups++
+			groups[w]++
 			rec, dropped, err := stitchGroup(w, &ordinals[w], group, k, tipLen)
-			if err != nil && firstErr == nil {
-				firstErr = err
+			if err != nil && errs[w] == nil {
+				errs[w] = err
 			}
 			if dropped {
-				res.DroppedTips++
+				droppedTips[w]++
 				return
 			}
 			if err == nil {
@@ -80,8 +86,12 @@ func MergeContigs(g *Graph, k, tipLen int) (*MergeResult, error) {
 			}
 		},
 	)
-	if firstErr != nil {
-		return nil, firstErr
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			return nil, errs[w]
+		}
+		res.Groups += groups[w]
+		res.DroppedTips += droppedTips[w]
 	}
 	res.Contigs = out
 	res.Stats = st

@@ -166,7 +166,7 @@ func Assemble(readShards [][]string, opt Options) (*Result, error) {
 	}
 
 	// ④ Bubble filtering.
-	bub, err := FilterBubbles(clock, opt.Workers, merge1.Contigs, opt.BubbleEditDist, opt.BubbleMinCov)
+	bub, err := FilterBubblesCfg(clock, pregel.MRConfig{Workers: opt.Workers, Parallel: opt.Parallel}, merge1.Contigs, opt.BubbleEditDist, opt.BubbleMinCov)
 	if err != nil {
 		return nil, err
 	}

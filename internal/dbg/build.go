@@ -51,8 +51,13 @@ func BuildDBG(clock *pregel.SimClock, cfg pregel.Config, readShards [][]string, 
 	for w := 0; w < workers && w < len(readShards); w++ {
 		shardItems[w] = [][]string{readShards[w]}
 	}
-	k1Shards, st1 := pregel.MapReduce(
-		clock, workers, 12, // ~8-byte key + varint count on the wire
+	// Reduce UDFs run concurrently (one reducer per worker) under Parallel,
+	// so the θ-filter counters accumulate per reducer and fold afterwards.
+	mrCfg := pregel.MRConfig{Workers: workers, PairBytes: 12, Parallel: cfg.Parallel}
+	k1Distinct := make([]int64, workers)
+	k1Kept := make([]int64, workers)
+	k1Shards, st1 := pregel.MapReduceCfg(
+		clock, mrCfg, // ~8-byte key + varint count on the wire
 		shardItems,
 		func(w int, reads []string, emit func(uint64, uint32)) {
 			local := make(map[dna.Kmer]uint32)
@@ -73,21 +78,26 @@ func BuildDBG(clock *pregel.SimClock, cfg pregel.Config, readShards [][]string, 
 			for _, c := range counts {
 				total += c
 			}
-			res.K1Distinct++
+			k1Distinct[w]++
 			if total > theta {
-				res.K1Kept++
+				k1Kept[w]++
 				emit(K1Mer{ID: dna.Kmer(key), Cov: total})
 			}
 		},
 	)
+	for w := 0; w < workers; w++ {
+		res.K1Distinct += k1Distinct[w]
+		res.K1Kept += k1Kept[w]
+	}
 	res.Stats.Add(st1)
 
 	// Phase (ii): one adjacency item per (k+1)-mer endpoint.
 	type partial struct {
 		item AdjKmer
 	}
-	vertShards, st2 := pregel.MapReduce(
-		clock, workers, 10, // 8-byte key + 1-byte item + varint cov
+	mrCfg.PairBytes = 10 // 8-byte key + 1-byte item + varint cov
+	vertShards, st2 := pregel.MapReduceCfg(
+		clock, mrCfg,
 		k1Shards,
 		func(w int, e K1Mer, emit func(uint64, partial)) {
 			srcID, srcItem, dstID, dstItem := EdgeEndpoints(e, k)

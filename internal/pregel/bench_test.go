@@ -51,6 +51,65 @@ func BenchmarkMessageThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkShuffle is the engine's shuffle-heavy regression workload: 20k
+// vertices each fan out 8 messages per superstep for 6 supersteps, with and
+// without goroutine-per-worker execution. Allocations per op track the
+// arena reuse of the message path; msgs/s tracks end-to-end shuffle
+// throughput. cmd-level tooling (bench_pregel_test.go at the repo root)
+// re-runs this workload and emits BENCH_pregel.json.
+func BenchmarkShuffle(b *testing.B) {
+	for _, parallel := range []bool{false, true} {
+		name := "sequential"
+		if parallel {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			st, msgs := runShuffleWorkload(b, parallel, 4)
+			_ = st
+			b.ReportMetric(float64(msgs)/b.Elapsed().Seconds(), "msgs/s")
+		})
+	}
+}
+
+// runShuffleWorkload runs the canonical shuffle benchmark job b.N times and
+// returns the last run's stats plus total messages across all runs.
+func runShuffleWorkload(b *testing.B, parallel bool, workers int) (*Stats, int64) {
+	b.Helper()
+	const (
+		n      = 20_000
+		fanout = 8
+		steps  = 6
+	)
+	g := NewGraph[int64, int64](Config{Workers: workers, Parallel: parallel})
+	for i := 0; i < n; i++ {
+		g.AddVertex(VertexID(i), 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var st *Stats
+	var err error
+	var msgs int64
+	for i := 0; i < b.N; i++ {
+		st, err = g.Run(func(ctx *Context[int64], id VertexID, val *int64, in []int64) {
+			for _, m := range in {
+				*val += m
+			}
+			if ctx.Superstep() >= steps {
+				ctx.VoteToHalt()
+				return
+			}
+			for j := 0; j < fanout; j++ {
+				ctx.Send(VertexID((uint64(id)*2654435761+uint64(j)*40503+7)%n), int64(id)+int64(j))
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		msgs += st.Messages
+	}
+	return st, msgs
+}
+
 // BenchmarkMapReduceShuffle measures the mini-MapReduce over 100k pairs.
 func BenchmarkMapReduceShuffle(b *testing.B) {
 	const n = 100_000

@@ -1,6 +1,9 @@
 package pregel
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // MapReduce is the paper's first Pregel+ API extension (§II): a mini
 // MapReduce procedure used during graph loading and for the grouping steps
@@ -16,6 +19,11 @@ import "sort"
 // Cost: the clock is charged one shuffle round — barrier latency + slowest
 // mapper + most-loaded link — and one reduce round. pairBytes is the charged
 // wire size of one shuffled pair.
+//
+// The vals slice passed to reduceFn aliases a per-reducer arena and is only
+// valid for the duration of that reduce call; copy it to retain it.
+//
+// MapReduce runs sequentially; MapReduceCfg adds multi-core execution.
 func MapReduce[I, K, V, O any](
 	clock *SimClock,
 	workers int,
@@ -26,73 +34,146 @@ func MapReduce[I, K, V, O any](
 	keyLess func(K, K) bool,
 	reduceFn func(worker int, key K, vals []V, emit func(O)),
 ) ([][]O, *Stats) {
-	if workers <= 0 {
-		workers = 1
+	return MapReduceCfg(clock, MRConfig{Workers: workers, PairBytes: pairBytes},
+		input, mapFn, keyHash, keyLess, reduceFn)
+}
+
+// MRConfig configures one MapReduceCfg run.
+type MRConfig struct {
+	// Workers is the number of logical workers (map shards / reducers).
+	Workers int
+	// PairBytes is the charged wire size of one shuffled (key, value) pair.
+	// Zero means DefaultMessageBytes.
+	PairBytes int
+	// Parallel runs the map phase on one goroutine per source worker and the
+	// shuffle+sort+reduce phase on one goroutine per destination worker.
+	// Each mapper writes only its own per-destination buckets and each
+	// reducer drains only the bucket lanes addressed to it, mirroring the
+	// Pregel engine's shuffle; the output is identical to sequential
+	// execution. Map and reduce UDFs are then called concurrently from
+	// different workers and must not write shared state without
+	// per-worker partitioning.
+	Parallel bool
+}
+
+func (c MRConfig) withDefaults() MRConfig {
+	if c.Workers <= 0 {
+		c.Workers = 1
 	}
-	if pairBytes <= 0 {
-		pairBytes = DefaultMessageBytes
+	if c.PairBytes <= 0 {
+		c.PairBytes = DefaultMessageBytes
 	}
+	return c
+}
+
+// MapReduceCfg is MapReduce with explicit configuration, including parallel
+// per-worker execution (see MRConfig.Parallel).
+//
+// The vals slice passed to reduceFn aliases a per-reducer arena and is only
+// valid for the duration of that reduce call.
+func MapReduceCfg[I, K, V, O any](
+	clock *SimClock,
+	cfg MRConfig,
+	input [][]I,
+	mapFn func(worker int, item I, emit func(K, V)),
+	keyHash func(K) uint64,
+	keyLess func(K, K) bool,
+	reduceFn func(worker int, key K, vals []V, emit func(O)),
+) ([][]O, *Stats) {
+	cfg = cfg.withDefaults()
+	workers := cfg.Workers
 	type pair struct {
 		k K
 		v V
 	}
 	stats := &Stats{Name: "mapreduce", Workers: workers}
 
-	// Map phase: each worker maps its shard into per-destination buckets.
+	// Map phase: each worker maps its shard into per-destination lanes.
 	buckets := make([][][]pair, workers) // [src][dst][]pair
 	mapNs := make([]float64, workers)
 	outBytes := make([]float64, workers)
-	for w := 0; w < workers; w++ {
+	emitted := make([]int64, workers)
+	mapWorker := func(w int) {
 		buckets[w] = make([][]pair, workers)
 		if w >= len(input) {
-			continue
+			return
 		}
 		start := nowNs()
-		emitted := int64(0)
 		for _, item := range input[w] {
 			mapFn(w, item, func(k K, v V) {
 				d := int(keyHash(k) % uint64(workers))
 				buckets[w][d] = append(buckets[w][d], pair{k, v})
-				emitted++
+				emitted[w]++
 			})
 		}
 		mapNs[w] = float64(nowNs() - start)
-		outBytes[w] = float64(emitted) * float64(pairBytes)
-		stats.Messages += emitted
-		stats.Bytes += emitted * int64(pairBytes)
+	}
+	forEachWorker(workers, cfg.Parallel, mapWorker)
+	for w := 0; w < workers; w++ {
+		outBytes[w] = float64(emitted[w]) * float64(cfg.PairBytes)
+		stats.Messages += emitted[w]
+		stats.Bytes += emitted[w] * int64(cfg.PairBytes)
 	}
 	clock.ChargeSuperstep(mapNs, outBytes)
 
-	// Shuffle + sort + reduce phase.
+	// Shuffle + sort + reduce phase: destination worker d drains the lanes
+	// buckets[*][d] into one flat pair arena (sized exactly), sorts it, and
+	// reduces each key group against a values arena shared across groups.
 	out := make([][]O, workers)
 	redNs := make([]float64, workers)
-	for d := 0; d < workers; d++ {
-		var pairs []pair
+	reduceWorker := func(d int) {
+		total := 0
+		for s := 0; s < workers; s++ {
+			total += len(buckets[s][d])
+		}
+		pairs := make([]pair, 0, total)
 		for s := 0; s < workers; s++ {
 			pairs = append(pairs, buckets[s][d]...)
 			buckets[s][d] = nil
 		}
 		start := nowNs()
 		sort.SliceStable(pairs, func(a, b int) bool { return keyLess(pairs[a].k, pairs[b].k) })
+		vals := make([]V, len(pairs))
+		for i, p := range pairs {
+			vals[i] = p.v
+		}
+		emit := func(o O) { out[d] = append(out[d], o) }
 		i := 0
 		for i < len(pairs) {
 			j := i + 1
 			for j < len(pairs) && !keyLess(pairs[i].k, pairs[j].k) && !keyLess(pairs[j].k, pairs[i].k) {
 				j++
 			}
-			vals := make([]V, 0, j-i)
-			for _, p := range pairs[i:j] {
-				vals = append(vals, p.v)
-			}
-			reduceFn(d, pairs[i].k, vals, func(o O) { out[d] = append(out[d], o) })
+			reduceFn(d, pairs[i].k, vals[i:j], emit)
 			i = j
 		}
 		redNs[d] = float64(nowNs() - start)
 	}
+	forEachWorker(workers, cfg.Parallel, reduceWorker)
 	clock.ChargeSuperstep(redNs, make([]float64, workers))
 	stats.Supersteps = 2
 	stats.SimSeconds = clock.Seconds()
 	return out, stats
+}
+
+// forEachWorker runs fn(w) for every worker index, on one goroutine per
+// worker when parallel is set.
+func forEachWorker(workers int, parallel bool, fn func(w int)) {
+	if !parallel || workers <= 1 {
+		for w := 0; w < workers; w++ {
+			fn(w)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			fn(w)
+		}(w)
+	}
+	wg.Wait()
 }
 
 // Uint64Hash is a keyHash for uint64-like keys (it applies the same mixing

@@ -16,7 +16,6 @@ package pregel
 import (
 	"fmt"
 	"sort"
-	"sync"
 )
 
 // VertexID identifies a vertex. The assembler encodes k-mer sequences and
@@ -37,10 +36,13 @@ func hashID(id VertexID) uint64 {
 type Config struct {
 	// Workers is the number of logical workers (simulated machines).
 	Workers int
-	// Parallel runs workers on goroutines. The default (false) runs them
-	// sequentially, which is deterministic and gives exact per-worker
-	// compute timings for the simulated clock; on a single-core host it is
-	// also just as fast.
+	// Parallel runs workers on goroutines — one per worker for compute and
+	// again for message delivery (each destination worker drains the
+	// outbox lanes addressed to it). Results are bit-identical to
+	// sequential execution for any worker count; only wall-clock time
+	// changes. The default (false) runs workers sequentially, which gives
+	// the least-noisy per-worker compute timings for the simulated clock
+	// and is just as fast on a single-core host.
 	Parallel bool
 	// MessageBytes is the charged wire size of one message for the cost
 	// model and byte metrics. Zero means DefaultMessageBytes.
@@ -90,17 +92,42 @@ type envelope[M any] struct {
 // worker holds one partition of the vertex set. Vertices are kept in a
 // slice sorted by ID (plus an index map) so iteration order — and therefore
 // message emission order and the whole computation — is deterministic.
+//
+// The message path is arena-based: outgoing messages accumulate in per-
+// destination-worker lanes (outbox), and incoming messages live in one flat
+// per-worker arena (inArena) grouped by destination vertex via an offset
+// index (inOff). Lanes and arenas keep their capacity across supersteps, so
+// the steady-state shuffle allocates nothing. Each (src,dst) lane is written
+// only by its source worker during compute and read only by its destination
+// worker during delivery, which is what makes both phases safe to run on one
+// goroutine per worker with no locks.
 type worker[V, M any] struct {
-	ids     []VertexID
-	idx     map[VertexID]int
-	vals    []V
-	active  []bool
-	dead    []bool
-	inbox   [][]M
-	nextIn  [][]M
-	outbox  [][]envelope[M] // one slice per destination worker
+	ids    []VertexID
+	idx    map[VertexID]int
+	vals   []V
+	active []bool
+	dead   []bool
+
+	// Inbox arena: messages for vertex i occupy inArena[inOff[i]:inOff[i+1]],
+	// in (source worker, emission) order. inCur and rIdx are delivery
+	// scratch (placement cursors; resolved vertex index per envelope).
+	inArena []M
+	inOff   []int32
+	inCur   []int32
+	rIdx    []int32
+
+	outbox [][]envelope[M]      // one lane per destination worker
+	fold   []map[VertexID]int32 // eager-combine index: dst vertex -> lane position
+
+	ctx     Context[M]
 	nDead   int
 	msgsOut int64 // messages sent by this worker in current superstep
+
+	// Per-superstep delivery results, filled by deliverTo (this worker as
+	// the destination), folded into run totals after the barrier.
+	delivered  int64
+	dropped    int64
+	deliverErr error
 }
 
 func (w *worker[V, M]) vertexCount() int { return len(w.ids) - w.nDead }
@@ -114,6 +141,10 @@ type Graph[V, M any] struct {
 	clock    *SimClock
 	agg      *aggState
 	combiner func(a, b M) M
+
+	// Per-superstep scratch, reused across supersteps and runs.
+	computeNs      []float64
+	bytesPerWorker []float64
 }
 
 // NewGraph creates an empty graph with the given configuration.
@@ -128,6 +159,10 @@ func NewGraph[V, M any](cfg Config) *Graph[V, M] {
 
 // Workers returns the number of logical workers.
 func (g *Graph[V, M]) Workers() int { return g.cfg.Workers }
+
+// Config returns the (defaulted) configuration the graph was built with, so
+// downstream stages can inherit Parallel/Strict/cost settings.
+func (g *Graph[V, M]) Config() Config { return g.cfg }
 
 // Clock returns the simulated-cluster clock shared by all jobs on g.
 func (g *Graph[V, M]) Clock() *SimClock { return g.clock }
@@ -154,8 +189,6 @@ func (g *Graph[V, M]) AddVertex(id VertexID, val V) {
 	w.vals = append(w.vals, val)
 	w.active = append(w.active, true)
 	w.dead = append(w.dead, false)
-	w.inbox = append(w.inbox, nil)
-	w.nextIn = append(w.nextIn, nil)
 }
 
 // sortVertices restores sorted-by-ID order inside each worker and compacts
@@ -178,8 +211,6 @@ func (g *Graph[V, M]) sortVertices() {
 		w.vals = make([]V, n)
 		w.active = make([]bool, n)
 		w.dead = make([]bool, n)
-		w.inbox = make([][]M, n)
-		w.nextIn = make([][]M, n)
 		w.idx = make(map[VertexID]int, n)
 		w.nDead = 0
 		for i, r := range recs {
@@ -188,7 +219,24 @@ func (g *Graph[V, M]) sortVertices() {
 			w.active[i] = true
 			w.idx[r.id] = i
 		}
+		// Empty inbox arena sized for the new vertex count: all offsets
+		// zero, so the first superstep sees no messages.
+		w.inArena = w.inArena[:0]
+		w.inOff = growInt32(w.inOff, n+1)
+		for i := range w.inOff {
+			w.inOff[i] = 0
+		}
+		w.inCur = growInt32(w.inCur, n)
 	}
+}
+
+// growInt32 returns s resized to n, reallocating only when capacity is
+// insufficient.
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
 }
 
 // VertexCount returns the number of live vertices.
@@ -309,22 +357,14 @@ func (g *Graph[V, M]) Run(compute Compute[V, M], opts ...RunOption) (*Stats, err
 			break
 		}
 
-		computeNs := make([]float64, g.cfg.Workers)
-		if g.cfg.Parallel && g.cfg.Workers > 1 {
-			var wg sync.WaitGroup
-			for wi := range g.workers {
-				wg.Add(1)
-				go func(wi int) {
-					defer wg.Done()
-					computeNs[wi] = g.runWorker(wi, step, compute)
-				}(wi)
-			}
-			wg.Wait()
-		} else {
-			for wi := range g.workers {
-				computeNs[wi] = g.runWorker(wi, step, compute)
-			}
+		if g.computeNs == nil {
+			g.computeNs = make([]float64, g.cfg.Workers)
+			g.bytesPerWorker = make([]float64, g.cfg.Workers)
 		}
+		computeNs := g.computeNs
+		forEachWorker(g.cfg.Workers, g.cfg.Parallel, func(wi int) {
+			computeNs[wi] = g.runWorker(wi, step, compute)
+		})
 
 		// Barrier: deliver messages, apply aggregator values, record stats.
 		delivered, dropped, err := g.deliver()
@@ -335,7 +375,7 @@ func (g *Graph[V, M]) Run(compute Compute[V, M], opts ...RunOption) (*Stats, err
 		for _, w := range g.workers {
 			msgs += w.msgsOut
 		}
-		bytesPerWorker := make([]float64, g.cfg.Workers)
+		bytesPerWorker := g.bytesPerWorker
 		for wi, w := range g.workers {
 			bytesPerWorker[wi] = float64(w.msgsOut) * float64(g.cfg.MessageBytes)
 		}
@@ -361,14 +401,26 @@ func (g *Graph[V, M]) runWorker(wi, step int, compute Compute[V, M]) float64 {
 	for i := range w.outbox {
 		w.outbox[i] = w.outbox[i][:0]
 	}
+	if g.combiner != nil {
+		if w.fold == nil {
+			w.fold = make([]map[VertexID]int32, g.cfg.Workers)
+			for i := range w.fold {
+				w.fold[i] = make(map[VertexID]int32)
+			}
+		}
+		for _, m := range w.fold {
+			clear(m)
+		}
+	}
 	w.msgsOut = 0
-	ctx := &Context[M]{g: gAdapter[V, M]{g}, worker: wi, superstep: step}
+	w.ctx = Context[M]{g: gAdapter[V, M]{g}, worker: wi, superstep: step}
+	ctx := &w.ctx
 	start := nowNs()
 	for i := range w.ids {
 		if w.dead[i] {
 			continue
 		}
-		msgs := w.inbox[i]
+		msgs := w.inArena[w.inOff[i]:w.inOff[i+1]]
 		if len(msgs) > 0 {
 			w.active[i] = true
 		}
@@ -384,20 +436,15 @@ func (g *Graph[V, M]) runWorker(wi, step int, compute Compute[V, M]) float64 {
 		} else if ctx.halt {
 			w.active[i] = false
 		}
-		w.inbox[i] = nil
-	}
-	if g.combiner != nil {
-		w.msgsOut = 0
-		for d := range w.outbox {
-			w.outbox[d] = combineEnvelopes(w.outbox[d], g.combiner)
-			w.msgsOut += int64(len(w.outbox[d]))
-		}
 	}
 	return float64(nowNs() - start)
 }
 
 // combineEnvelopes folds messages sharing a destination, preserving the
-// first-occurrence order of destinations for determinism.
+// first-occurrence order of destinations for determinism. It is the
+// reference semantics of the engine's eager at-Send combine (which folds
+// into the same lane positions in the same left-to-right order); the fuzz
+// suite asserts the two stay equivalent.
 func combineEnvelopes[M any](envs []envelope[M], fn func(a, b M) M) []envelope[M] {
 	if len(envs) < 2 {
 		return envs
@@ -415,42 +462,109 @@ func combineEnvelopes[M any](envs []envelope[M], fn func(a, b M) M) []envelope[M
 	return out
 }
 
-// deliver routes every outbox envelope into the destination vertex's inbox
-// for the next superstep, reactivating recipients.
+// deliver routes every outbox envelope into the destination worker's inbox
+// arena for the next superstep. Each destination worker drains the lanes
+// addressed to it — concurrently in Parallel mode, since no two destination
+// workers touch the same lane or arena — and the per-worker results are
+// folded after the implicit join. The result is bit-identical to the
+// sequential path because each worker's arena depends only on lane contents,
+// which are fixed at the compute barrier.
 func (g *Graph[V, M]) deliver() (delivered, dropped int64, err error) {
-	for _, src := range g.workers {
-		for dwi, envs := range src.outbox {
-			dst := g.workers[dwi]
-			for _, e := range envs {
-				i, ok := dst.idx[e.dst]
-				if !ok || dst.dead[i] {
-					dropped++
-					if g.cfg.Strict {
-						return delivered, dropped, fmt.Errorf("pregel: message to nonexistent vertex %d", e.dst)
-					}
-					continue
-				}
-				dst.nextIn[i] = append(dst.nextIn[i], e.msg)
-				delivered++
-			}
-		}
-	}
+	forEachWorker(g.cfg.Workers, g.cfg.Parallel, g.deliverTo)
 	for _, w := range g.workers {
-		w.inbox, w.nextIn = w.nextIn, w.inbox
-		for i := range w.nextIn {
-			w.nextIn[i] = nil
+		delivered += w.delivered
+		dropped += w.dropped
+		if err == nil && w.deliverErr != nil {
+			err = w.deliverErr
 		}
 	}
-	return delivered, dropped, nil
+	return delivered, dropped, err
+}
+
+// deliverTo rebuilds destination worker dwi's inbox arena from the lanes
+// addressed to it: a counting pass resolves each envelope's vertex index and
+// tallies per-vertex counts, a prefix sum lays out the offset index, and a
+// placement pass copies messages into their group. Iterating lanes in source-
+// worker order in both passes preserves the engine's historical delivery
+// order (source worker, then emission order) within each vertex's messages.
+func (g *Graph[V, M]) deliverTo(dwi int) {
+	dst := g.workers[dwi]
+	dst.delivered, dst.dropped, dst.deliverErr = 0, 0, nil
+	n := len(dst.ids)
+	total := 0
+	for _, src := range g.workers {
+		total += len(src.outbox[dwi])
+	}
+	dst.rIdx = growInt32(dst.rIdx, total)
+	counts := dst.inCur[:n]
+	for i := range counts {
+		counts[i] = 0
+	}
+	m := 0
+	for _, src := range g.workers {
+		for _, e := range src.outbox[dwi] {
+			i, ok := dst.idx[e.dst]
+			if !ok || dst.dead[i] {
+				dst.rIdx[m] = -1
+				dst.dropped++
+				if g.cfg.Strict && dst.deliverErr == nil {
+					dst.deliverErr = fmt.Errorf("pregel: message to nonexistent vertex %d", e.dst)
+				}
+			} else {
+				dst.rIdx[m] = int32(i)
+				counts[i]++
+				dst.delivered++
+			}
+			m++
+		}
+	}
+	off := int32(0)
+	for i := 0; i < n; i++ {
+		c := counts[i]
+		dst.inOff[i] = off
+		counts[i] = off // becomes the placement cursor
+		off += c
+	}
+	dst.inOff[n] = off
+	if cap(dst.inArena) < int(off) {
+		dst.inArena = make([]M, off)
+	} else {
+		dst.inArena = dst.inArena[:off]
+	}
+	m = 0
+	for _, src := range g.workers {
+		for _, e := range src.outbox[dwi] {
+			if i := dst.rIdx[m]; i >= 0 {
+				dst.inArena[counts[i]] = e.msg
+				counts[i]++
+			}
+			m++
+		}
+	}
 }
 
 // gAdapter lets Context stay non-generic in V by capturing only what it
 // needs from the graph.
 type gAdapter[V, M any] struct{ g *Graph[V, M] }
 
+// send routes one message into the source worker's lane for the destination
+// worker. With a combiner installed it folds eagerly: the lane holds at most
+// one envelope per destination vertex and new messages fold into it in
+// emission order, so lanes never hold pre-combine volume and the result is
+// identical to a post-compute combineEnvelopes pass.
 func (a gAdapter[V, M]) send(from int, dst VertexID, m M) {
-	w := a.g.workers[from]
-	dwi := a.g.WorkerOf(dst)
+	g := a.g
+	w := g.workers[from]
+	dwi := g.WorkerOf(dst)
+	if g.combiner != nil {
+		fm := w.fold[dwi]
+		if i, ok := fm[dst]; ok {
+			lane := w.outbox[dwi]
+			lane[i].msg = g.combiner(lane[i].msg, m)
+			return
+		}
+		fm[dst] = int32(len(w.outbox[dwi]))
+	}
 	w.outbox[dwi] = append(w.outbox[dwi], envelope[M]{dst, m})
 	w.msgsOut++
 }

@@ -68,20 +68,23 @@ func (s *sampleStats) sd() float64 {
 // bundleLinks is the mapping-and-link-building mini-MapReduce: map places
 // both mates of each pair and emits either a link observation (mates on two
 // contigs) or an insert-size sample (mates properly oriented on one contig);
-// reduce bundles observations per oriented join. Pair counters on res are
-// updated as a side effect (the map phase runs sequentially per worker).
+// reduce bundles observations per oriented join. Mappers run concurrently
+// under opt.Parallel, so the pair counters accumulate per map worker and
+// fold into res after the shuffle.
 func bundleLinks(ix *contigIndex, pairs []Pair, opt Options, clock *pregel.SimClock, res *Result) ([]linkBundle, sampleStats, *pregel.Stats) {
 	shards := pregel.ShardSlice(pairs, opt.Workers)
-	out, st := pregel.MapReduce(
-		clock, opt.Workers, 24, // key + span on the wire
-		shards,
+	type pairCounts struct{ placed, sameContig, linking int }
+	counts := make([]pairCounts, opt.Workers)
+	out, st := pregel.MapReduceCfg(
+		clock, pregel.MRConfig{Workers: opt.Workers, PairBytes: 24, Parallel: opt.Parallel},
+		shards, // 24 ≈ key + span on the wire
 		func(w int, p Pair, emit func(linkKey, float64)) {
 			p1, ok1 := ix.place(p.R1)
 			p2, ok2 := ix.place(p.R2)
 			if !ok1 || !ok2 {
 				return
 			}
-			res.PairsPlaced++
+			counts[w].placed++
 			c1, c2 := &ix.contigs[p1.contig], &ix.contigs[p2.contig]
 			if p1.contig == p2.contig {
 				// Same contig: a properly oriented (FR) pair measures the
@@ -98,7 +101,7 @@ func bundleLinks(ix *contigIndex, pairs []Pair, opt Options, clock *pregel.SimCl
 				if ins <= 0 {
 					return // everted pair
 				}
-				res.PairsSameContig++
+				counts[w].sameContig++
 				emit(linkKey{A: c1.ID, B: c1.ID, EA: L, EB: L}, float64(ins))
 				return
 			}
@@ -108,7 +111,7 @@ func bundleLinks(ix *contigIndex, pairs []Pair, opt Options, clock *pregel.SimCl
 			if key.B < key.A {
 				key = linkKey{A: key.B, EA: key.EB, B: key.A, EB: key.EA}
 			}
-			res.PairsLinking++
+			counts[w].linking++
 			emit(key, float64(d1+d2))
 		},
 		linkKeyHash,
@@ -123,6 +126,11 @@ func bundleLinks(ix *contigIndex, pairs []Pair, opt Options, clock *pregel.SimCl
 		},
 	)
 	st.Name = "scaffold-links-mr"
+	for _, c := range counts {
+		res.PairsPlaced += c.placed
+		res.PairsSameContig += c.sameContig
+		res.PairsLinking += c.linking
+	}
 
 	var links []linkBundle
 	var inserts sampleStats
