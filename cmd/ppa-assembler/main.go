@@ -51,6 +51,11 @@ type cliOpts struct {
 	insertSD    float64
 	minSupport  int
 	scafMinLen  int
+
+	checkpoint string
+	ckptEvery  int
+	faultPlan  string
+	resume     bool
 }
 
 func main() {
@@ -74,6 +79,10 @@ func main() {
 	flag.Float64Var(&o.insertSD, "insertsd", 0, "insert-size standard deviation (0 = estimate)")
 	flag.IntVar(&o.minSupport, "minsupport", 3, "minimum read pairs supporting a scaffold link")
 	flag.IntVar(&o.scafMinLen, "scafminlen", 500, "exclude shorter contigs from scaffold linking")
+	flag.StringVar(&o.checkpoint, "checkpoint", "", "checkpoint directory for fault tolerance (empty with -ckpt-every set = in-memory checkpoints)")
+	flag.IntVar(&o.ckptEvery, "ckpt-every", 0, "checkpoint every N supersteps (0 = no checkpointing; implied 5 when -checkpoint or -faultplan is set)")
+	flag.StringVar(&o.faultPlan, "faultplan", "", "inject simulated worker crashes: comma-separated ROUND:WORKER pairs counted over all BSP rounds, e.g. \"12:0,57:3\"")
+	flag.BoolVar(&o.resume, "resume", false, "resume a killed run from the checkpoints in -checkpoint")
 	flag.Parse()
 	o.theta = uint32(theta)
 	if o.in == "" {
@@ -92,6 +101,9 @@ func run(o cliOpts) error {
 	if o.gfa != "" && o.rounds != 2 {
 		return fmt.Errorf("-gfa requires -rounds 2 (the graph is built during error correction)")
 	}
+	if o.resume && o.checkpoint == "" {
+		return fmt.Errorf("-resume requires -checkpoint (there is nothing to resume from in-memory checkpoints)")
+	}
 	opt := core.Options{
 		K:              o.k,
 		Theta:          o.theta,
@@ -101,6 +113,27 @@ func run(o cliOpts) error {
 		Parallel:       o.parallel,
 		Rounds:         o.rounds,
 		KeepGraph:      o.gfa != "",
+		Resume:         o.resume,
+	}
+	// A checkpoint directory or a fault plan implies checkpointing even if
+	// no cadence was given.
+	opt.CheckpointEvery = o.ckptEvery
+	if opt.CheckpointEvery <= 0 && (o.checkpoint != "" || o.faultPlan != "") {
+		opt.CheckpointEvery = 5
+	}
+	if o.checkpoint != "" {
+		store, err := pregel.NewDirCheckpointer(o.checkpoint)
+		if err != nil {
+			return err
+		}
+		opt.Checkpointer = store
+	}
+	if o.faultPlan != "" {
+		plan, err := pregel.ParseFaultPlan(o.faultPlan)
+		if err != nil {
+			return err
+		}
+		opt.Faults = plan
 	}
 	switch strings.ToLower(o.labeler) {
 	case "lr":
@@ -206,6 +239,10 @@ func run(o cliOpts) error {
 				sres.PairsPlaced, sres.PairsTotal)
 			fmt.Fprintf(os.Stderr, "scaffold jobs:     %d supersteps, %d messages, %.2fs simulated\n",
 				sres.Stats.Supersteps, sres.Stats.Messages, sres.SimSeconds)
+		}
+		if opt.Faults != nil {
+			fmt.Fprintf(os.Stderr, "faults injected:   %d/%d fired, all recovered (checkpoint every %d supersteps)\n",
+				opt.Faults.FiredCount(), opt.Faults.Scheduled(), opt.CheckpointEvery)
 		}
 		fmt.Fprintf(os.Stderr, "simulated time:    %.2fs (%d workers), wall %.2fs\n",
 			res.SimSeconds, o.workers, res.WallSeconds)

@@ -291,3 +291,73 @@ func TestLoadReadsMissingFile(t *testing.T) {
 		t.Fatal("missing file accepted")
 	}
 }
+
+// TestEndToEndFaultInjection drives the new fault-tolerance flags end to
+// end: the same input assembled with and without an injected mid-pipeline
+// crash (checkpointing to disk) must produce byte-identical contig FASTA.
+func TestEndToEndFaultInjection(t *testing.T) {
+	dir := t.TempDir()
+	ref, err := genome.Generate(genome.Spec{Name: "t", Length: 15_000, Seed: 91})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, err := readsim.Simulate(ref, readsim.Profile{ReadLen: 80, Coverage: 14, Seed: 92})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := writeReadsFastq(t, dir, reads)
+
+	clean := filepath.Join(dir, "clean.fasta")
+	o := defaultOpts(in, clean)
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+
+	faulty := filepath.Join(dir, "faulty.fasta")
+	o = defaultOpts(in, faulty)
+	o.checkpoint = filepath.Join(dir, "ckpts")
+	o.ckptEvery = 3
+	o.faultPlan = "7:1,15:2"
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := os.ReadFile(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), ">") || string(a) != string(b) {
+		t.Error("fault-injected run did not recover to byte-identical contigs")
+	}
+	entries, err := os.ReadDir(o.checkpoint)
+	if err != nil || len(entries) == 0 {
+		t.Errorf("no checkpoint files written to %s (err=%v)", o.checkpoint, err)
+	}
+}
+
+// TestCLIRejectsResumeWithoutDir: -resume without -checkpoint is a flag
+// error reported before any work is done.
+func TestCLIRejectsResumeWithoutDir(t *testing.T) {
+	dir := t.TempDir()
+	in := writeReadsFastq(t, dir, []string{"ACGTACGTACGTACGT"})
+	o := defaultOpts(in, filepath.Join(dir, "out.fasta"))
+	o.resume = true
+	if err := run(o); err == nil {
+		t.Fatal("-resume without -checkpoint accepted")
+	}
+}
+
+// TestCLIRejectsBadFaultPlan: a malformed -faultplan fails fast.
+func TestCLIRejectsBadFaultPlan(t *testing.T) {
+	dir := t.TempDir()
+	in := writeReadsFastq(t, dir, []string{"ACGTACGTACGTACGT"})
+	o := defaultOpts(in, filepath.Join(dir, "out.fasta"))
+	o.faultPlan = "12-banana"
+	if err := run(o); err == nil {
+		t.Fatal("malformed fault plan accepted")
+	}
+}

@@ -1,0 +1,128 @@
+// Fault tolerance: demonstrate superstep checkpointing and crash recovery
+// on the full pipeline. The same paired-read set is assembled and
+// scaffolded three times:
+//
+//  1. clean — no failures, no checkpoints (the reference output);
+//  2. crashed — two workers are killed mid-pipeline by a FaultPlan; the
+//     engine rolls back to the last checkpoint each time and replays;
+//  3. resumed — the "process" is restarted over the on-disk checkpoints
+//     left by a prior run and fast-forwards through every job.
+//
+// All three produce byte-identical contigs; only the simulated cluster
+// time differs (recovery costs checkpoint reads plus replayed supersteps).
+//
+// Run with: go run ./examples/fault-tolerance
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"ppaassembler/internal/core"
+	"ppaassembler/internal/genome"
+	"ppaassembler/internal/pregel"
+	"ppaassembler/internal/readsim"
+)
+
+func assemble(reads []string, mutate func(*core.Options)) *core.Result {
+	opt := core.DefaultOptions(4)
+	opt.K = 21
+	if mutate != nil {
+		mutate(&opt)
+	}
+	res, err := core.Assemble(pregel.ShardSlice(reads, opt.Workers), opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+// fingerprint canonicalizes a contig set for comparison.
+func fingerprint(res *core.Result) string {
+	s := ""
+	for _, c := range res.Contigs {
+		seq := c.Node.Seq.String()
+		if rc := c.Node.Seq.ReverseComplement().String(); rc < seq {
+			seq = rc
+		}
+		s += seq + "\n"
+	}
+	return s
+}
+
+func main() {
+	ref, err := genome.Generate(genome.Spec{Name: "ft", Length: 30_000, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	reads, err := readsim.Simulate(ref, readsim.Profile{ReadLen: 100, Coverage: 16, Seed: 12})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Clean run.
+	clean := assemble(reads, nil)
+	fmt.Printf("clean run:    %d contigs, %.2fs simulated\n",
+		len(clean.Contigs), clean.SimSeconds)
+
+	// 2. Crash two workers mid-pipeline. Rounds count every BSP round of
+	// the whole pipeline (engine supersteps and MapReduce phases), so the
+	// two faults land in different stages; both recover from the last
+	// checkpoint.
+	plan := pregel.NewFaultPlan(
+		pregel.Fault{Round: 10, Worker: 2},
+		pregel.Fault{Round: 40, Worker: 0},
+	)
+	crashed := assemble(reads, func(o *core.Options) {
+		o.CheckpointEvery = 3
+		o.Faults = plan
+	})
+	fmt.Printf("crashed run:  %d contigs, %.2fs simulated, %d/%d faults fired\n",
+		len(crashed.Contigs), crashed.SimSeconds, plan.FiredCount(), plan.Scheduled())
+	if fingerprint(crashed) != fingerprint(clean) {
+		log.Fatal("recovered contigs differ from the clean run!")
+	}
+	fmt.Println("              contigs byte-identical to the clean run ✓")
+
+	// 3. Kill-and-resume at process granularity: checkpoint to disk, then
+	// pretend the process died and run again with Resume — every job
+	// fast-forwards from its last on-disk checkpoint. Deterministic
+	// re-execution reserves the same job keys, which is what matches the
+	// checkpoints back up to their jobs.
+	dir, err := os.MkdirTemp("", "ppa-ckpt-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	store1, err := pregel.NewDirCheckpointer(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	assemble(reads, func(o *core.Options) {
+		o.CheckpointEvery = 3
+		o.Checkpointer = store1
+	})
+	store2, err := pregel.NewDirCheckpointer(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resumed := assemble(reads, func(o *core.Options) {
+		o.CheckpointEvery = 3
+		o.Checkpointer = store2
+		o.Resume = true
+	})
+	fmt.Printf("resumed run:  %d contigs, %.2fs simulated (fast-forwarded from %s)\n",
+		len(resumed.Contigs), resumed.SimSeconds, dir)
+	if fingerprint(resumed) != fingerprint(clean) {
+		log.Fatal("resumed contigs differ from the clean run!")
+	}
+	fmt.Println("              contigs byte-identical to the clean run ✓")
+
+	// The cadence trade-off, priced by the simulated clock: tighter
+	// checkpointing costs more time upfront but bounds replay on failure.
+	for _, every := range []int{1, 5, 20} {
+		r := assemble(reads, func(o *core.Options) { o.CheckpointEvery = every })
+		fmt.Printf("cadence N=%-2d: %.2fs simulated (no failures)\n", every, r.SimSeconds)
+	}
+}

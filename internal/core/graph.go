@@ -35,10 +35,10 @@ type VData struct {
 	Label      pregel.VertexID
 	Labeled    bool
 	Cycle      bool
-	lastActive int64
+	LastActive int64
 
 	// Simplified S-V state (cycle fallback and the LabelSV variant).
-	D, dd pregel.VertexID
+	D, DD pregel.VertexID
 
 	// Tip-removal state.
 	TipProbed bool

@@ -100,7 +100,7 @@ func helloPhase(ctx *pregel.Context[Msg], id pregel.VertexID, v *VData, msgs []M
 		v.Labeled, v.Cycle = false, false
 		v.Done = [2]bool{}
 		v.TipProbed = false
-		v.lastActive = -1
+		v.LastActive = -1
 		v.arrangeSides()
 		if v.Ambig {
 			// Ambiguous vertices announce without side bookkeeping and
@@ -211,12 +211,12 @@ func lrCompute(ctx *pregel.Context[Msg], id pregel.VertexID, v *VData, msgs []Ms
 			return
 		}
 		cur := ctx.PrevAggSum(aggUndone)
-		if s >= 6 && v.lastActive >= 0 && cur > 0 && cur == v.lastActive {
+		if s >= 6 && v.LastActive >= 0 && cur > 0 && cur == v.LastActive {
 			v.Cycle = true
 			ctx.VoteToHalt()
 			return
 		}
-		v.lastActive = cur
+		v.LastActive = cur
 		ctx.AggSum(aggUndone, v.undoneSides())
 		for i := uint8(0); i < 2; i++ {
 			if !v.Done[i] {
@@ -279,7 +279,7 @@ func svRound(ctx *pregel.Context[Msg], id pregel.VertexID, v *VData, msgs []Msg,
 	case 2:
 		for _, m := range msgs {
 			if m.Kind == MsgSVReply {
-				v.dd = m.Ptr
+				v.DD = m.Ptr
 			}
 		}
 		for i := 0; i < 2; i++ {
@@ -294,12 +294,12 @@ func svRound(ctx *pregel.Context[Msg], id pregel.VertexID, v *VData, msgs []Msg,
 				best = m.Ptr
 			}
 		}
-		if v.dd == v.D && best < v.D {
+		if v.DD == v.D && best < v.D {
 			ctx.Send(v.D, Msg{Kind: MsgSVHook, Ptr: best})
 			ctx.AggOr(aggSVChanged, true)
 		}
-		if v.dd != v.D {
-			v.D = v.dd
+		if v.DD != v.D {
+			v.D = v.DD
 			ctx.AggOr(aggSVChanged, true)
 		}
 	}

@@ -64,7 +64,7 @@ func MergeContigs(g *Graph, k, tipLen int) (*MergeResult, error) {
 	droppedTips := make([]int, workers)
 	errs := make([]error, workers)
 	out, st := pregel.MapReduceCfg(
-		g.Clock(), pregel.MRConfig{Workers: workers, PairBytes: 64, Parallel: g.Config().Parallel},
+		g.Clock(), pregel.MRConfig{Workers: workers, PairBytes: 64, Parallel: g.Config().Parallel, Faults: g.Config().Faults},
 		input, // 64 ≈ id + packed node on the wire, rough charge
 		func(w int, m member, emit func(uint64, member)) {
 			emit(uint64(m.label), m)

@@ -35,6 +35,23 @@ type Options struct {
 	// Parallel runs engine workers on goroutines (see pregel.Config).
 	Parallel bool
 
+	// CheckpointEvery enables Pregel-style fault tolerance for every job
+	// of the pipeline: each run checkpoints its state every N supersteps
+	// and a worker failure rolls back to the latest checkpoint and
+	// replays (see pregel.Config.CheckpointEvery). Zero disables it.
+	CheckpointEvery int
+	// Checkpointer stores the snapshots; every stage shares it. Nil with
+	// CheckpointEvery > 0 installs an in-memory store. Use a
+	// pregel.DirCheckpointer to survive process death (with Resume).
+	Checkpointer pregel.Checkpointer
+	// Faults injects simulated worker crashes across the whole pipeline
+	// (engine supersteps and MapReduce phases alike); see pregel.FaultPlan.
+	Faults *pregel.FaultPlan
+	// Resume makes every job fast-forward from checkpoints left in
+	// Checkpointer by a previous (killed) process; see
+	// pregel.Config.Resume.
+	Resume bool
+
 	// Optional extension operations (§V names both as user
 	// customizations; zero disables them):
 
@@ -113,6 +130,13 @@ type Result struct {
 	// stages (scaffolding) keep charging it so the pipeline accumulates
 	// one end-to-end simulated time.
 	Clock *pregel.SimClock
+
+	// Checkpointer is the store every assembly stage checkpointed to
+	// (including one installed by default when Options.CheckpointEvery was
+	// set with a nil store); ScaffoldContigs inherits it so the whole
+	// pipeline reserves job keys in one order, which is what Resume
+	// relies on.
+	Checkpointer pregel.Checkpointer
 }
 
 // Assemble runs the paper's workflow ①②③④⑤⑥②③ over the sharded reads: DBG
@@ -130,9 +154,18 @@ func Assemble(readShards [][]string, opt Options) (*Result, error) {
 		return nil, err
 	}
 	start := time.Now()
-	cfg := pregel.Config{Workers: opt.Workers, Parallel: opt.Parallel, Cost: opt.Cost}
+	if opt.CheckpointEvery > 0 && opt.Checkpointer == nil {
+		// One shared store for every stage, so job keys are reserved in
+		// pipeline order (which is what Resume relies on).
+		opt.Checkpointer = pregel.NewMemCheckpointer()
+	}
+	cfg := pregel.Config{
+		Workers: opt.Workers, Parallel: opt.Parallel, Cost: opt.Cost,
+		CheckpointEvery: opt.CheckpointEvery, Checkpointer: opt.Checkpointer,
+		Faults: opt.Faults, Resume: opt.Resume,
+	}
 	clock := pregel.NewSimClock(opt.Cost)
-	res := &Result{Clock: clock}
+	res := &Result{Clock: clock, Checkpointer: opt.Checkpointer}
 
 	// ① DBG construction.
 	build, err := dbg.BuildDBG(clock, cfg, readShards, opt.K, opt.Theta)
@@ -166,7 +199,7 @@ func Assemble(readShards [][]string, opt Options) (*Result, error) {
 	}
 
 	// ④ Bubble filtering.
-	bub, err := FilterBubblesCfg(clock, pregel.MRConfig{Workers: opt.Workers, Parallel: opt.Parallel}, merge1.Contigs, opt.BubbleEditDist, opt.BubbleMinCov)
+	bub, err := FilterBubblesCfg(clock, pregel.MRConfig{Workers: opt.Workers, Parallel: opt.Parallel, Faults: opt.Faults}, merge1.Contigs, opt.BubbleEditDist, opt.BubbleMinCov)
 	if err != nil {
 		return nil, err
 	}
@@ -245,6 +278,23 @@ func ScaffoldContigs(res *Result, asmOpt Options, pairs []scaffold.Pair, opt sca
 	}
 	if opt.Clock == nil {
 		opt.Clock = res.Clock
+	}
+	if opt.CheckpointEvery <= 0 {
+		opt.CheckpointEvery = asmOpt.CheckpointEvery
+	}
+	if opt.Checkpointer == nil {
+		opt.Checkpointer = asmOpt.Checkpointer
+	}
+	if opt.Checkpointer == nil {
+		// Assemble normalizes a nil store on its own copy of the options;
+		// the Result carries the store actually used.
+		opt.Checkpointer = res.Checkpointer
+	}
+	if opt.Faults == nil {
+		opt.Faults = asmOpt.Faults
+	}
+	if !opt.Resume {
+		opt.Resume = asmOpt.Resume
 	}
 	sres, err := scaffold.Build(contigs, pairs, opt)
 	if err != nil {

@@ -53,7 +53,7 @@ func BuildDBG(clock *pregel.SimClock, cfg pregel.Config, readShards [][]string, 
 	}
 	// Reduce UDFs run concurrently (one reducer per worker) under Parallel,
 	// so the θ-filter counters accumulate per reducer and fold afterwards.
-	mrCfg := pregel.MRConfig{Workers: workers, PairBytes: 12, Parallel: cfg.Parallel}
+	mrCfg := pregel.MRConfig{Workers: workers, PairBytes: 12, Parallel: cfg.Parallel, Faults: cfg.Faults}
 	k1Distinct := make([]int64, workers)
 	k1Kept := make([]int64, workers)
 	k1Shards, st1 := pregel.MapReduceCfg(

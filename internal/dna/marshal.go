@@ -1,0 +1,48 @@
+package dna
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MarshalBinary implements encoding.BinaryMarshaler: base count as a uvarint
+// followed by the occupied packed words, little-endian. Bits beyond the last
+// base are masked off so equal sequences marshal to equal bytes regardless
+// of construction history. Gob (used by the Pregel engine's checkpoint
+// subsystem) picks this up automatically, which is what makes vertex values
+// carrying sequences checkpointable.
+func (s Seq) MarshalBinary() ([]byte, error) {
+	words := (s.n + 31) / 32
+	out := make([]byte, 0, binary.MaxVarintLen64+8*words)
+	out = binary.AppendUvarint(out, uint64(s.n))
+	for i := 0; i < words; i++ {
+		w := s.words[i]
+		if i == words-1 {
+			if rem := uint(s.n & 31); rem != 0 {
+				w &= (uint64(1) << (rem * 2)) - 1
+			}
+		}
+		out = binary.LittleEndian.AppendUint64(out, w)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, the inverse of
+// MarshalBinary. The decoded sequence shares no storage with data.
+func (s *Seq) UnmarshalBinary(data []byte) error {
+	n, r := binary.Uvarint(data)
+	if r <= 0 {
+		return fmt.Errorf("dna: corrupt Seq encoding: bad length")
+	}
+	data = data[r:]
+	words := (int(n) + 31) / 32
+	if len(data) != 8*words {
+		return fmt.Errorf("dna: corrupt Seq encoding: %d bytes for %d bases", len(data), n)
+	}
+	w := make([]uint64, words)
+	for i := range w {
+		w[i] = binary.LittleEndian.Uint64(data[8*i:])
+	}
+	s.words, s.n = w, int(n)
+	return nil
+}

@@ -11,7 +11,7 @@ import (
 type SVVertex struct {
 	D    pregel.VertexID
 	Nbrs []pregel.VertexID
-	dd   pregel.VertexID // D[D[v]] learned this round
+	DD   pregel.VertexID // D[D[v]] learned this round
 }
 
 // SVMsg carries one of the four per-round message kinds.
@@ -37,10 +37,10 @@ const svChanged = "sv-changed"
 //
 //	s≡0 (mod 4): every vertex asks its parent D[v] for D[D[v]]
 //	s≡1: parents reply
-//	s≡2: v records dd = D[D[v]] and broadcasts D[v] to its neighbors
-//	s≡3: tree hooking — if D[u] is a root (dd == D[u]) and some neighbor
+//	s≡2: v records DD = D[D[v]] and broadcasts D[v] to its neighbors
+//	s≡3: tree hooking — if D[u] is a root (DD == D[u]) and some neighbor
 //	     has a smaller D, propose that D to the root; then shortcut
-//	     D[u] ← dd. Hook proposals apply (min-fold) at the next s≡0.
+//	     D[u] ← DD. Hook proposals apply (min-fold) at the next s≡0.
 //
 // Rounds repeat until an aggregator reports that no D changed, giving the
 // O(log n)-round bound of the simplified S-V algorithm (star hooking from
@@ -76,14 +76,14 @@ func SVComponents(g *pregel.Graph[SVVertex, SVMsg]) (*pregel.Stats, error) {
 		case 2:
 			for _, m := range msgs {
 				if m.Kind == svReplyParent {
-					v.dd = m.ID
+					v.DD = m.ID
 				}
 			}
 			for _, n := range v.Nbrs {
 				ctx.Send(n, SVMsg{Kind: svNeighborD, ID: v.D})
 			}
 		case 3:
-			rootOfMine := v.dd == v.D
+			rootOfMine := v.DD == v.D
 			best := v.D
 			for _, m := range msgs {
 				if m.Kind == svNeighborD && m.ID < best {
@@ -94,8 +94,8 @@ func SVComponents(g *pregel.Graph[SVVertex, SVMsg]) (*pregel.Stats, error) {
 				ctx.Send(v.D, SVMsg{Kind: svHook, ID: best})
 				ctx.AggOr(svChanged, true)
 			}
-			if v.dd != v.D {
-				v.D = v.dd // shortcutting
+			if v.DD != v.D {
+				v.D = v.DD // shortcutting
 				ctx.AggOr(svChanged, true)
 			}
 		}

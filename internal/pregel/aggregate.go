@@ -43,6 +43,53 @@ func (a *aggState) flip() {
 	a.prevOrV, a.curOr = a.curOr, map[string]bool{}
 }
 
+// snapshot copies the published (previous-superstep) aggregator values for
+// a checkpoint. It is taken at a superstep barrier, where the in-progress
+// accumulators are empty by construction (flip just ran), so only the
+// published values need persisting.
+func (a *aggState) snapshot() aggSnapshot {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s := aggSnapshot{
+		Sum: make(map[string]int64, len(a.prevSumV)),
+		Min: make(map[string]int64, len(a.prevMinV)),
+		Or:  make(map[string]bool, len(a.prevOrV)),
+	}
+	for k, v := range a.prevSumV {
+		s.Sum[k] = v
+	}
+	for k, v := range a.prevMinV {
+		s.Min[k] = v
+	}
+	for k, v := range a.prevOrV {
+		s.Or[k] = v
+	}
+	return s
+}
+
+// restore replaces the published values with a snapshot's and clears the
+// accumulators, exactly the state the graph had at the checkpoint barrier.
+// Gob decodes empty maps as nil; published maps must always exist.
+func (a *aggState) restore(s aggSnapshot) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.prevSumV = map[string]int64{}
+	a.prevMinV = map[string]int64{}
+	a.prevOrV = map[string]bool{}
+	for k, v := range s.Sum {
+		a.prevSumV[k] = v
+	}
+	for k, v := range s.Min {
+		a.prevMinV[k] = v
+	}
+	for k, v := range s.Or {
+		a.prevOrV[k] = v
+	}
+	a.curSum = map[string]int64{}
+	a.curMin = map[string]int64{}
+	a.curOr = map[string]bool{}
+}
+
 func (a *aggState) addSum(name string, delta int64) {
 	a.mu.Lock()
 	a.curSum[name] += delta

@@ -1,0 +1,453 @@
+package pregel
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Checkpointer persists superstep checkpoints, the engine's Pregel-style
+// fault-tolerance mechanism: every Config.CheckpointEvery supersteps each
+// worker snapshots its partition — vertex values, halted flags, the pending
+// inbox arena — together with the aggregator state and run counters, and on
+// a (simulated or real) worker failure the run rolls back to the latest
+// checkpoint and replays. Because the engine is deterministic, the replayed
+// run is bit-identical to an unfailed one.
+//
+// Job keys are reserved with NextJob in run-start order; a deterministic
+// pipeline therefore re-acquires the same keys when re-executed, which is
+// what lets a killed process resume from an on-disk store (Config.Resume).
+//
+// Implementations must be safe for concurrent use: independent graphs may
+// share one store.
+type Checkpointer interface {
+	// NextJob reserves the next job key for a run labeled name.
+	NextJob(name string) string
+	// Save durably records the checkpoint for the given job and superstep,
+	// replacing any earlier checkpoint of the same job.
+	Save(job string, step int, data []byte) error
+	// Latest returns the most recent checkpoint saved for job, or ok=false
+	// when none exists.
+	Latest(job string) (step int, data []byte, ok bool, err error)
+}
+
+// MemCheckpointer keeps checkpoints in process memory: the natural store
+// for simulated-failure experiments and tests, where recovery happens
+// within one process.
+type MemCheckpointer struct {
+	mu   sync.Mutex
+	seq  int
+	data map[string]memCkpt
+}
+
+type memCkpt struct {
+	step int
+	blob []byte
+}
+
+// NewMemCheckpointer returns an empty in-memory store.
+func NewMemCheckpointer() *MemCheckpointer {
+	return &MemCheckpointer{data: map[string]memCkpt{}}
+}
+
+// NextJob implements Checkpointer.
+func (m *MemCheckpointer) NextJob(name string) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	job := jobKey(name, m.seq)
+	m.seq++
+	return job
+}
+
+// Save implements Checkpointer.
+func (m *MemCheckpointer) Save(job string, step int, data []byte) error {
+	blob := append([]byte(nil), data...)
+	m.mu.Lock()
+	m.data[job] = memCkpt{step: step, blob: blob}
+	m.mu.Unlock()
+	return nil
+}
+
+// Latest implements Checkpointer.
+func (m *MemCheckpointer) Latest(job string) (int, []byte, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.data[job]
+	if !ok {
+		return 0, nil, false, nil
+	}
+	return c.step, c.blob, true, nil
+}
+
+// DirCheckpointer persists checkpoints as files under one directory
+// (standing in for the distributed file system of the paper's cluster), so
+// a killed pipeline process can be restarted with Config.Resume and fast-
+// forward each job from its last completed checkpoint. Files are written to
+// a temporary name and renamed, so a crash mid-write never corrupts the
+// previous checkpoint.
+type DirCheckpointer struct {
+	dir  string
+	mu   sync.Mutex
+	seq  int
+	last map[string]int // step of the newest file written per job this process
+}
+
+// NewDirCheckpointer creates (if needed) and opens a checkpoint directory.
+func NewDirCheckpointer(dir string) (*DirCheckpointer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("pregel: checkpoint dir: %w", err)
+	}
+	return &DirCheckpointer{dir: dir, last: map[string]int{}}, nil
+}
+
+// NextJob implements Checkpointer. The sequence restarts at zero in every
+// process; deterministic pipelines re-reserve identical keys on a rerun,
+// which is what Resume relies on.
+func (d *DirCheckpointer) NextJob(name string) string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	job := jobKey(name, d.seq)
+	d.seq++
+	return job
+}
+
+func (d *DirCheckpointer) path(job string, step int) string {
+	return filepath.Join(d.dir, fmt.Sprintf("%s.%08d.ckpt", job, step))
+}
+
+// Save implements Checkpointer.
+func (d *DirCheckpointer) Save(job string, step int, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	final := d.path(job, step)
+	tmp := final + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("pregel: writing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("pregel: committing checkpoint: %w", err)
+	}
+	// Drop superseded checkpoints of the same job. After the first save of
+	// a job the newest step is tracked in memory, so only that first save
+	// (which may find files a previous process left behind) pays for a
+	// directory scan.
+	if prev, ok := d.last[job]; ok {
+		if prev != step {
+			os.Remove(d.path(job, prev))
+		}
+	} else {
+		steps, err := d.steps(job)
+		if err != nil {
+			return err
+		}
+		for _, s := range steps {
+			if s != step {
+				os.Remove(d.path(job, s))
+			}
+		}
+	}
+	d.last[job] = step
+	return nil
+}
+
+// steps lists the checkpointed superstep numbers present for job.
+func (d *DirCheckpointer) steps(job string) ([]int, error) {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, fmt.Errorf("pregel: scanning checkpoints: %w", err)
+	}
+	prefix := job + "."
+	var steps []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ".ckpt") {
+			continue
+		}
+		num := strings.TrimSuffix(strings.TrimPrefix(name, prefix), ".ckpt")
+		s, err := strconv.Atoi(num)
+		if err != nil {
+			continue
+		}
+		steps = append(steps, s)
+	}
+	sort.Ints(steps)
+	return steps, nil
+}
+
+// Latest implements Checkpointer.
+func (d *DirCheckpointer) Latest(job string) (int, []byte, bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	steps, err := d.steps(job)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	if len(steps) == 0 {
+		return 0, nil, false, nil
+	}
+	step := steps[len(steps)-1]
+	data, err := os.ReadFile(d.path(job, step))
+	if err != nil {
+		return 0, nil, false, fmt.Errorf("pregel: reading checkpoint: %w", err)
+	}
+	return step, data, true, nil
+}
+
+// jobKey builds the stable per-run key: the run name (or "run") plus the
+// store-wide reservation sequence, sanitized for use as a file name.
+func jobKey(name string, seq int) string {
+	if name == "" {
+		name = "run"
+	}
+	clean := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+			clean = append(clean, c)
+		default:
+			clean = append(clean, '_')
+		}
+	}
+	return fmt.Sprintf("%s@%03d", clean, seq)
+}
+
+// ckptWorker is the serialized partition of one worker: everything runWorker
+// and deliverTo need to replay from this point. V and M must be gob-
+// encodable (exported fields, or GobEncoder/BinaryMarshaler implementations
+// such as dna.Seq's).
+type ckptWorker[V, M any] struct {
+	IDs    []VertexID
+	Vals   []V
+	Active []bool
+	Dead   []bool
+	NDead  int
+	// InArena/InOff are the pending inbox: messages delivered at the
+	// checkpoint barrier but not yet consumed.
+	InArena []M
+	InOff   []int32
+}
+
+// aggSnapshot is the serialized aggregator state at a superstep boundary
+// (the just-published values; in-progress accumulators are always empty at
+// a barrier).
+type aggSnapshot struct {
+	Sum map[string]int64
+	Min map[string]int64
+	Or  map[string]bool
+}
+
+// ckptFile is one whole checkpoint: run-level progress plus the per-worker
+// partition blobs (each encoded separately, since on a real cluster every
+// worker persists its own partition in parallel).
+type ckptFile struct {
+	Step    int
+	Pending int64
+	// Run counters at the barrier, restored on rollback so a recovered
+	// run reports the same totals as an unfailed one.
+	Supersteps      int
+	Messages        int64
+	Bytes           int64
+	DroppedMessages int64
+	// ClockNs is the simulated clock at checkpoint time (including this
+	// checkpoint's write charge); Resume fast-forwards a fresh clock to
+	// it, and in-process recovery never rewinds past it.
+	ClockNs float64
+	// Fingerprint identifies the run that wrote the checkpoint (worker
+	// layout + input vertex-ID set, see runFingerprint); a restore whose
+	// run computes a different fingerprint is an error, so resuming
+	// against changed input or configuration fails instead of silently
+	// replaying stale state.
+	Fingerprint uint64
+	Agg         aggSnapshot
+	Workers     [][]byte
+}
+
+// ckptRun is the per-Run checkpointing state: the reserved job key, the
+// cadence, the store, and the run's identity fingerprint.
+type ckptRun struct {
+	store Checkpointer
+	job   string
+	every int
+	fp    uint64
+}
+
+// newCkptRun reserves a job key when checkpointing is enabled for g, and
+// returns nil otherwise. Called after sortVertices, so the fingerprint
+// hashes the run's input state.
+func (g *Graph[V, M]) newCkptRun(name string) *ckptRun {
+	if g.cfg.CheckpointEvery <= 0 {
+		return nil
+	}
+	store := g.cfg.Checkpointer
+	if store == nil {
+		// withDefaults installs a MemCheckpointer whenever CheckpointEvery
+		// is set, so this is only reachable on a hand-built Config.
+		store = NewMemCheckpointer()
+		g.cfg.Checkpointer = store
+	}
+	return &ckptRun{
+		store: store,
+		job:   store.NextJob(name),
+		every: g.cfg.CheckpointEvery,
+		fp:    g.runFingerprint(),
+	}
+}
+
+// runFingerprint hashes the run's identity — worker layout plus the input
+// vertex-ID set — FNV-1a style. Checkpoints carry it so a restore into a
+// run with different input or configuration is rejected.
+func (g *Graph[V, M]) runFingerprint() uint64 {
+	h := uint64(1469598103934665603)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	mix(uint64(g.cfg.Workers))
+	mix(uint64(g.cfg.MessageBytes))
+	for _, w := range g.workers {
+		mix(uint64(len(w.ids)))
+		for _, id := range w.ids {
+			mix(uint64(id))
+		}
+	}
+	return h
+}
+
+// saveCheckpoint snapshots the graph at a superstep boundary, charges the
+// write to the simulated clock, and hands the blob to the store. Workers
+// encode their partitions concurrently in Parallel mode, mirroring the
+// compute/deliver phases.
+func (g *Graph[V, M]) saveCheckpoint(ck *ckptRun, step int, pending int64, stats *Stats) error {
+	blobs := make([][]byte, g.cfg.Workers)
+	errs := make([]error, g.cfg.Workers)
+	forEachWorker(g.cfg.Workers, g.cfg.Parallel, func(wi int) {
+		w := g.workers[wi]
+		var buf bytes.Buffer
+		errs[wi] = gob.NewEncoder(&buf).Encode(ckptWorker[V, M]{
+			IDs:     w.ids,
+			Vals:    w.vals,
+			Active:  w.active,
+			Dead:    w.dead,
+			NDead:   w.nDead,
+			InArena: w.inArena,
+			InOff:   w.inOff,
+		})
+		blobs[wi] = buf.Bytes()
+	})
+	maxBytes := 0.0
+	for wi, err := range errs {
+		if err != nil {
+			return fmt.Errorf("pregel: encoding checkpoint (job %q, worker %d): %w", ck.job, wi, err)
+		}
+		if b := float64(len(blobs[wi])); b > maxBytes {
+			maxBytes = b
+		}
+	}
+	// Charge the write before stamping ClockNs so a resumed run starts at
+	// the post-write time and never under-reports.
+	g.clock.ChargeCheckpoint(maxBytes)
+	file := ckptFile{
+		Step:            step,
+		Pending:         pending,
+		Supersteps:      stats.Supersteps,
+		Messages:        stats.Messages,
+		Bytes:           stats.Bytes,
+		DroppedMessages: stats.DroppedMessages,
+		ClockNs:         g.clock.ns,
+		Fingerprint:     ck.fp,
+		Agg:             g.agg.snapshot(),
+		Workers:         blobs,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&file); err != nil {
+		return fmt.Errorf("pregel: encoding checkpoint (job %q): %w", ck.job, err)
+	}
+	if err := ck.store.Save(ck.job, step, buf.Bytes()); err != nil {
+		return err
+	}
+	return nil
+}
+
+// loadCheckpoint fetches and decodes the latest checkpoint for the run,
+// verifying that it was written by a run with the same identity.
+func (ck *ckptRun) loadCheckpoint() (*ckptFile, bool, error) {
+	_, data, ok, err := ck.store.Latest(ck.job)
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	var file ckptFile
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&file); err != nil {
+		return nil, false, fmt.Errorf("pregel: decoding checkpoint (job %q): %w", ck.job, err)
+	}
+	if file.Fingerprint != ck.fp {
+		return nil, false, fmt.Errorf("pregel: checkpoint for job %q was written by a different run (input or configuration changed); delete the checkpoint directory to start fresh", ck.job)
+	}
+	return &file, true, nil
+}
+
+// restoreCheckpoint replaces the graph's in-run state with the snapshot:
+// per-worker partitions, aggregator values, and the run counters inside
+// stats. It charges the recovery read to the clock — which, like real time,
+// only moves forward — and returns the superstep to resume at plus the
+// pending-message count at that barrier.
+func (g *Graph[V, M]) restoreCheckpoint(file *ckptFile, stats *Stats) (step int, pending int64, err error) {
+	if len(file.Workers) != g.cfg.Workers {
+		return 0, 0, fmt.Errorf("pregel: checkpoint has %d workers, graph has %d", len(file.Workers), g.cfg.Workers)
+	}
+	errs := make([]error, g.cfg.Workers)
+	maxBytes := 0.0
+	for _, b := range file.Workers {
+		if n := float64(len(b)); n > maxBytes {
+			maxBytes = n
+		}
+	}
+	forEachWorker(g.cfg.Workers, g.cfg.Parallel, func(wi int) {
+		var cw ckptWorker[V, M]
+		if err := gob.NewDecoder(bytes.NewReader(file.Workers[wi])).Decode(&cw); err != nil {
+			errs[wi] = err
+			return
+		}
+		w := g.workers[wi]
+		n := len(cw.IDs)
+		w.ids = cw.IDs
+		w.vals = cw.Vals
+		w.active = cw.Active
+		w.dead = cw.Dead
+		w.nDead = cw.NDead
+		w.inArena = cw.InArena
+		// Gob decodes empty slices as nil; the delivery path needs the
+		// offset index to exist even for an empty partition.
+		w.inOff = growInt32(cw.InOff, n+1)
+		w.inCur = growInt32(w.inCur, n)
+		w.idx = make(map[VertexID]int, n)
+		for i, id := range w.ids {
+			w.idx[id] = i
+		}
+		// Shuffle scratch is rebuilt by the next superstep; drop anything
+		// staged after the checkpoint barrier.
+		for i := range w.outbox {
+			w.outbox[i] = w.outbox[i][:0]
+		}
+	})
+	for wi, err := range errs {
+		if err != nil {
+			return 0, 0, fmt.Errorf("pregel: decoding checkpoint (worker %d): %w", wi, err)
+		}
+	}
+	g.agg.restore(file.Agg)
+	stats.Supersteps = file.Supersteps
+	stats.Messages = file.Messages
+	stats.Bytes = file.Bytes
+	stats.DroppedMessages = file.DroppedMessages
+	g.clock.advanceTo(file.ClockNs)
+	g.clock.ChargeRecovery(maxBytes)
+	return file.Step, file.Pending, nil
+}

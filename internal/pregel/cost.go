@@ -25,6 +25,18 @@ type CostModel struct {
 	// ComputeScale multiplies measured compute time (1.0 = as measured).
 	// It lets experiments model slower per-node CPUs if desired.
 	ComputeScale float64
+
+	// CheckpointBytesPerSecond is the per-worker bandwidth to the
+	// distributed file system used for checkpoint writes and recovery
+	// reads. Checkpoints are written by all workers in parallel, so one
+	// checkpoint costs CheckpointLatency plus the largest partition
+	// divided by this bandwidth. Zero means BytesPerSecond (checkpoint
+	// traffic shares the network links).
+	CheckpointBytesPerSecond float64
+	// CheckpointLatency is the fixed cost of one checkpoint or recovery
+	// round (barrier, DFS metadata round trips, failure detection). Zero
+	// means SuperstepLatency.
+	CheckpointLatency time.Duration
 }
 
 // DefaultCost returns a model resembling the paper's testbed: Gigabit
@@ -56,6 +68,12 @@ func NewSimClock(m CostModel) *SimClock {
 	}
 	if m.BytesPerSecond == 0 {
 		m.BytesPerSecond = DefaultCost().BytesPerSecond
+	}
+	if m.CheckpointBytesPerSecond == 0 {
+		m.CheckpointBytesPerSecond = m.BytesPerSecond
+	}
+	if m.CheckpointLatency == 0 {
+		m.CheckpointLatency = m.SuperstepLatency
 	}
 	return &SimClock{model: m}
 }
@@ -93,6 +111,34 @@ func (c *SimClock) ChargeTransfer(bytes float64) {
 	c.ns += bytes / c.model.BytesPerSecond * 1e9
 }
 
+// ChargeCheckpoint charges writing one checkpoint to the distributed file
+// system: every worker persists its partition concurrently, so the critical
+// path is the fixed checkpoint latency plus the largest partition's
+// transfer.
+func (c *SimClock) ChargeCheckpoint(maxWorkerBytes float64) {
+	c.ns += float64(c.model.CheckpointLatency.Nanoseconds())
+	c.ns += maxWorkerBytes / c.model.CheckpointBytesPerSecond * 1e9
+}
+
+// ChargeRecovery charges one recovery event: failure detection and
+// coordination, plus re-reading the largest checkpoint partition — the
+// read mirror of ChargeCheckpoint's write, priced identically. The
+// replayed supersteps then charge themselves as they re-execute, so a
+// recovered run's simulated time includes the full price of the failure.
+func (c *SimClock) ChargeRecovery(maxWorkerBytes float64) {
+	c.ChargeCheckpoint(maxWorkerBytes)
+}
+
+// advanceTo moves the clock forward to at least ns. Restoring a checkpoint
+// uses it so that a resumed process starts at the checkpoint-time reading,
+// while an in-process recovery (whose clock is already past it) is
+// unaffected — the clock never rewinds.
+func (c *SimClock) advanceTo(ns float64) {
+	if ns > c.ns {
+		c.ns = ns
+	}
+}
+
 // Seconds returns the simulated time elapsed so far.
 func (c *SimClock) Seconds() float64 { return c.ns / 1e9 }
 
@@ -111,6 +157,11 @@ type Stats struct {
 	Messages        int64
 	Bytes           int64
 	DroppedMessages int64
+	// Recoveries counts worker failures this run rolled back from. The
+	// other counters are restored to their checkpoint values on rollback,
+	// so a recovered run reports the same Supersteps/Messages/Bytes as an
+	// unfailed one; only Recoveries and SimSeconds reveal the failure.
+	Recoveries int
 	// SimSeconds is the simulated clock reading when the run finished
 	// (cumulative across jobs sharing the clock).
 	SimSeconds float64
@@ -122,6 +173,7 @@ func (s *Stats) Add(other *Stats) {
 	s.Messages += other.Messages
 	s.Bytes += other.Bytes
 	s.DroppedMessages += other.DroppedMessages
+	s.Recoveries += other.Recoveries
 	if other.SimSeconds > s.SimSeconds {
 		s.SimSeconds = other.SimSeconds
 	}

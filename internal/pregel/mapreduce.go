@@ -54,6 +54,19 @@ type MRConfig struct {
 	// different workers and must not write shared state without
 	// per-worker partitioning.
 	Parallel bool
+	// Faults, when non-nil, injects worker crashes for fault-tolerance
+	// testing. MapReduce recovers by lineage, not by checkpoint: the
+	// failed worker's map or reduce task re-runs from its in-memory input
+	// (map shard, or shuffled bucket lanes), the classic MapReduce failure
+	// model. Each phase ticks the shared plan once, so a pipeline-wide
+	// schedule can land a crash inside a shuffle round. Because map and
+	// reduce UDFs are allowed to accumulate caller-owned per-worker state
+	// (the assembler's θ-filter counters, merge ordinals and pair counts
+	// all do), the redo is priced, not re-invoked: the failed task's
+	// second execution is identical by construction for deterministic
+	// UDFs, so recovery only charges the clock an extra round carried by
+	// the failed worker alone.
+	Faults *FaultPlan
 }
 
 func (c MRConfig) withDefaults() MRConfig {
@@ -109,6 +122,18 @@ func MapReduceCfg[I, K, V, O any](
 		mapNs[w] = float64(nowNs() - start)
 	}
 	forEachWorker(workers, cfg.Parallel, mapWorker)
+	if w, fired := cfg.Faults.tick(workers); fired {
+		// Lineage recovery: worker w's map output is lost and its task
+		// re-runs from the in-memory shard while the other workers wait —
+		// charged as an extra round carried by w alone (see MRConfig.Faults
+		// for why the UDFs are not literally invoked a second time).
+		redo := make([]float64, workers)
+		redoBytes := make([]float64, workers)
+		redo[w] = mapNs[w]
+		redoBytes[w] = float64(emitted[w]) * float64(cfg.PairBytes)
+		clock.ChargeSuperstep(redo, redoBytes)
+		stats.Recoveries++
+	}
 	for w := 0; w < workers; w++ {
 		outBytes[w] = float64(emitted[w]) * float64(cfg.PairBytes)
 		stats.Messages += emitted[w]
@@ -150,6 +175,14 @@ func MapReduceCfg[I, K, V, O any](
 		redNs[d] = float64(nowNs() - start)
 	}
 	forEachWorker(workers, cfg.Parallel, reduceWorker)
+	if d, fired := cfg.Faults.tick(workers); fired {
+		// Lineage recovery: the failed reduce task re-runs from its lanes,
+		// priced as an extra round carried by d alone.
+		redo := make([]float64, workers)
+		redo[d] = redNs[d]
+		clock.ChargeSuperstep(redo, make([]float64, workers))
+		stats.Recoveries++
+	}
 	clock.ChargeSuperstep(redNs, make([]float64, workers))
 	stats.Supersteps = 2
 	stats.SimSeconds = clock.Seconds()

@@ -55,6 +55,29 @@ type Config struct {
 	Strict bool
 	// Cost is the simulated-cluster cost model. Zero value = DefaultCost().
 	Cost CostModel
+
+	// CheckpointEvery enables Pregel-style fault tolerance: every N
+	// supersteps each run snapshots its vertex state, pending inboxes,
+	// aggregators and counters (plus a baseline snapshot before superstep
+	// 0), and a worker failure rolls the run back to the latest checkpoint
+	// and replays. Zero disables checkpointing; a failure is then fatal to
+	// the run. Checkpoint writes and recovery reads are charged to the
+	// simulated clock via CostModel.CheckpointBytesPerSecond.
+	CheckpointEvery int
+	// Checkpointer stores the snapshots. Nil with CheckpointEvery > 0
+	// installs a fresh MemCheckpointer; pass a DirCheckpointer (shared by
+	// every stage of a pipeline) to survive process death.
+	Checkpointer Checkpointer
+	// Faults, when non-nil, is a worker-crash schedule for fault-injection
+	// testing; see FaultPlan. Graphs created from this Config (including
+	// via Convert) share the plan, so one schedule spans a whole pipeline.
+	Faults *FaultPlan
+	// Resume makes each Run look for an existing checkpoint of its job in
+	// Checkpointer before starting, and fast-forward from it. With a
+	// DirCheckpointer this is how a killed pipeline process picks up where
+	// it left off: deterministic re-execution reserves the same job keys,
+	// and every job restarts from its last completed checkpoint.
+	Resume bool
 }
 
 // Defaults for Config fields.
@@ -75,6 +98,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Cost == (CostModel{}) {
 		c.Cost = DefaultCost()
+	}
+	if c.CheckpointEvery > 0 && c.Checkpointer == nil {
+		c.Checkpointer = NewMemCheckpointer()
 	}
 	return c
 }
@@ -327,6 +353,14 @@ func (g *Graph[V, M]) SetCombiner(fn func(a, b M) M) { g.combiner = fn }
 // voted to halt and no messages are in flight, or the superstep limit is
 // reached. All vertices start active (standard Pregel semantics). It returns
 // per-run statistics; simulated time is also accumulated on g.Clock().
+//
+// With Config.CheckpointEvery set, the run snapshots its state every N
+// supersteps (plus a baseline before superstep 0); a worker crash injected
+// by Config.Faults rolls back to the latest checkpoint and replays, and —
+// because the engine is deterministic — finishes with the same vertex
+// values, aggregators and counters as an unfailed run (only Recoveries and
+// simulated time differ). With Config.Resume the run first fast-forwards
+// from any checkpoint a previous process left in Config.Checkpointer.
 func (g *Graph[V, M]) Run(compute Compute[V, M], opts ...RunOption) (*Stats, error) {
 	o := runOpts{activateAll: true}
 	for _, opt := range opts {
@@ -336,8 +370,33 @@ func (g *Graph[V, M]) Run(compute Compute[V, M], opts ...RunOption) (*Stats, err
 	g.agg.reset()
 	stats := &Stats{Name: o.name, Workers: g.cfg.Workers}
 
-	pending := int64(0) // messages delivered this superstep
-	for step := 0; ; step++ {
+	ck := g.newCkptRun(o.name)
+	step := 0
+	pending := int64(0) // messages delivered at the last barrier
+	if ck != nil {
+		restored := false
+		if g.cfg.Resume {
+			file, ok, err := ck.loadCheckpoint()
+			if err != nil {
+				return stats, err
+			}
+			if ok {
+				if step, pending, err = g.restoreCheckpoint(file, stats); err != nil {
+					return stats, err
+				}
+				restored = true
+			}
+		}
+		if !restored {
+			// Baseline: recovery from a crash before the first cadence
+			// checkpoint restarts the job from its input state.
+			if err := g.saveCheckpoint(ck, 0, 0, stats); err != nil {
+				return stats, err
+			}
+		}
+	}
+
+	for {
 		if step >= g.cfg.MaxSupersteps {
 			return stats, fmt.Errorf("pregel: job %q exceeded %d supersteps", o.name, g.cfg.MaxSupersteps)
 		}
@@ -355,6 +414,26 @@ func (g *Graph[V, M]) Run(compute Compute[V, M], opts ...RunOption) (*Stats, err
 		}
 		if !anyActive && pending == 0 {
 			break
+		}
+
+		// Fault injection: the crash consumes the round (its work is lost)
+		// and the run rolls back to the latest checkpoint.
+		if w, fired := g.cfg.Faults.tick(g.cfg.Workers); fired {
+			if ck == nil {
+				return stats, fmt.Errorf("pregel: job %q: worker %d crashed at superstep %d with checkpointing disabled", o.name, w, step)
+			}
+			file, ok, err := ck.loadCheckpoint()
+			if err != nil {
+				return stats, err
+			}
+			if !ok {
+				return stats, fmt.Errorf("pregel: job %q: worker %d crashed at superstep %d but no checkpoint exists", o.name, w, step)
+			}
+			if step, pending, err = g.restoreCheckpoint(file, stats); err != nil {
+				return stats, err
+			}
+			stats.Recoveries++
+			continue
 		}
 
 		if g.computeNs == nil {
@@ -386,6 +465,12 @@ func (g *Graph[V, M]) Run(compute Compute[V, M], opts ...RunOption) (*Stats, err
 		stats.DroppedMessages += dropped
 		g.agg.flip()
 		pending = delivered
+		step++
+		if ck != nil && step%ck.every == 0 {
+			if err := g.saveCheckpoint(ck, step, pending, stats); err != nil {
+				return stats, err
+			}
+		}
 	}
 	stats.SimSeconds = g.clock.Seconds() // cumulative; callers can diff
 	return stats, nil

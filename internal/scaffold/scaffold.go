@@ -110,6 +110,15 @@ type Options struct {
 	// its supersteps to; nil starts a fresh clock.
 	Clock *pregel.SimClock
 
+	// CheckpointEvery, Checkpointer, Faults and Resume configure Pregel-
+	// style fault tolerance for the scaffolding jobs, exactly as on
+	// pregel.Config; the assembly pipeline threads one shared store and
+	// fault plan through every stage.
+	CheckpointEvery int
+	Checkpointer    pregel.Checkpointer
+	Faults          *pregel.FaultPlan
+	Resume          bool
+
 	// SeedLen is the exact-match seed length for mate placement (default
 	// 31, the paper's k; must exceed the assembly k-1 so seeds cannot tie
 	// across the k-1-base overlap of adjacent contigs).
@@ -143,6 +152,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MinContigLen <= 0 {
 		o.MinContigLen = 500
+	}
+	if o.CheckpointEvery > 0 && o.Checkpointer == nil {
+		o.Checkpointer = pregel.NewMemCheckpointer()
 	}
 	return o
 }
@@ -247,7 +259,11 @@ func Build(contigs []Contig, pairs []Pair, opt Options) (*Result, error) {
 		clock = pregel.NewSimClock(opt.Cost)
 	}
 	sim0 := clock.Seconds()
-	cfg := pregel.Config{Workers: opt.Workers, Parallel: opt.Parallel, Cost: opt.Cost}
+	cfg := pregel.Config{
+		Workers: opt.Workers, Parallel: opt.Parallel, Cost: opt.Cost,
+		CheckpointEvery: opt.CheckpointEvery, Checkpointer: opt.Checkpointer,
+		Faults: opt.Faults, Resume: opt.Resume,
+	}
 	res := &Result{Stats: &pregel.Stats{Name: "scaffold", Workers: opt.Workers}}
 	res.PairsTotal = len(pairs)
 
