@@ -56,6 +56,8 @@ type cliOpts struct {
 	ckptEvery  int
 	faultPlan  string
 	resume     bool
+
+	workflow string
 }
 
 func main() {
@@ -83,6 +85,7 @@ func main() {
 	flag.IntVar(&o.ckptEvery, "ckpt-every", 0, "checkpoint every N supersteps (0 = no checkpointing; implied 5 when -checkpoint or -faultplan is set)")
 	flag.StringVar(&o.faultPlan, "faultplan", "", "inject simulated worker crashes: comma-separated ROUND:WORKER pairs counted over all BSP rounds, e.g. \"12:0,57:3\"")
 	flag.BoolVar(&o.resume, "resume", false, "resume a killed run from the checkpoints in -checkpoint")
+	flag.StringVar(&o.workflow, "workflow", "", "compose the assembly as an explicit op workflow instead of the canned pipeline, e.g. \"build,label,merge,bubble,rebuild,link,tiptrim:minlen=40,label,merge,fasta\" (unset op parameters inherit the global flags)")
 	flag.Parse()
 	o.theta = uint32(theta)
 	if o.in == "" {
@@ -98,11 +101,14 @@ func main() {
 
 func run(o cliOpts) error {
 	// Validate flag combinations before any work is done or output written.
-	if o.gfa != "" && o.rounds != 2 {
-		return fmt.Errorf("-gfa requires -rounds 2 (the graph is built during error correction)")
-	}
 	if o.resume && o.checkpoint == "" {
 		return fmt.Errorf("-resume requires -checkpoint (there is nothing to resume from in-memory checkpoints)")
+	}
+	if o.workflow != "" {
+		return runWorkflow(o)
+	}
+	if o.gfa != "" && o.rounds != 2 {
+		return fmt.Errorf("-gfa requires -rounds 2 (the graph is built during error correction)")
 	}
 	opt := core.Options{
 		K:              o.k,
@@ -115,33 +121,13 @@ func run(o cliOpts) error {
 		KeepGraph:      o.gfa != "",
 		Resume:         o.resume,
 	}
-	// A checkpoint directory or a fault plan implies checkpointing even if
-	// no cadence was given.
-	opt.CheckpointEvery = o.ckptEvery
-	if opt.CheckpointEvery <= 0 && (o.checkpoint != "" || o.faultPlan != "") {
-		opt.CheckpointEvery = 5
+	var err error
+	opt.CheckpointEvery, opt.Checkpointer, opt.Faults, err = faultTolerance(o)
+	if err != nil {
+		return err
 	}
-	if o.checkpoint != "" {
-		store, err := pregel.NewDirCheckpointer(o.checkpoint)
-		if err != nil {
-			return err
-		}
-		opt.Checkpointer = store
-	}
-	if o.faultPlan != "" {
-		plan, err := pregel.ParseFaultPlan(o.faultPlan)
-		if err != nil {
-			return err
-		}
-		opt.Faults = plan
-	}
-	switch strings.ToLower(o.labeler) {
-	case "lr":
-		opt.Labeler = core.LabelerLR
-	case "sv":
-		opt.Labeler = core.LabelerSV
-	default:
-		return fmt.Errorf("unknown labeler %q (want lr or sv)", o.labeler)
+	if opt.Labeler, err = parseLabeler(o.labeler); err != nil {
+		return err
 	}
 
 	reads, err := loadReadList(o.in)

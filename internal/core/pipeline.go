@@ -7,11 +7,18 @@ import (
 	"ppaassembler/internal/dbg"
 	"ppaassembler/internal/pregel"
 	"ppaassembler/internal/scaffold"
+	"ppaassembler/internal/workflow"
 )
 
 // Options configures an assembly run. The defaults mirror the paper's
 // experimental settings (§V) scaled to this reproduction: edit-distance
 // threshold 5 for bubble filtering and length threshold 80 for tip removal.
+//
+// Options is the compatibility shim over the workflow layer: it decomposes
+// into the per-op option structs of the op catalog (BuildDBGOp, LabelOp,
+// MergeOp, BubblePopOp, SplitOp, TipTrimOp — see AssemblePlan) plus a
+// workflow.Env carrying the engine-wide settings. New code composing its
+// own workflows should use those directly.
 type Options struct {
 	// K is the k-mer length (odd, <= 31; the paper uses 31).
 	K int
@@ -139,10 +146,52 @@ type Result struct {
 	Checkpointer pregel.Checkpointer
 }
 
+// Env renders the engine-wide half of the options as a workflow
+// environment sharing the given clock (nil starts a fresh one on Run).
+func (o Options) Env(clock *pregel.SimClock) *workflow.Env {
+	return &workflow.Env{
+		Workers: o.Workers, Parallel: o.Parallel, Cost: o.Cost,
+		CheckpointEvery: o.CheckpointEvery, Checkpointer: o.Checkpointer,
+		Faults: o.Faults, Resume: o.Resume,
+		Clock: clock,
+	}
+}
+
+// AssemblePlan decomposes the options into the paper's canned workflow
+// ①②③④⑤⑥②③ (or just ①②③ with Rounds == 1) over the op catalog of flow.go.
+// Custom workflows build their own plans from the same ops. Rounds
+// defaults to 2 exactly as in Assemble.
+func AssemblePlan(opt Options) (*workflow.Plan[State], error) {
+	if opt.Rounds == 0 {
+		opt.Rounds = 2
+	}
+	if opt.Rounds < 1 || opt.Rounds > 2 {
+		return nil, fmt.Errorf("core: Rounds must be 1 or 2, got %d", opt.Rounds)
+	}
+	p := workflow.NewPlan[State](ArtReads).
+		Then(BuildDBGOp{K: opt.K, Theta: opt.Theta}).
+		Then(LabelOp{Algo: opt.Labeler}).
+		Then(MergeOp{TipLen: opt.TipLen})
+	if opt.Rounds == 2 {
+		p.Then(BubblePopOp{EditDist: opt.BubbleEditDist, MinCov: opt.BubbleMinCov}).
+			Then(RebuildOp{}).
+			Then(LinkContigsOp{})
+		if opt.BranchSplitRatio > 0 {
+			p.Then(SplitOp{Ratio: opt.BranchSplitRatio})
+		}
+		p.Then(TipTrimOp{MinLen: opt.TipLen}).
+			Then(LabelOp{Algo: opt.Labeler}).
+			Then(MergeOp{TipLen: opt.TipLen})
+	}
+	return p, p.Err()
+}
+
 // Assemble runs the paper's workflow ①②③④⑤⑥②③ over the sharded reads: DBG
 // construction, contig labeling and merging, bubble filtering, tip removal,
 // then a second labeling/merging round to grow contigs across corrected
-// regions.
+// regions. It is a thin canned plan over the workflow layer: the options
+// decompose into per-op configs (AssemblePlan) and the per-op metrics fold
+// back into the Result.
 func Assemble(readShards [][]string, opt Options) (*Result, error) {
 	if opt.Workers == 0 {
 		opt = DefaultOptions(1)
@@ -154,99 +203,41 @@ func Assemble(readShards [][]string, opt Options) (*Result, error) {
 		return nil, err
 	}
 	start := time.Now()
-	if opt.CheckpointEvery > 0 && opt.Checkpointer == nil {
-		// One shared store for every stage, so job keys are reserved in
-		// pipeline order (which is what Resume relies on).
-		opt.Checkpointer = pregel.NewMemCheckpointer()
-	}
-	cfg := pregel.Config{
-		Workers: opt.Workers, Parallel: opt.Parallel, Cost: opt.Cost,
-		CheckpointEvery: opt.CheckpointEvery, Checkpointer: opt.Checkpointer,
-		Faults: opt.Faults, Resume: opt.Resume,
-	}
-	clock := pregel.NewSimClock(opt.Cost)
-	res := &Result{Clock: clock, Checkpointer: opt.Checkpointer}
-
-	// ① DBG construction.
-	build, err := dbg.BuildDBG(clock, cfg, readShards, opt.K, opt.Theta)
+	plan, err := AssemblePlan(opt)
 	if err != nil {
 		return nil, err
 	}
-	res.K1Distinct, res.K1Kept = build.K1Distinct, build.K1Kept
-	res.KmerVertices = build.Graph.VertexCount()
-
-	// ② Contig labeling over k-mers (Table II measures this run).
-	g1 := NewSegmentGraph(build, cfg, opt.K)
-	res.KmerLabel, err = LabelContigs(g1, opt.Labeler)
-	if err != nil {
+	env := opt.Env(pregel.NewSimClock(opt.Cost))
+	st := &State{Reads: readShards}
+	if err := plan.Run(env, st); err != nil {
 		return nil, err
 	}
 
-	// ③ Contig merging.
-	merge1, err := MergeContigs(g1, opt.K, opt.TipLen)
-	if err != nil {
-		return nil, err
+	res := &Result{Clock: env.Clock, Checkpointer: env.Checkpointer}
+	m := &st.Metrics
+	res.K1Distinct, res.K1Kept = m.K1Distinct, m.K1Kept
+	res.KmerVertices, res.MidVertices = m.KmerVertices, m.MidVertices
+	if len(m.Labels) > 0 {
+		res.KmerLabel = m.Labels[0]
 	}
-	res.TipsDroppedAtMerge[0] = merge1.DroppedTips
-	res.Round1Contigs = pregel.Flatten(merge1.Contigs)
-
-	if opt.Rounds == 1 {
-		res.Contigs = res.Round1Contigs
-		res.FinalContigs = len(res.Contigs)
-		res.SimSeconds = clock.Seconds()
-		res.WallSeconds = time.Since(start).Seconds()
-		return res, nil
+	if len(m.Labels) > 1 {
+		res.ContigLabel = m.Labels[1]
 	}
-
-	// ④ Bubble filtering.
-	bub, err := FilterBubblesCfg(clock, pregel.MRConfig{Workers: opt.Workers, Parallel: opt.Parallel, Faults: opt.Faults}, merge1.Contigs, opt.BubbleEditDist, opt.BubbleMinCov)
-	if err != nil {
-		return nil, err
-	}
-	res.BubblesPruned = bub.Pruned
-
-	// Rebuild the segment graph with the ambiguous k-mers (keeping only
-	// their edges to other ambiguous k-mers) plus the surviving contigs
-	// (the paper's in-memory conversion between jobs ③/④ and ⑤).
-	g2 := BuildMixedGraph(g1, bub.Contigs, cfg, clock)
-	res.MidVertices = g2.VertexCount()
-
-	// ⑤ Tip removing: contig announcement, then REQUEST/DELETE waves.
-	if _, err := LinkContigs(g2); err != nil {
-		return nil, err
-	}
-	if opt.BranchSplitRatio > 0 {
-		split, err := SplitBranches(g2, opt.BranchSplitRatio)
-		if err != nil {
-			return nil, err
+	for i, d := range m.MergeDroppedTips {
+		if i < len(res.TipsDroppedAtMerge) {
+			res.TipsDroppedAtMerge[i] = d
 		}
-		res.BranchesCut = split.EdgesCut
 	}
-	tips, err := RemoveTips(g2, opt.K, opt.TipLen)
-	if err != nil {
-		return nil, err
-	}
-	res.TipVerticesRemoved = tips.RemovedVertices
-
-	// ⑥②: label again over the mixed k-mer/contig graph (Table III
-	// measures this run).
-	res.ContigLabel, err = LabelContigs(g2, opt.Labeler)
-	if err != nil {
-		return nil, err
-	}
-
-	// ③: final merge.
-	merge2, err := MergeContigs(g2, opt.K, opt.TipLen)
-	if err != nil {
-		return nil, err
-	}
-	if opt.KeepGraph {
-		res.FinalGraph = g2
-	}
-	res.TipsDroppedAtMerge[1] = merge2.DroppedTips
-	res.Contigs = pregel.Flatten(merge2.Contigs)
+	res.BubblesPruned = m.BubblesPruned
+	res.TipVerticesRemoved = m.TipVerticesRemoved
+	res.BranchesCut = m.BranchesCut
+	res.Round1Contigs = m.MergeContigs[0]
+	res.Contigs = m.MergeContigs[len(m.MergeContigs)-1]
 	res.FinalContigs = len(res.Contigs)
-	res.SimSeconds = clock.Seconds()
+	if opt.KeepGraph && opt.Rounds == 2 {
+		res.FinalGraph = st.Graph
+	}
+	res.SimSeconds = env.Clock.Seconds()
 	res.WallSeconds = time.Since(start).Seconds()
 	return res, nil
 }
@@ -259,51 +250,26 @@ func Assemble(readShards [][]string, opt Options) (*Result, error) {
 // seed length) come in via opt; Workers/Parallel/Cost and the clock are
 // inherited from the assembly run unless opt overrides them.
 func ScaffoldContigs(res *Result, asmOpt Options, pairs []scaffold.Pair, opt scaffold.Options) (*scaffold.Result, []scaffold.Contig, error) {
-	contigs := make([]scaffold.Contig, len(res.Contigs))
-	for i, c := range res.Contigs {
-		contigs[i] = scaffold.Contig{
-			ID:   c.ID,
-			Name: fmt.Sprintf("contig_%d", i+1),
-			Seq:  c.Node.Seq,
-		}
+	env := asmOpt.Env(res.Clock)
+	if env.Workers <= 0 {
+		// scaffold.Build historically defaulted a zero worker count.
+		env.Workers = 1
 	}
-	if opt.Workers <= 0 {
-		opt.Workers = asmOpt.Workers
-	}
-	if opt.Cost == (pregel.CostModel{}) {
-		opt.Cost = asmOpt.Cost
-	}
-	if !opt.Parallel {
-		opt.Parallel = asmOpt.Parallel
-	}
-	if opt.Clock == nil {
-		opt.Clock = res.Clock
-	}
-	if opt.CheckpointEvery <= 0 {
-		opt.CheckpointEvery = asmOpt.CheckpointEvery
-	}
-	if opt.Checkpointer == nil {
-		opt.Checkpointer = asmOpt.Checkpointer
-	}
-	if opt.Checkpointer == nil {
+	if env.Checkpointer == nil {
 		// Assemble normalizes a nil store on its own copy of the options;
 		// the Result carries the store actually used.
-		opt.Checkpointer = res.Checkpointer
+		env.Checkpointer = res.Checkpointer
 	}
-	if opt.Faults == nil {
-		opt.Faults = asmOpt.Faults
-	}
-	if !opt.Resume {
-		opt.Resume = asmOpt.Resume
-	}
-	sres, err := scaffold.Build(contigs, pairs, opt)
-	if err != nil {
+	plan := workflow.NewPlan[State](ArtContigs, ArtPairs).
+		Then(ScaffoldOp{Lib: opt})
+	st := &State{Contigs: [][]ContigRec{res.Contigs}, Pairs: pairs}
+	if err := plan.Run(env, st); err != nil {
 		return nil, nil, err
 	}
 	if res.Clock != nil {
 		res.SimSeconds = res.Clock.Seconds()
 	}
-	return sres, contigs, nil
+	return st.Scaffold, st.ScaffoldContigs, nil
 }
 
 // BuildMixedGraph assembles the operation-⑤ input graph: the ambiguous

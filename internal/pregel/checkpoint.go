@@ -37,10 +37,41 @@ type Checkpointer interface {
 	Latest(job string) (step int, data []byte, ok bool, err error)
 }
 
+// jobTracker is the engine-side guard against checkpoint-key collisions: a
+// store that implements it records every key an actual run reserved, and a
+// second reservation of the same key within the same store instance fails
+// the run loudly. Two jobs silently sharing a key would overwrite each
+// other's checkpoints and corrupt Resume, so the built-in stores both
+// implement it; custom Checkpointer implementations opt in by embedding
+// one of them.
+type jobTracker interface {
+	trackJob(job string) error
+}
+
+// jobSet is the shared reservation registry of the built-in stores.
+type jobSet struct {
+	mu       sync.Mutex
+	reserved map[string]bool
+}
+
+func (s *jobSet) trackJob(job string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.reserved == nil {
+		s.reserved = map[string]bool{}
+	}
+	if s.reserved[job] {
+		return fmt.Errorf("pregel: job key %q reserved twice in one run; duplicate keys would overwrite each other's checkpoints and corrupt Resume (is the store's NextJob not unique?)", job)
+	}
+	s.reserved[job] = true
+	return nil
+}
+
 // MemCheckpointer keeps checkpoints in process memory: the natural store
 // for simulated-failure experiments and tests, where recovery happens
 // within one process.
 type MemCheckpointer struct {
+	jobSet
 	mu   sync.Mutex
 	seq  int
 	data map[string]memCkpt
@@ -92,6 +123,7 @@ func (m *MemCheckpointer) Latest(job string) (int, []byte, bool, error) {
 // a temporary name and renamed, so a crash mid-write never corrupts the
 // previous checkpoint.
 type DirCheckpointer struct {
+	jobSet
 	dir  string
 	mu   sync.Mutex
 	seq  int
@@ -281,10 +313,11 @@ type ckptRun struct {
 
 // newCkptRun reserves a job key when checkpointing is enabled for g, and
 // returns nil otherwise. Called after sortVertices, so the fingerprint
-// hashes the run's input state.
-func (g *Graph[V, M]) newCkptRun(name string) *ckptRun {
+// hashes the run's input state. Reserving a key the store already handed
+// to another run is an error (see jobTracker).
+func (g *Graph[V, M]) newCkptRun(name string) (*ckptRun, error) {
 	if g.cfg.CheckpointEvery <= 0 {
-		return nil
+		return nil, nil
 	}
 	store := g.cfg.Checkpointer
 	if store == nil {
@@ -293,12 +326,18 @@ func (g *Graph[V, M]) newCkptRun(name string) *ckptRun {
 		store = NewMemCheckpointer()
 		g.cfg.Checkpointer = store
 	}
+	job := store.NextJob(g.cfg.JobPrefix + name)
+	if t, ok := store.(jobTracker); ok {
+		if err := t.trackJob(job); err != nil {
+			return nil, err
+		}
+	}
 	return &ckptRun{
 		store: store,
-		job:   store.NextJob(name),
+		job:   job,
 		every: g.cfg.CheckpointEvery,
 		fp:    g.runFingerprint(),
-	}
+	}, nil
 }
 
 // runFingerprint hashes the run's identity — worker layout plus the input

@@ -83,7 +83,10 @@ func FuzzCheckpointRoundTrip(f *testing.F) {
 		g := buildFuzzedGraph(data, workers)
 		want := workerState(g)
 
-		ck := g.newCkptRun("fuzz")
+		ck, err := g.newCkptRun("fuzz")
+		if err != nil {
+			t.Fatal(err)
+		}
 		stats := &Stats{}
 		if err := g.saveCheckpoint(ck, 3, 17, stats); err != nil {
 			t.Fatal(err)
@@ -147,7 +150,10 @@ func TestCheckpointRoundTripSeeds(t *testing.T) {
 		workers := int(s.workers)%8 + 1
 		g := buildFuzzedGraph(s.data, workers)
 		want := workerState(g)
-		ck := g.newCkptRun("seed")
+		ck, err := g.newCkptRun("seed")
+		if err != nil {
+			t.Fatal(err)
+		}
 		stats := &Stats{}
 		if err := g.saveCheckpoint(ck, 1, 0, stats); err != nil {
 			t.Fatal(err)

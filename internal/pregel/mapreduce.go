@@ -1,6 +1,7 @@
 package pregel
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 )
@@ -67,6 +68,19 @@ type MRConfig struct {
 	// UDFs, so recovery only charges the clock an extra round carried by
 	// the failed worker alone.
 	Faults *FaultPlan
+}
+
+// Validate rejects nonsensical MapReduce configurations with a clear
+// error; like Config.Validate it is meant to be called early by CLIs and
+// the workflow layer (zero values are still defaulted for library use).
+func (c MRConfig) Validate() error {
+	if c.Workers <= 0 {
+		return fmt.Errorf("pregel: MapReduce Workers must be positive, got %d", c.Workers)
+	}
+	if c.PairBytes < 0 {
+		return fmt.Errorf("pregel: MapReduce PairBytes must not be negative, got %d", c.PairBytes)
+	}
+	return nil
 }
 
 func (c MRConfig) withDefaults() MRConfig {

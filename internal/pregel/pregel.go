@@ -78,6 +78,35 @@ type Config struct {
 	// it left off: deterministic re-execution reserves the same job keys,
 	// and every job restarts from its last completed checkpoint.
 	Resume bool
+
+	// JobPrefix is prepended to every run name before a checkpoint job key
+	// is reserved. The workflow layer sets a per-op prefix derived from the
+	// op's plan position (e.g. "s03.tiptrim."), so checkpoint keys are
+	// deterministic and self-describing for arbitrary compositions.
+	JobPrefix string
+}
+
+// Validate rejects configurations that would otherwise be silently
+// defaulted (zero values) or run nonsensically. It is meant to be called
+// early — by CLIs and the workflow layer — so a typo like a negative
+// worker count fails with a clear error before any compute starts.
+func (c Config) Validate() error {
+	if c.Workers <= 0 {
+		return fmt.Errorf("pregel: Workers must be positive, got %d", c.Workers)
+	}
+	if c.MessageBytes < 0 {
+		return fmt.Errorf("pregel: MessageBytes must not be negative, got %d", c.MessageBytes)
+	}
+	if c.MaxSupersteps < 0 {
+		return fmt.Errorf("pregel: MaxSupersteps must not be negative, got %d", c.MaxSupersteps)
+	}
+	if c.CheckpointEvery < 0 {
+		return fmt.Errorf("pregel: CheckpointEvery must not be negative, got %d", c.CheckpointEvery)
+	}
+	if c.Resume && c.CheckpointEvery <= 0 {
+		return fmt.Errorf("pregel: Resume requires CheckpointEvery > 0 (there are no checkpoints to resume from)")
+	}
+	return nil
 }
 
 // Defaults for Config fields.
@@ -192,6 +221,12 @@ func (g *Graph[V, M]) Config() Config { return g.cfg }
 
 // Clock returns the simulated-cluster clock shared by all jobs on g.
 func (g *Graph[V, M]) Clock() *SimClock { return g.clock }
+
+// SetJobPrefix replaces the checkpoint job-key prefix for subsequent runs
+// on g (see Config.JobPrefix). The workflow layer calls this before every
+// op that reuses an existing graph, so each op's jobs reserve keys under
+// the op's own prefix.
+func (g *Graph[V, M]) SetJobPrefix(prefix string) { g.cfg.JobPrefix = prefix }
 
 // WorkerOf returns the worker index that owns id.
 func (g *Graph[V, M]) WorkerOf(id VertexID) int {
@@ -370,7 +405,10 @@ func (g *Graph[V, M]) Run(compute Compute[V, M], opts ...RunOption) (*Stats, err
 	g.agg.reset()
 	stats := &Stats{Name: o.name, Workers: g.cfg.Workers}
 
-	ck := g.newCkptRun(o.name)
+	ck, err := g.newCkptRun(o.name)
+	if err != nil {
+		return stats, err
+	}
 	step := 0
 	pending := int64(0) // messages delivered at the last barrier
 	if ck != nil {

@@ -118,6 +118,10 @@ type Options struct {
 	Checkpointer    pregel.Checkpointer
 	Faults          *pregel.FaultPlan
 	Resume          bool
+	// JobPrefix is prepended to every scaffolding job's checkpoint key
+	// (see pregel.Config.JobPrefix); the workflow layer sets a per-op
+	// prefix so keys stay deterministic in arbitrary compositions.
+	JobPrefix string
 
 	// SeedLen is the exact-match seed length for mate placement (default
 	// 31, the paper's k; must exceed the assembly k-1 so seeds cannot tie
@@ -262,7 +266,7 @@ func Build(contigs []Contig, pairs []Pair, opt Options) (*Result, error) {
 	cfg := pregel.Config{
 		Workers: opt.Workers, Parallel: opt.Parallel, Cost: opt.Cost,
 		CheckpointEvery: opt.CheckpointEvery, Checkpointer: opt.Checkpointer,
-		Faults: opt.Faults, Resume: opt.Resume,
+		Faults: opt.Faults, Resume: opt.Resume, JobPrefix: opt.JobPrefix,
 	}
 	res := &Result{Stats: &pregel.Stats{Name: "scaffold", Workers: opt.Workers}}
 	res.PairsTotal = len(pairs)

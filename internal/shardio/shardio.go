@@ -102,6 +102,25 @@ func (s *Store) ReadShards(workers int) ([][]string, error) {
 	return out, nil
 }
 
+// PartSizes returns the byte size of every part-file in order — what a
+// cost model needs to price a store round trip without knowing the
+// store's file layout.
+func (s *Store) PartSizes() ([]int64, error) {
+	parts, err := s.partFiles()
+	if err != nil {
+		return nil, err
+	}
+	sizes := make([]int64, len(parts))
+	for i, p := range parts {
+		fi, err := os.Stat(p)
+		if err != nil {
+			return nil, fmt.Errorf("shardio: %w", err)
+		}
+		sizes[i] = fi.Size()
+	}
+	return sizes, nil
+}
+
 func (s *Store) partFiles() ([]string, error) {
 	var parts []string
 	for i := 0; ; i++ {

@@ -7,6 +7,34 @@ import (
 	"testing"
 )
 
+func TestPartSizes(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes, err := s.PartSizes()
+	if err != nil || len(sizes) != 0 {
+		t.Fatalf("empty store: sizes=%v err=%v", sizes, err)
+	}
+	if err := s.WriteShards([][]string{{"abcd"}, {"ab", "cd"}, {}}); err != nil {
+		t.Fatal(err)
+	}
+	sizes, err = s.PartSizes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "abcd\n" = 5 bytes; "ab\ncd\n" = 6; empty part = 0.
+	want := []int64{5, 6, 0}
+	if len(sizes) != len(want) {
+		t.Fatalf("sizes = %v, want %v", sizes, want)
+	}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Errorf("part %d size = %d, want %d", i, sizes[i], want[i])
+		}
+	}
+}
+
 func TestWriteReadRoundTrip(t *testing.T) {
 	s, err := Open(filepath.Join(t.TempDir(), "store"))
 	if err != nil {

@@ -1,0 +1,102 @@
+package workflow
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// specOp is a parameterized fake for parser tests.
+type specOp struct {
+	fakeOp
+	n   int
+	dir string
+}
+
+func testRegistry() Registry[fakeState] {
+	return Registry[fakeState]{
+		"build": func(p *Params) (Op[fakeState], error) {
+			return specOp{fakeOp: fakeOp{name: "build", produces: []Artifact{"graph"}},
+				n: p.Int("k", 21)}, p.Err()
+		},
+		"dump": func(p *Params) (Op[fakeState], error) {
+			return specOp{fakeOp: fakeOp{name: "dump"}, dir: p.Str("dir", "")}, p.Err()
+		},
+		"trim": func(p *Params) (Op[fakeState], error) {
+			n := p.Int("minlen", 80)
+			if n < 0 {
+				return nil, fmt.Errorf("parameter minlen=%d: must not be negative", n)
+			}
+			return specOp{fakeOp: fakeOp{name: "trim", needs: []Artifact{"graph"}}, n: n}, p.Err()
+		},
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	plan, err := Parse(testRegistry(), "build:k=15, trim:minlen=40,trim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := plan.Ops()
+	if len(ops) != 3 {
+		t.Fatalf("parsed %d ops, want 3", len(ops))
+	}
+	if got := ops[0].(specOp).n; got != 15 {
+		t.Errorf("build k = %d, want 15", got)
+	}
+	if got := ops[1].(specOp).n; got != 40 {
+		t.Errorf("trim minlen = %d, want 40", got)
+	}
+	if got := ops[2].(specOp).n; got != 80 {
+		t.Errorf("default trim minlen = %d, want 80", got)
+	}
+}
+
+// TestParseSpecColonInValue: a parameter segment without "=" continues the
+// previous value, so paths with colons pass through the grammar.
+func TestParseSpecColonInValue(t *testing.T) {
+	plan, err := Parse(testRegistry(), "dump:dir=/data/run:3,build")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.Ops()[0].(specOp).dir; got != "/data/run:3" {
+		t.Errorf("dir = %q, want %q", got, "/data/run:3")
+	}
+	// A tail segment with no preceding parameter is still malformed.
+	if _, err := Parse(testRegistry(), "dump:lonetail,build"); err == nil {
+		t.Error("value tail without a parameter accepted")
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := []struct {
+		spec, want string
+	}{
+		{"frobnicate", `unknown op "frobnicate"`},
+		{"build:k", "malformed parameter"},
+		{"build:k=3:k=4", "duplicate parameter"},
+		{"build:zap=1", `unknown parameter "zap"`},
+		{"build:k=banana", "want an integer"},
+		{"trim:minlen=-4", "must not be negative"},
+		{"", "empty spec"},
+		{" , ", "empty spec"},
+		{"trim", `needs "graph"`}, // type validation reaches the planner
+	}
+	for _, c := range cases {
+		_, err := Parse(testRegistry(), c.spec)
+		if err == nil {
+			t.Errorf("spec %q accepted", c.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("spec %q: error %q does not contain %q", c.spec, err, c.want)
+		}
+	}
+}
+
+func TestRegistryNamesSorted(t *testing.T) {
+	names := testRegistry().Names()
+	if len(names) != 3 || names[0] != "build" || names[1] != "dump" || names[2] != "trim" {
+		t.Errorf("Names() = %v", names)
+	}
+}

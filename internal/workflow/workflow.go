@@ -1,0 +1,257 @@
+// Package workflow is the composable job layer the paper positions as its
+// headline contribution (§II, §IV): assembly operations are not stages of
+// one hard-coded pipeline but first-class, typed building blocks that users
+// chain into their own workflows. An Op declares the artifacts it needs,
+// produces and consumes; a Plan validates the artifact flow at build time
+// (before any compute) and then runs the ops in order, threading one shared
+// execution environment — simulated clock, checkpoint store, fault plan —
+// through every job so checkpoint/resume and fault injection keep working
+// across arbitrary user compositions.
+//
+// The package is deliberately generic over the state type S: the engine
+// knows nothing about assembly. The op catalog for the assembler (BuildDBG,
+// Label, Merge, BubblePop, TipTrim, ...) lives in internal/core, which
+// implements Op[core.State] for each operation; that is what lets
+// core.Assemble itself be a thin canned plan without an import cycle.
+//
+// Between two ops the handoff is in memory by default (the Pregel+ convert
+// extension); inserting a staging op (core.StageOp) at a seam dumps the
+// live artifacts to a shardio store and reloads them, which is how the
+// paper positions HDFS between jobs of different systems.
+package workflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ppaassembler/internal/pregel"
+)
+
+// Artifact names a typed value flowing between operations (reads, the
+// segment graph, a contig set, ...). The planner tracks which artifacts are
+// live to reject ill-typed compositions before any compute runs.
+type Artifact string
+
+// Info is an operation's static type signature: its catalog name, the
+// artifacts that must be live before it runs, the artifacts it makes live,
+// and the artifacts it invalidates.
+type Info struct {
+	Name string
+	// Needs must all be live when the op runs.
+	Needs []Artifact
+	// NeedsAny requires at least one of these to be live (for ops like a
+	// staging seam that operate on whichever artifacts exist).
+	NeedsAny []Artifact
+	// Produces become live after the op.
+	Produces []Artifact
+	// Consumes become dead after the op (checked against later Needs).
+	Consumes []Artifact
+}
+
+// Op is one assembly operation over a workflow state S: a typed job (or a
+// short fixed sequence of jobs) with per-op configuration carried on the
+// implementing struct.
+type Op[S any] interface {
+	Info() Info
+	Run(env *Env, st *S) error
+}
+
+// Env is the shared execution environment a plan threads through every op:
+// the engine parameters plus the cross-job state (simulated clock,
+// checkpoint store, fault plan) that must be shared for end-to-end time
+// accounting, crash schedules and resume to span the whole composition.
+type Env struct {
+	// Workers is the number of logical Pregel workers, shared by every op.
+	Workers int
+	// Parallel runs engine workers and MapReduce tasks on goroutines.
+	Parallel bool
+	// Cost parameterizes the simulated cluster (zero value = default).
+	Cost pregel.CostModel
+
+	// CheckpointEvery, Checkpointer, Faults and Resume configure Pregel-
+	// style fault tolerance exactly as on pregel.Config; the plan passes
+	// them to every op so one store and one crash schedule span the run.
+	CheckpointEvery int
+	Checkpointer    pregel.Checkpointer
+	Faults          *pregel.FaultPlan
+	Resume          bool
+
+	// Clock is the simulated-cluster clock every op charges. Plan.Run
+	// installs a fresh one when nil.
+	Clock *pregel.SimClock
+
+	prefix string // current op's deterministic job-key prefix
+}
+
+// normalize fills the cross-job state exactly once per run.
+func (e *Env) normalize() error {
+	if err := e.Config().Validate(); err != nil {
+		return err
+	}
+	if err := e.MRConfig().Validate(); err != nil {
+		return err
+	}
+	if e.Clock == nil {
+		e.Clock = pregel.NewSimClock(e.Cost)
+	}
+	if e.CheckpointEvery > 0 && e.Checkpointer == nil {
+		// One shared store for every op, so job keys are reserved in plan
+		// order (which is what Resume relies on).
+		e.Checkpointer = pregel.NewMemCheckpointer()
+	}
+	return nil
+}
+
+// Config renders the environment as an engine configuration for the
+// current op, including its deterministic job-key prefix.
+func (e *Env) Config() pregel.Config {
+	return pregel.Config{
+		Workers: e.Workers, Parallel: e.Parallel, Cost: e.Cost,
+		CheckpointEvery: e.CheckpointEvery, Checkpointer: e.Checkpointer,
+		Faults: e.Faults, Resume: e.Resume,
+		JobPrefix: e.prefix,
+	}
+}
+
+// MRConfig renders the environment as a mini-MapReduce configuration.
+// MapReduce jobs recover by lineage, not checkpoint, so only the crash
+// schedule is threaded through.
+func (e *Env) MRConfig() pregel.MRConfig {
+	return pregel.MRConfig{Workers: e.Workers, Parallel: e.Parallel, Faults: e.Faults}
+}
+
+// JobPrefix is the deterministic job-key prefix of the op being run
+// (e.g. "s03.tiptrim."): plan position plus op name. Ops prepend it —
+// via pregel.Config.JobPrefix or Graph.SetJobPrefix — to every job they
+// start, so checkpoint keys are stable and self-describing for any
+// composition, and a re-executed plan re-reserves identical keys on Resume.
+func (e *Env) JobPrefix() string { return e.prefix }
+
+// Plan is an ordered composition of ops plus the artifact-flow validation
+// state. Build one with NewPlan, chain ops with Then (validation errors
+// accumulate and surface on Run or Err), then execute with Run.
+type Plan[S any] struct {
+	ops   []Op[S]
+	live  map[Artifact]bool
+	specs []string
+	err   error
+}
+
+// NewPlan starts an empty plan whose initial live artifacts are initial
+// (e.g. the sharded reads a CLI loaded from disk).
+func NewPlan[S any](initial ...Artifact) *Plan[S] {
+	p := &Plan[S]{live: map[Artifact]bool{}}
+	for _, a := range initial {
+		p.live[a] = true
+	}
+	return p
+}
+
+// Then appends op after validating its Info against the artifacts live at
+// this point of the plan. A failed validation poisons the plan; further
+// Then calls are no-ops and Run/Err report the first error.
+func (p *Plan[S]) Then(op Op[S]) *Plan[S] {
+	if p.err != nil {
+		return p
+	}
+	info := op.Info()
+	for _, need := range info.Needs {
+		if !p.live[need] {
+			p.err = fmt.Errorf("workflow: op %d (%s) needs %q, but the plan so far only provides %s",
+				len(p.ops), info.Name, need, describeLive(p.live))
+			return p
+		}
+	}
+	if len(info.NeedsAny) > 0 {
+		ok := false
+		for _, need := range info.NeedsAny {
+			if p.live[need] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			p.err = fmt.Errorf("workflow: op %d (%s) needs one of %v, but the plan so far only provides %s",
+				len(p.ops), info.Name, info.NeedsAny, describeLive(p.live))
+			return p
+		}
+	}
+	for _, a := range info.Consumes {
+		delete(p.live, a)
+	}
+	for _, a := range info.Produces {
+		p.live[a] = true
+	}
+	p.ops = append(p.ops, op)
+	p.specs = append(p.specs, info.Name)
+	return p
+}
+
+// Err returns the first validation error, if any.
+func (p *Plan[S]) Err() error { return p.err }
+
+// Ops returns the validated op sequence.
+func (p *Plan[S]) Ops() []Op[S] { return p.ops }
+
+// String renders the plan as a spec-like op listing.
+func (p *Plan[S]) String() string { return strings.Join(p.specs, ",") }
+
+// Provides reports whether the plan's final state has artifact a live —
+// how a caller checks, before running anything, that a user composition
+// ends in the output it wants to write.
+func (p *Plan[S]) Provides(a Artifact) bool { return p.err == nil && p.live[a] }
+
+// Run executes the plan over st: it validates and normalizes env, then
+// runs every op in order with a deterministic job-key prefix derived from
+// the op's plan position, so arbitrary compositions checkpoint and resume
+// exactly like the canned pipelines.
+func (p *Plan[S]) Run(env *Env, st *S) error {
+	if p.err != nil {
+		return p.err
+	}
+	if len(p.ops) == 0 {
+		return fmt.Errorf("workflow: empty plan")
+	}
+	if err := env.normalize(); err != nil {
+		return err
+	}
+	for i, op := range p.ops {
+		env.prefix = fmt.Sprintf("s%02d.%s.", i, sanitizeName(op.Info().Name))
+		if err := op.Run(env, st); err != nil {
+			return fmt.Errorf("workflow: op %d (%s): %w", i, op.Info().Name, err)
+		}
+	}
+	env.prefix = ""
+	return nil
+}
+
+// describeLive lists live artifacts for error messages, deterministically.
+func describeLive(live map[Artifact]bool) string {
+	if len(live) == 0 {
+		return "nothing"
+	}
+	names := make([]string, 0, len(live))
+	for a := range live {
+		names = append(names, string(a))
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// sanitizeName keeps job-key prefixes filename-safe regardless of how an
+// op names itself.
+func sanitizeName(name string) string {
+	clean := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_':
+			clean = append(clean, c)
+		default:
+			clean = append(clean, '_')
+		}
+	}
+	return string(clean)
+}
