@@ -2,12 +2,17 @@ package bench
 
 import (
 	"encoding/json"
+	"math"
 	"os"
 	"runtime"
 	"testing"
 	"time"
 
+	"ppaassembler/internal/core"
+	"ppaassembler/internal/genome"
 	"ppaassembler/internal/pregel"
+	"ppaassembler/internal/readsim"
+	"ppaassembler/internal/scaffold"
 )
 
 // The engine-shuffle regression workload: a message-heavy Pregel job whose
@@ -23,14 +28,15 @@ const (
 )
 
 // shuffleBenchmark returns a benchmark function running the canonical
-// shuffle workload in the given mode and accumulating total messages.
-func shuffleBenchmark(parallel bool, msgs *int64) func(b *testing.B) {
+// shuffle workload in the given mode and accumulating total messages plus
+// their local/remote tier split.
+func shuffleBenchmark(parallel bool, msgs, local, remote *int64) func(b *testing.B) {
 	return func(b *testing.B) {
 		g := pregel.NewGraph[int64, int64](pregel.Config{Workers: shuffleWorkers, Parallel: parallel})
 		for i := 0; i < shuffleVertices; i++ {
 			g.AddVertex(pregel.VertexID(i), 0)
 		}
-		*msgs = 0 // testing.Benchmark invokes this repeatedly; keep the final run's count
+		*msgs, *local, *remote = 0, 0, 0 // testing.Benchmark invokes this repeatedly; keep the final run's count
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -51,16 +57,23 @@ func shuffleBenchmark(parallel bool, msgs *int64) func(b *testing.B) {
 				b.Fatal(err)
 			}
 			*msgs += st.Messages
+			*local += st.LocalMessages
+			*remote += st.RemoteMessages
 		}
 	}
 }
 
-// shuffleResult is one mode's row in BENCH_pregel.json.
+// shuffleResult is one mode's row in BENCH_pregel.json. LocalMsgs and
+// RemoteMsgs report the network-tier split of one run's traffic (new
+// fields; the pre-existing fields are unchanged for trajectory
+// comparability).
 type shuffleResult struct {
 	NsPerOp     int64   `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	MsgsPerSec  float64 `json:"msgs_per_sec"`
+	LocalMsgs   int64   `json:"local_msgs"`
+	RemoteMsgs  int64   `json:"remote_msgs"`
 }
 
 // benchArtifact is the schema of BENCH_pregel.json.
@@ -80,18 +93,189 @@ type benchArtifact struct {
 	// means goroutine-per-worker execution wins on this host. Expect < 1 on
 	// single-core runners and > 1 from 4 cores up.
 	ParallelSpeedup float64 `json:"parallel_speedup"`
+
+	// Partitioners benchmarks the engine shuffle on a neighbor-exchange
+	// (ring) workload under each placement strategy: same traffic, only
+	// the local/remote split — and so the simulated wire load — moves.
+	Partitioners []partitionerShuffle `json:"partitioner_shuffle"`
+	// Pipeline runs the standard paired-end assemble+scaffold workload
+	// under each named partitioner and records its remote-message fraction
+	// plus two simulated makespans: the communication-bound regime the
+	// paper positions the system in (latency + network only), which is
+	// deterministic, and the default measured-compute model, which is
+	// host-noisy.
+	Pipeline []pipelinePartitioner `json:"pipeline_partitioners"`
+}
+
+// partitionerShuffle is one engine-level placement row.
+type partitionerShuffle struct {
+	Name           string  `json:"name"`
+	NsPerOp        int64   `json:"ns_per_op"`
+	LocalMsgs      int64   `json:"local_msgs"`
+	RemoteMsgs     int64   `json:"remote_msgs"`
+	RemoteFraction float64 `json:"remote_fraction"`
+}
+
+// pipelinePartitioner is one pipeline-level placement row.
+type pipelinePartitioner struct {
+	Name           string  `json:"name"`
+	LocalMsgs      int64   `json:"local_msgs"`
+	RemoteMsgs     int64   `json:"remote_msgs"`
+	RemoteFraction float64 `json:"remote_fraction"`
+	// NetSimSeconds is the communication-bound simulated makespan
+	// (superstep latency + two-tier network, compute zeroed):
+	// deterministic, so partitioners are exactly comparable.
+	NetSimSeconds float64 `json:"net_sim_seconds"`
+	// SimSeconds is the default-model makespan (measured compute included);
+	// best of three runs to damp host noise.
+	SimSeconds float64 `json:"sim_seconds"`
 }
 
 // runShuffleMode measures one mode with testing.Benchmark.
 func runShuffleMode(parallel bool) shuffleResult {
-	var msgs int64
-	r := testing.Benchmark(shuffleBenchmark(parallel, &msgs))
+	var msgs, local, remote int64
+	r := testing.Benchmark(shuffleBenchmark(parallel, &msgs, &local, &remote))
+	n := int64(r.N)
+	if n == 0 {
+		n = 1
+	}
 	return shuffleResult{
 		NsPerOp:     r.NsPerOp(),
 		AllocsPerOp: r.AllocsPerOp(),
 		BytesPerOp:  r.AllocedBytesPerOp(),
 		MsgsPerSec:  float64(msgs) / r.T.Seconds(),
+		LocalMsgs:   local / n,
+		RemoteMsgs:  remote / n,
 	}
+}
+
+// runPartitionerShuffle measures the ring workload — every vertex talks to
+// its ID neighbors, the engine-level proxy for DBG-edge traffic — under one
+// placement strategy.
+func runPartitionerShuffle(name string, part pregel.Partitioner) partitionerShuffle {
+	var local, remote int64
+	r := testing.Benchmark(func(b *testing.B) {
+		g := pregel.NewGraph[int64, int64](pregel.Config{Workers: shuffleWorkers, Partitioner: part})
+		for i := 0; i < shuffleVertices; i++ {
+			g.AddVertex(pregel.VertexID(i), 0)
+		}
+		local, remote = 0, 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st, err := g.Run(func(ctx *pregel.Context[int64], id pregel.VertexID, val *int64, in []int64) {
+				for _, m := range in {
+					*val += m
+				}
+				if ctx.Superstep() >= shuffleSupersteps {
+					ctx.VoteToHalt()
+					return
+				}
+				for j := 1; j <= shuffleFanout/2; j++ {
+					ctx.Send(pregel.VertexID((uint64(id)+uint64(j))%shuffleVertices), int64(id))
+					ctx.Send(pregel.VertexID((uint64(id)+shuffleVertices-uint64(j))%shuffleVertices), int64(id))
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			local, remote = st.LocalMessages, st.RemoteMessages
+		}
+	})
+	row := partitionerShuffle{Name: name, NsPerOp: r.NsPerOp(), LocalMsgs: local, RemoteMsgs: remote}
+	if t := local + remote; t > 0 {
+		row.RemoteFraction = float64(remote) / float64(t)
+	}
+	return row
+}
+
+// benchGenomeReads builds the standard paired-end workload shared by the
+// pipeline rows (fixed seeds, deterministic).
+func benchGenomeReads() ([]string, []scaffold.Pair, error) {
+	ref, err := genome.Generate(genome.Spec{
+		Name: "bench", Length: 30_000, Repeats: 2, RepeatLen: 300, Seed: 41,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	simPairs, err := readsim.SimulatePairs(ref, readsim.PairProfile{
+		Profile:    readsim.Profile{ReadLen: 100, Coverage: 18, Seed: 42},
+		InsertMean: 600, InsertSD: 50,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	pairs := make([]scaffold.Pair, len(simPairs))
+	for i, p := range simPairs {
+		pairs[i] = scaffold.Pair{R1: p.R1, R2: p.R2}
+	}
+	return readsim.Interleave(simPairs), pairs, nil
+}
+
+// runPipelinePartitioner assembles and scaffolds the standard workload
+// under one partitioner and cost model, returning remote split and
+// simulated makespan.
+func runPipelinePartitioner(name string, workers int, cost pregel.CostModel, reads []string, pairs []scaffold.Pair) (local, remote int64, simSeconds float64, err error) {
+	opt := core.DefaultOptions(workers)
+	opt.K = 21
+	opt.Cost = cost
+	part, err := core.MakePartitioner(name, opt.K)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	opt.Partitioner = part
+	res, err := core.Assemble(pregel.ShardSlice(reads, workers), opt)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if _, _, err := core.ScaffoldContigs(res, opt, pairs, scaffold.Options{InsertMean: 600, InsertSD: 50}); err != nil {
+		return 0, 0, 0, err
+	}
+	return res.LocalMessages, res.RemoteMessages, res.SimSeconds, nil
+}
+
+// commBoundCost is the communication-dominated regime the paper positions
+// Pregel+ assembly in: superstep latency and the two network tiers priced
+// as by DefaultCost, compute zeroed so the comparison is deterministic.
+func commBoundCost() pregel.CostModel {
+	c := pregel.DefaultCost()
+	c.ComputeScale = 1e-12
+	return c
+}
+
+// runPipelineRows builds the per-partitioner pipeline section.
+func runPipelineRows(t *testing.T) []pipelinePartitioner {
+	t.Helper()
+	reads, pairs, err := benchGenomeReads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 4
+	var rows []pipelinePartitioner
+	for _, name := range []string{"hash", "range", "minimizer", "affinity"} {
+		local, remote, netSim, err := runPipelinePartitioner(name, workers, commBoundCost(), reads, pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := math.Inf(1)
+		for i := 0; i < 3; i++ {
+			_, _, sim, err := runPipelinePartitioner(name, workers, pregel.CostModel{}, reads, pairs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sim < best {
+				best = sim
+			}
+		}
+		row := pipelinePartitioner{
+			Name: name, LocalMsgs: local, RemoteMsgs: remote,
+			NetSimSeconds: netSim, SimSeconds: best,
+		}
+		if tot := local + remote; tot > 0 {
+			row.RemoteFraction = float64(remote) / float64(tot)
+		}
+		rows = append(rows, row)
+	}
+	return rows
 }
 
 // TestEmitPregelBenchArtifact runs the shuffle workload in both modes and
@@ -118,6 +302,19 @@ func TestEmitPregelBenchArtifact(t *testing.T) {
 	if a.Parallel.NsPerOp > 0 {
 		a.ParallelSpeedup = float64(a.Sequential.NsPerOp) / float64(a.Parallel.NsPerOp)
 	}
+	for _, p := range []struct {
+		name string
+		part pregel.Partitioner
+	}{
+		{"hash", pregel.HashPartitioner{}},
+		// The shuffle workload's IDs are dense in [0, vertices), so a
+		// 15-bit range covers them; the ring traffic then stays almost
+		// entirely inside each worker's contiguous span.
+		{"range", pregel.RangePartitioner{Bits: 15}},
+	} {
+		a.Partitioners = append(a.Partitioners, runPartitionerShuffle(p.name, p.part))
+	}
+	a.Pipeline = runPipelineRows(t)
 	out, err := json.MarshalIndent(a, "", "  ")
 	if err != nil {
 		t.Fatal(err)
@@ -141,5 +338,34 @@ func TestEmitPregelBenchArtifact(t *testing.T) {
 	}
 	if a.NumCPU >= 4 && a.ParallelSpeedup < 0.9 {
 		t.Errorf("parallel shuffle much slower than sequential on %d cores (speedup %.2fx)", a.NumCPU, a.ParallelSpeedup)
+	}
+
+	// Locality gates — all deterministic, so they hold on any hardware: on
+	// the ring workload range placement must leave only span-boundary
+	// traffic on the wire, and on the standard paired-end pipeline the
+	// minimizer placement must cut both the remote-message fraction and
+	// the communication-bound simulated makespan below hash scatter.
+	rows := map[string]partitionerShuffle{}
+	for _, r := range a.Partitioners {
+		rows[r.Name] = r
+		t.Logf("shuffle %-5s: %d ns/op, remote fraction %.3f", r.Name, r.NsPerOp, r.RemoteFraction)
+	}
+	if rows["range"].RemoteFraction >= rows["hash"].RemoteFraction/2 {
+		t.Errorf("ring shuffle: range remote fraction %.3f not well below hash's %.3f",
+			rows["range"].RemoteFraction, rows["hash"].RemoteFraction)
+	}
+	pipe := map[string]pipelinePartitioner{}
+	for _, r := range a.Pipeline {
+		pipe[r.Name] = r
+		t.Logf("pipeline %-9s: remote fraction %.3f, net makespan %.3fs, full makespan %.3fs",
+			r.Name, r.RemoteFraction, r.NetSimSeconds, r.SimSeconds)
+	}
+	if pipe["minimizer"].RemoteFraction >= pipe["hash"].RemoteFraction*0.95 {
+		t.Errorf("pipeline: minimizer remote fraction %.3f not at least 5%% below hash's %.3f",
+			pipe["minimizer"].RemoteFraction, pipe["hash"].RemoteFraction)
+	}
+	if pipe["minimizer"].NetSimSeconds >= pipe["hash"].NetSimSeconds {
+		t.Errorf("pipeline: minimizer communication-bound makespan %.4fs not below hash's %.4fs",
+			pipe["minimizer"].NetSimSeconds, pipe["hash"].NetSimSeconds)
 	}
 }

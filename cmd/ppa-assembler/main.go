@@ -33,18 +33,19 @@ import (
 
 // cliOpts carries every flag so run stays testable.
 type cliOpts struct {
-	in, out  string
-	k        int
-	theta    uint32
-	tip      int
-	editDist int
-	workers  int
-	parallel bool
-	labeler  string
-	rounds   int
-	minLen   int
-	gfa      string
-	quiet    bool
+	in, out     string
+	k           int
+	theta       uint32
+	tip         int
+	editDist    int
+	workers     int
+	parallel    bool
+	partitioner string
+	labeler     string
+	rounds      int
+	minLen      int
+	gfa         string
+	quiet       bool
 
 	scaffoldOut string
 	insert      float64
@@ -71,6 +72,7 @@ func main() {
 	flag.IntVar(&o.editDist, "editdist", 5, "bubble edit-distance threshold")
 	flag.IntVar(&o.workers, "workers", 4, "logical Pregel workers")
 	flag.BoolVar(&o.parallel, "parallel", false, "run workers on goroutines (multi-core; output is identical to sequential mode)")
+	flag.StringVar(&o.partitioner, "partitioner", "hash", "vertex placement strategy: hash (scatter), range (contiguous k-mer ID spans), minimizer (co-locate DBG-adjacent k-mers) or affinity (re-place contigs next to their graph neighborhood); output is identical for all of them, only simulated network locality changes")
 	flag.StringVar(&o.labeler, "labeler", "lr", "contig labeling algorithm: lr or sv")
 	flag.IntVar(&o.rounds, "rounds", 2, "labeling+merging rounds (1 = no error correction)")
 	flag.IntVar(&o.minLen, "minlen", 0, "omit contigs shorter than this from the output")
@@ -127,6 +129,9 @@ func run(o cliOpts) error {
 		return err
 	}
 	if opt.Labeler, err = parseLabeler(o.labeler); err != nil {
+		return err
+	}
+	if opt.Partitioner, err = core.MakePartitioner(o.partitioner, o.k); err != nil {
 		return err
 	}
 
@@ -229,6 +234,10 @@ func run(o cliOpts) error {
 		if opt.Faults != nil {
 			fmt.Fprintf(os.Stderr, "faults injected:   %d/%d fired, all recovered (checkpoint every %d supersteps)\n",
 				opt.Faults.FiredCount(), opt.Faults.Scheduled(), opt.CheckpointEvery)
+		}
+		if total := res.LocalMessages + res.RemoteMessages; total > 0 {
+			fmt.Fprintf(os.Stderr, "shuffle traffic:   %d messages, %.1f%% remote (partitioner %s)\n",
+				total, 100*float64(res.RemoteMessages)/float64(total), o.partitioner)
 		}
 		fmt.Fprintf(os.Stderr, "simulated time:    %.2fs (%d workers), wall %.2fs\n",
 			res.SimSeconds, o.workers, res.WallSeconds)

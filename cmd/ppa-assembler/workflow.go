@@ -92,8 +92,30 @@ func runWorkflow(o cliOpts) error {
 	if err != nil {
 		return err
 	}
+	part, err := core.MakePartitioner(o.partitioner, o.k)
+	if err != nil {
+		return err
+	}
+	// The k-mer-aware strategies (range, minimizer) are sized by -k, but a
+	// spec may override k on its build op; a mismatch would silently
+	// degenerate the placement (e.g. a 2·21-bit range over 15-mer IDs puts
+	// every vertex on worker 0) and make the locality numbers meaningless.
+	// A partition op earlier in the spec supersedes the flag, so only the
+	// flag-sized frame is checked.
+	if o.partitioner != "" && o.partitioner != "hash" {
+		for _, op := range plan.Ops() {
+			if _, ok := op.(core.PartitionOp); ok {
+				break
+			}
+			if b, ok := op.(core.BuildDBGOp); ok && b.K != o.k {
+				return fmt.Errorf("-partitioner %s is sized for -k %d, but the workflow builds with k=%d; size it in the spec instead (e.g. \"partition:scheme=%s:k=%d,%s\") or align -k",
+					o.partitioner, o.k, b.K, o.partitioner, b.K, o.workflow)
+			}
+		}
+	}
 	env := &workflow.Env{
 		Workers: o.workers, Parallel: o.parallel,
+		Partitioner: part, MessageBytes: core.MsgWireBytes,
 		CheckpointEvery: every, Checkpointer: store,
 		Faults: faults, Resume: o.resume,
 	}
@@ -183,6 +205,10 @@ func printWorkflowSummary(o cliOpts, spec string, env *workflow.Env, st *core.St
 	if env.Faults != nil {
 		fmt.Fprintf(os.Stderr, "faults injected:   %d/%d fired, all recovered (checkpoint every %d supersteps)\n",
 			env.Faults.FiredCount(), env.Faults.Scheduled(), env.CheckpointEvery)
+	}
+	if total := env.Clock.LocalMessages() + env.Clock.RemoteMessages(); total > 0 {
+		fmt.Fprintf(os.Stderr, "shuffle traffic:   %d messages, %.1f%% remote (partitioner %s)\n",
+			total, 100*float64(env.Clock.RemoteMessages())/float64(total), env.Partitioner.Name())
 	}
 	fmt.Fprintf(os.Stderr, "simulated time:    %.2fs (%d workers)\n", env.Clock.Seconds(), env.Workers)
 }

@@ -240,6 +240,13 @@ func (o RebuildOp) Info() workflow.Info {
 
 // Run implements workflow.Op.
 func (o RebuildOp) Run(env *workflow.Env, st *State) error {
+	if aff, ok := env.Partitioner.(*AffinityPartitioner); ok {
+		// The label-affinity strategy learns its placement here, the first
+		// point where merge-label groups (the contigs) exist: each contig
+		// vertex of the mixed graph is re-placed next to one of its end
+		// neighbors before the graph is built.
+		aff.Place(st.Contigs, env.Workers)
+	}
 	st.Graph = BuildMixedGraph(st.Graph, st.Contigs, env.Config(), env.Clock)
 	st.Metrics.MidVertices = st.Graph.VertexCount()
 	st.Contigs = nil
@@ -471,6 +478,12 @@ func (o ScaffoldOp) Run(env *workflow.Env, st *State) error {
 	if opt.Cost == (pregel.CostModel{}) {
 		opt.Cost = env.Cost
 	}
+	if opt.Partitioner == nil {
+		opt.Partitioner = env.Partitioner
+	}
+	if opt.MessageBytes <= 0 {
+		opt.MessageBytes = env.MessageBytes
+	}
 	if !opt.Parallel {
 		opt.Parallel = env.Parallel
 	}
@@ -528,6 +541,8 @@ func DefaultOpDefaults() OpDefaults {
 //	merge[:tiplen=80]           contig merging (op ③)
 //	bubble[:editdist=5][:mincov=0]  bubble filtering (op ④)
 //	rebuild                     mixed-graph conversion (ambiguous k-mers + contigs)
+//	partition[:scheme=hash|range|minimizer|affinity][:k=21]
+//	                            vertex placement for graphs built from here on
 //	link                        contig announcement (op ⑤ setup)
 //	split:ratio=N               branch splitting (Spaler extension)
 //	tiptrim[:minlen=80]         tip removal waves (op ⑤)
@@ -573,6 +588,15 @@ func OpRegistry(def OpDefaults) workflow.Registry[State] {
 		},
 		"rebuild": func(p *workflow.Params) (workflow.Op[State], error) {
 			return RebuildOp{}, p.Err()
+		},
+		"partition": func(p *workflow.Params) (workflow.Op[State], error) {
+			op := PartitionOp{Scheme: p.Str("scheme", "hash"), K: p.Int("k", def.K)}
+			// Validate the scheme at parse time so a typo fails before any
+			// compute, like every other spec error.
+			if _, err := MakePartitioner(op.Scheme, op.K); err != nil {
+				return nil, err
+			}
+			return op, p.Err()
 		},
 		"link": func(p *workflow.Params) (workflow.Op[State], error) {
 			return LinkContigsOp{}, p.Err()

@@ -77,6 +77,14 @@ type Msg struct {
 	NLen  int32
 }
 
+// MsgWireBytes is the charged wire size of one Msg on the simulated
+// network: kind (1) + two vertex IDs (16) + sides (2) + flag (1) + the
+// varint-packed length/coverage/polarity tail (~4). The engine's generic
+// 16-byte default undercharges this record; every segment-graph job
+// declares the real size so locality-aware placement is priced against the
+// traffic the paper's cluster would actually carry.
+const MsgWireBytes = 24
+
 // Graph is the segment graph all core operations run on.
 type Graph = pregel.Graph[VData, Msg]
 

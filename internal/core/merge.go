@@ -63,6 +63,11 @@ func MergeContigs(g *Graph, k, tipLen int) (*MergeResult, error) {
 	groups := make([]int, workers)
 	droppedTips := make([]int, workers)
 	errs := make([]error, workers)
+	// The grouping deliberately leaves MRConfig.Partitioner nil: the
+	// reducer index is baked into every contig's (worker, ordinal) ID and
+	// therefore into the output's naming and order, so merge grouping must
+	// stay placement-invariant — all three partitioners must produce
+	// byte-identical contigs.
 	out, st := pregel.MapReduceCfg(
 		g.Clock(), pregel.MRConfig{Workers: workers, PairBytes: 64, Parallel: g.Config().Parallel, Faults: g.Config().Faults},
 		input, // 64 ≈ id + packed node on the wire, rough charge

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+
+	"ppaassembler/internal/dbg"
+	"ppaassembler/internal/dna"
+	"ppaassembler/internal/pregel"
+	"ppaassembler/internal/workflow"
+)
+
+// This file is the assembler's placement catalog over the engine's
+// pluggable Partitioner layer: the named strategies the CLI and workflow
+// specs can select, and the label-affinity partitioner that re-places
+// contig vertices after merging.
+//
+// Placement never changes what the assembler outputs — the engine is
+// placement-deterministic and contig identity is pinned to the hash-grouped
+// merge reduce — it only changes which messages cross the simulated wire,
+// which is exactly what the two-tier cost model measures.
+
+// PartitionerNames lists the selectable strategies, for flag help and
+// error messages.
+const PartitionerNames = "hash, range, minimizer or affinity"
+
+// MakePartitioner builds a named placement strategy:
+//
+//	hash       SplitMix64 scatter (the default; byte-identical to the
+//	           engine's historical behavior)
+//	range      contiguous spans of the 2k-bit k-mer ID space, so each
+//	           worker owns one lexicographic slice of k-mer space; contig
+//	           and NULL IDs fall back to hash
+//	minimizer  k-mers placed by their canonical minimizer, so DBG-adjacent
+//	           k-mers — which share k-1 bases and almost always a
+//	           minimizer — co-locate (see dbg.MinimizerPartitioner); the
+//	           measured locality winner on the assemble+scaffold workload
+//	affinity   hash placement until contigs exist, then the rebuilt mixed
+//	           graph is re-placed by junction neighborhood
+//	           (see AffinityPartitioner)
+//
+// k is the run's k-mer length, which sizes the range partitioner's ID
+// space and the minimizer windows.
+func MakePartitioner(name string, k int) (pregel.Partitioner, error) {
+	switch name {
+	case "", "hash":
+		return pregel.HashPartitioner{}, nil
+	case "range":
+		if err := dna.ValidK(k); err != nil {
+			return nil, fmt.Errorf("core: range partitioner: %w", err)
+		}
+		return pregel.RangePartitioner{Bits: uint(2 * k)}, nil
+	case "minimizer":
+		if err := dna.ValidK(k); err != nil {
+			return nil, fmt.Errorf("core: minimizer partitioner: %w", err)
+		}
+		return dbg.NewMinimizerPartitioner(k), nil
+	case "affinity":
+		return NewAffinityPartitioner(), nil
+	}
+	return nil, fmt.Errorf("core: unknown partitioner %q (want %s)", name, PartitionerNames)
+}
+
+// AffinityPartitioner is the greedy label-affinity strategy: ordinary
+// vertices keep their base (hash) placement, but once operation ③ has
+// grouped the labeled vertices into contigs, the rebuilt mixed graph is
+// re-placed by junction neighborhood. Every edge of the mixed graph is
+// incident to an ambiguous k-mer (the graph holds only ambiguous k-mers
+// and contig vertices), so each ambiguous end k-mer and all the contigs
+// whose merge-label groups border on it are assigned to one worker —
+// greedily, least-loaded worker first, which keeps the re-placement
+// balanced. The contig↔end-k-mer edges carry the link announcements (op ⑤
+// setup), the hello exchange of the second labeling round, and the
+// tip-removal waves; co-locating each junction converts that traffic from
+// inter- to intra-machine.
+//
+// The table is (re)derived in RebuildOp. The derivation is deterministic,
+// so a resumed process rebuilds the identical table and checkpointed
+// partitions restore onto the same workers.
+type AffinityPartitioner struct {
+	*pregel.TablePartitioner
+}
+
+// NewAffinityPartitioner returns an affinity partitioner with an empty
+// table (pure hash placement until Place is called).
+func NewAffinityPartitioner() *AffinityPartitioner {
+	return &AffinityPartitioner{pregel.NewTablePartitioner("affinity", pregel.HashPartitioner{})}
+}
+
+// Place derives the contig placement table from the merged contig set for
+// the given worker count, replacing any previous table. It must be called
+// between runs, never while one executes.
+func (p *AffinityPartitioner) Place(contigs [][]ContigRec, workers int) {
+	if workers <= 0 {
+		p.Reset()
+		return
+	}
+	// Junction neighborhoods: every ambiguous end k-mer together with the
+	// contigs bordering on it. Contig iteration order is deterministic
+	// (reducer order, each shard sorted by merge label), so the
+	// first-appearance k-mer order — and with it the whole table — is too.
+	border := map[pregel.VertexID][]pregel.VertexID{}
+	var junctions []pregel.VertexID
+	for _, shard := range contigs {
+		for _, c := range shard {
+			for _, a := range c.Node.Adj {
+				if a.Nbr == dbg.NullID {
+					continue
+				}
+				k := dbg.UnflipID(a.Nbr)
+				if _, seen := border[k]; !seen {
+					junctions = append(junctions, k)
+				}
+				border[k] = append(border[k], c.ID)
+			}
+		}
+	}
+	load := make([]int, workers)
+	table := make(map[pregel.VertexID]int, len(border))
+	for _, k := range junctions {
+		// The least-loaded worker (lowest index on ties) hosts the whole
+		// neighborhood. A contig bridging two junctions stays where its
+		// first junction put it — one localized end is still one more
+		// than scatter placement guarantees.
+		best := 0
+		for w := 1; w < workers; w++ {
+			if load[w] < load[best] {
+				best = w
+			}
+		}
+		table[k] = best
+		load[best]++
+		for _, cid := range border[k] {
+			if _, done := table[cid]; !done {
+				table[cid] = best
+				load[best]++
+			}
+		}
+	}
+	// Contigs with two dead ends have no junction and keep base placement.
+	p.Install(table, workers)
+}
+
+// PartitionOp sets the plan's vertex-placement strategy from its plan
+// position onward: graphs built by later ops (build, rebuild, scaffold)
+// adopt it, while graphs already live keep the placement they were
+// constructed with (follow with a stage seam to re-shard an existing
+// graph). In specs it appears as
+// partition:scheme=hash|range|minimizer|affinity (with an optional :k=N
+// sizing the k-mer-aware schemes).
+type PartitionOp struct {
+	// Scheme is a MakePartitioner name.
+	Scheme string
+	// K sizes the range partitioner's ID space (the run's k-mer length).
+	K int
+}
+
+// Info implements workflow.Op.
+func (o PartitionOp) Info() workflow.Info {
+	return workflow.Info{Name: "partition"}
+}
+
+// Run implements workflow.Op.
+func (o PartitionOp) Run(env *workflow.Env, st *State) error {
+	p, err := MakePartitioner(o.Scheme, o.K)
+	if err != nil {
+		return err
+	}
+	env.Partitioner = p
+	return nil
+}

@@ -41,6 +41,11 @@ type Options struct {
 	Cost pregel.CostModel
 	// Parallel runs engine workers on goroutines (see pregel.Config).
 	Parallel bool
+	// Partitioner is the vertex-placement strategy for every stage (nil =
+	// hash, the historical behavior). Build one with MakePartitioner;
+	// placement changes simulated network locality but never the
+	// assembler's output.
+	Partitioner pregel.Partitioner
 
 	// CheckpointEvery enables Pregel-style fault tolerance for every job
 	// of the pipeline: each run checkpoints its state every N supersteps
@@ -129,6 +134,12 @@ type Result struct {
 	// host wall-clock time.
 	SimSeconds, WallSeconds float64
 
+	// LocalMessages and RemoteMessages split the pipeline's total shuffle
+	// traffic by network tier (read off the shared clock): local messages
+	// stayed on their worker, remote ones crossed the simulated wire. The
+	// split depends on Options.Partitioner; the totals do not.
+	LocalMessages, RemoteMessages int64
+
 	// FinalGraph is the post-error-correction mixed graph (only when
 	// Options.KeepGraph was set); pass it to WriteGFA.
 	FinalGraph *Graph
@@ -151,6 +162,7 @@ type Result struct {
 func (o Options) Env(clock *pregel.SimClock) *workflow.Env {
 	return &workflow.Env{
 		Workers: o.Workers, Parallel: o.Parallel, Cost: o.Cost,
+		Partitioner: o.Partitioner, MessageBytes: MsgWireBytes,
 		CheckpointEvery: o.CheckpointEvery, Checkpointer: o.Checkpointer,
 		Faults: o.Faults, Resume: o.Resume,
 		Clock: clock,
@@ -238,6 +250,8 @@ func Assemble(readShards [][]string, opt Options) (*Result, error) {
 		res.FinalGraph = st.Graph
 	}
 	res.SimSeconds = env.Clock.Seconds()
+	res.LocalMessages = env.Clock.LocalMessages()
+	res.RemoteMessages = env.Clock.RemoteMessages()
 	res.WallSeconds = time.Since(start).Seconds()
 	return res, nil
 }
@@ -268,6 +282,8 @@ func ScaffoldContigs(res *Result, asmOpt Options, pairs []scaffold.Pair, opt sca
 	}
 	if res.Clock != nil {
 		res.SimSeconds = res.Clock.Seconds()
+		res.LocalMessages = res.Clock.LocalMessages()
+		res.RemoteMessages = res.Clock.RemoteMessages()
 	}
 	return st.Scaffold, st.ScaffoldContigs, nil
 }

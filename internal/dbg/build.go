@@ -53,7 +53,28 @@ func BuildDBG(clock *pregel.SimClock, cfg pregel.Config, readShards [][]string, 
 	}
 	// Reduce UDFs run concurrently (one reducer per worker) under Parallel,
 	// so the θ-filter counters accumulate per reducer and fold afterwards.
-	mrCfg := pregel.MRConfig{Workers: workers, PairBytes: 12, Parallel: cfg.Parallel, Faults: cfg.Faults}
+	// Keys are (k+1)-mer and k-mer IDs, so both phases group through the
+	// same partitioner that will place the graph's vertices (keyHash is the
+	// identity projection; see MRConfig.Partitioner): each reduced
+	// KmerVertex of phase (ii) is born on the worker that owns it, and the
+	// AddVertex pass below is a local insert rather than a second shuffle.
+	part := cfg.Partitioner
+	if part == nil {
+		part = pregel.HashPartitioner{}
+	}
+	// Phase (i) routes each (k+1)-mer to the worker owning its canonical
+	// prefix k-mer (a routing projection, not a mixing hash — see
+	// MRConfig.Partitioner). Phase (ii) then runs its map on that worker,
+	// so the prefix-endpoint adjacency pair it emits is intra-machine by
+	// construction under every partitioner — and under locality-aware
+	// placement the suffix endpoint, which shares k-1 bases, usually is
+	// too.
+	routeK1 := func(id uint64) uint64 {
+		pref, _ := dna.Kmer(id >> 2).Canonical(k)
+		return uint64(pref)
+	}
+	rawKey := func(k uint64) uint64 { return k }
+	mrCfg := pregel.MRConfig{Workers: workers, PairBytes: 12, Parallel: cfg.Parallel, Faults: cfg.Faults, Partitioner: part}
 	k1Distinct := make([]int64, workers)
 	k1Kept := make([]int64, workers)
 	k1Shards, st1 := pregel.MapReduceCfg(
@@ -71,7 +92,7 @@ func BuildDBG(clock *pregel.SimClock, cfg pregel.Config, readShards [][]string, 
 				emit(uint64(id), cnt)
 			}
 		},
-		pregel.Uint64Hash,
+		routeK1,
 		func(a, b uint64) bool { return a < b },
 		func(w int, key uint64, counts []uint32, emit func(K1Mer)) {
 			total := uint32(0)
@@ -104,7 +125,7 @@ func BuildDBG(clock *pregel.SimClock, cfg pregel.Config, readShards [][]string, 
 			emit(uint64(srcID), partial{srcItem})
 			emit(uint64(dstID), partial{dstItem})
 		},
-		pregel.Uint64Hash,
+		rawKey,
 		func(a, b uint64) bool { return a < b },
 		func(w int, key uint64, parts []partial, emit func(kvPair)) {
 			var v KmerVertex

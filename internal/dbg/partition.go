@@ -1,0 +1,139 @@
+package dbg
+
+import (
+	"sync/atomic"
+
+	"ppaassembler/internal/dna"
+	"ppaassembler/internal/pregel"
+)
+
+// MinimizerPartitioner places k-mer vertices by their canonical minimizer:
+// the lexicographically smallest m-mer over both strands of the k-mer, the
+// classic locality device of distributed de Bruijn graph construction. Two
+// k-mers joined by a DBG edge overlap in k-1 bases, so their minimizer
+// windows share all but one position per strand and the minimizer — and
+// with it the assigned worker — is usually identical: most edge traffic
+// (labeling hellos, first-hop pointer requests, S-V neighbor broadcasts,
+// tip waves) stays intra-machine, while hashing the minimizer keeps
+// distinct super-k-mer runs spread across the cluster.
+//
+// Non-k-mer IDs — contig and NULL IDs (bit 63) and anything else outside
+// the 2K-bit space — fall back to plain hash placement, so the partitioner
+// is total over the assembler's whole ID scheme.
+type MinimizerPartitioner struct {
+	// K is the k-mer length whose 2K-bit encoding IDs are interpreted as.
+	K int
+	// M is the minimizer length (0 < M <= K). Smaller M localizes more
+	// edges but concentrates more vertices per minimizer; DefaultMinimizerM
+	// balances the two for the paper's k range.
+	M int
+
+	// cache memoizes Assign: the partitioner sits on the engine's per-send
+	// hot path, where the minimizer scan — cheap as it is — would be
+	// measured as worker compute time by the simulated clock, eating the
+	// very locality win the placement buys. A direct-mapped, atomically
+	// published table keeps the common case to one load; uint32 entries
+	// keep the whole table L2-resident (256 KiB), which is what makes the
+	// hit path as cheap as the plain hash mix. An entry packs
+	// the ID's high bits as a tag and the assigned worker, which serves
+	// IDs below 2^42 (k <= 21, the default) and worker counts below 63;
+	// anything larger just recomputes every call.
+	cache []atomic.Uint32
+	// cacheWorkers latches the worker count the cache entries were
+	// computed for (set once, CAS); calls with any other count bypass the
+	// cache, so one shared partitioner stays correct across graphs.
+	cacheWorkers atomic.Int32
+}
+
+// DefaultMinimizerM is the default minimizer length.
+const DefaultMinimizerM = 11
+
+// minimizerCacheSlots must be a power of two with minimizerCacheBits set
+// bits, so slot index + tag + worker exactly tile a uint32 entry.
+const (
+	minimizerCacheBits  = 18
+	minimizerCacheSlots = 1 << minimizerCacheBits
+)
+
+// NewMinimizerPartitioner returns a minimizer partitioner for k-mers of
+// length k with the default minimizer length and the Assign memo cache
+// enabled. The zero-value struct also works (and is what tests of the
+// scan itself use); it simply recomputes every call.
+func NewMinimizerPartitioner(k int) *MinimizerPartitioner {
+	m := DefaultMinimizerM
+	if m > k {
+		m = k
+	}
+	return &MinimizerPartitioner{K: k, M: m, cache: make([]atomic.Uint32, minimizerCacheSlots)}
+}
+
+// Name implements pregel.Partitioner.
+func (p *MinimizerPartitioner) Name() string { return "minimizer" }
+
+// Assign implements pregel.Partitioner.
+func (p *MinimizerPartitioner) Assign(id pregel.VertexID, workers int) int {
+	k, m := p.K, p.M
+	if m <= 0 {
+		m = DefaultMinimizerM
+	}
+	if k <= 0 || k > dna.MaxK || m > k || uint64(id)>>(2*uint(k)) != 0 {
+		return pregel.HashPartitioner{}.Assign(id, workers)
+	}
+	cacheable := p.cache != nil && uint64(id) < 1<<42 && workers < 63
+	if cacheable {
+		if cw := p.cacheWorkers.Load(); cw != int32(workers) {
+			if cw != 0 || !p.cacheWorkers.CompareAndSwap(0, int32(workers)) {
+				cacheable = p.cacheWorkers.Load() == int32(workers)
+			}
+		}
+	}
+	var slot *atomic.Uint32
+	if cacheable {
+		// Direct low-bit indexing: a canonical k-mer's trailing bases are
+		// close to uniform, and skipping a hash keeps the hit path as
+		// cheap as the plain hash partitioner's mix. An entry stores the
+		// ID bits above the slot index as a 26-bit tag plus worker+1 (0 =
+		// empty slot), which exactly fills 32 bits for IDs below 2^42.
+		slot = &p.cache[uint64(id)&(minimizerCacheSlots-1)]
+		tag := uint32(uint64(id) >> minimizerCacheBits)
+		if e := slot.Load(); e != 0 && e>>6 == tag {
+			return int(e&63) - 1
+		}
+	}
+	// The minimizer is already hash-mixed by the scan order, so a plain
+	// modulo spreads it without double hashing.
+	w := int(canonicalMinimizer(dna.Kmer(id), k, m) % uint64(workers))
+	if cacheable {
+		slot.Store(uint32(uint64(id)>>minimizerCacheBits)<<6 | uint32(w+1))
+	}
+	return w
+}
+
+// canonicalMinimizer returns the m-mer with the smallest *mixed* value
+// across both strands of the k-mer. The minimum is taken in a hashed order
+// (random minimizers) rather than lexicographically: low-complexity m-mers
+// like poly-A would otherwise win in a huge fraction of windows and clump
+// their super-k-mers onto a few workers, skewing both compute and the
+// most-loaded link. Scanning the reverse complement explicitly (rather
+// than taking per-window canonical forms) keeps the value identical for a
+// k-mer and its reverse complement, so edge endpoints agree on the
+// minimizer no matter which strand each canonicalized to.
+func canonicalMinimizer(kmer dna.Kmer, k, m int) uint64 {
+	min := scanMinimizer(uint64(kmer), k, m)
+	if rc := scanMinimizer(uint64(kmer.ReverseComplement(k)), k, m); rc < min {
+		min = rc
+	}
+	return min
+}
+
+// scanMinimizer returns the smallest mixed m-mer value of one strand.
+func scanMinimizer(v uint64, k, m int) uint64 {
+	mask := dna.KmerMask(m)
+	min := ^uint64(0)
+	for shift := 0; shift <= 2*(k-m); shift += 2 {
+		if w := pregel.Uint64Hash(v >> uint(shift) & mask); w < min {
+			min = w
+		}
+	}
+	return min
+}

@@ -1,0 +1,43 @@
+package dbg
+
+import (
+	"testing"
+
+	"ppaassembler/internal/pregel"
+)
+
+const benchIDSpace = uint64(1)<<42 - 1
+
+func BenchmarkAssignHash(b *testing.B) {
+	p := pregel.HashPartitioner{}
+	s := 0
+	for i := 0; i < b.N; i++ {
+		s += p.Assign(pregel.VertexID(uint64(i)*2654435761&benchIDSpace), 4)
+	}
+	_ = s
+}
+
+func BenchmarkAssignMinimizerCached(b *testing.B) {
+	p := NewMinimizerPartitioner(21)
+	// Working set of 30k ids, mirroring the assembler's vertex count.
+	ids := make([]pregel.VertexID, 30_000)
+	for i := range ids {
+		ids[i] = pregel.VertexID(uint64(i) * 0x9E3779B97F4A7C15 & benchIDSpace)
+		p.Assign(ids[i], 4) // warm
+	}
+	b.ResetTimer()
+	s := 0
+	for i := 0; i < b.N; i++ {
+		s += p.Assign(ids[i%len(ids)], 4)
+	}
+	_ = s
+}
+
+func BenchmarkAssignMinimizerUncached(b *testing.B) {
+	p := &MinimizerPartitioner{K: 21, M: 11}
+	s := 0
+	for i := 0; i < b.N; i++ {
+		s += p.Assign(pregel.VertexID(uint64(i)*0x9E3779B97F4A7C15&benchIDSpace), 4)
+	}
+	_ = s
+}

@@ -1,0 +1,115 @@
+package dbg
+
+import (
+	"testing"
+
+	"ppaassembler/internal/dna"
+	"ppaassembler/internal/pregel"
+)
+
+// TestMinimizerStrandIndependence: a k-mer and its reverse complement must
+// compute the same canonical minimizer, so the two endpoints of a DBG edge
+// agree on placement no matter which strand each canonicalized to.
+func TestMinimizerStrandIndependence(t *testing.T) {
+	const k, m = 21, 11
+	z := uint64(7)
+	for i := 0; i < 5_000; i++ {
+		z += 0x9E3779B97F4A7C15
+		kmer := dna.Kmer(pregel.Uint64Hash(z) & dna.KmerMask(k))
+		rc := kmer.ReverseComplement(k)
+		if canonicalMinimizer(kmer, k, m) != canonicalMinimizer(rc, k, m) {
+			t.Fatalf("kmer %x and its reverse complement disagree on the minimizer", kmer)
+		}
+	}
+}
+
+// TestMinimizerEdgeLocality: DBG-adjacent canonical k-mers share k-1 bases,
+// so under minimizer placement most edges must be intra-worker — the whole
+// point of the strategy. Hash placement pins the baseline at ~(W-1)/W
+// remote.
+func TestMinimizerEdgeLocality(t *testing.T) {
+	const k, workers = 21, 4
+	p := NewMinimizerPartitioner(k)
+	h := pregel.HashPartitioner{}
+	localMin, localHash, edges := 0, 0, 0
+	z := uint64(3)
+	for i := 0; i < 20_000; i++ {
+		z += 0x9E3779B97F4A7C15
+		kmer := dna.Kmer(pregel.Uint64Hash(z) & dna.KmerMask(k))
+		next := kmer.AppendBase(dna.Base(z>>61&3), k)
+		a, _ := kmer.Canonical(k)
+		b, _ := next.Canonical(k)
+		if a == b {
+			continue
+		}
+		edges++
+		if p.Assign(pregel.VertexID(a), workers) == p.Assign(pregel.VertexID(b), workers) {
+			localMin++
+		}
+		if h.Assign(pregel.VertexID(a), workers) == h.Assign(pregel.VertexID(b), workers) {
+			localHash++
+		}
+	}
+	minFrac := float64(localMin) / float64(edges)
+	hashFrac := float64(localHash) / float64(edges)
+	if minFrac < 0.5 {
+		t.Errorf("minimizer co-locates only %.1f%% of adjacent k-mer pairs, want >= 50%%", 100*minFrac)
+	}
+	if minFrac < 2*hashFrac {
+		t.Errorf("minimizer locality %.1f%% not clearly above hash's %.1f%%", 100*minFrac, 100*hashFrac)
+	}
+}
+
+// TestMinimizerCacheMatchesUncached: the memoized Assign must agree with a
+// cache-less partitioner for every ID class (k-mers, contig IDs, NULL) and
+// across the worker counts the suite uses.
+func TestMinimizerCacheMatchesUncached(t *testing.T) {
+	const k = 21
+	cached := NewMinimizerPartitioner(k)
+	plain := &MinimizerPartitioner{K: k, M: cached.M}
+	ids := []pregel.VertexID{0, 1, 5}
+	z := uint64(11)
+	for i := 0; i < 10_000; i++ {
+		z += 0x9E3779B97F4A7C15
+		ids = append(ids, pregel.VertexID(pregel.Uint64Hash(z)&dna.KmerMask(k)))
+	}
+	ids = append(ids, NullID, ContigID(3, 9), FlipID(pregel.VertexID(42)))
+	for _, workers := range []int{1, 4, 7} {
+		// Fresh cache per worker count: the memo latches the first count it
+		// serves and bypasses for others, which must also stay correct.
+		cached := NewMinimizerPartitioner(k)
+		for _, id := range ids {
+			// Twice, so the second call exercises the cache hit path.
+			first := cached.Assign(id, workers)
+			if second := cached.Assign(id, workers); second != first {
+				t.Fatalf("workers=%d id=%x: cached Assign unstable (%d then %d)", workers, id, first, second)
+			}
+			if want := plain.Assign(id, workers); first != want {
+				t.Fatalf("workers=%d id=%x: cached %d != uncached %d", workers, id, first, want)
+			}
+		}
+	}
+	// A second worker count on one instance must bypass the latched cache,
+	// not serve stale entries.
+	shared := NewMinimizerPartitioner(k)
+	for _, id := range ids {
+		shared.Assign(id, 4)
+	}
+	for _, id := range ids {
+		if got, want := shared.Assign(id, 7), plain.Assign(id, 7); got != want {
+			t.Fatalf("id=%x: workers=7 after caching workers=4: got %d want %d", id, got, want)
+		}
+	}
+}
+
+// TestMinimizerFallback: IDs outside the 2k-bit k-mer space (contig IDs,
+// NULL, flipped markers) place exactly like the hash partitioner.
+func TestMinimizerFallback(t *testing.T) {
+	p := NewMinimizerPartitioner(21)
+	h := pregel.HashPartitioner{}
+	for _, id := range []pregel.VertexID{NullID, ContigID(0, 1), ContigID(6, 12345), 1 << 42, 1 << 62} {
+		if got, want := p.Assign(id, 7), h.Assign(id, 7); got != want {
+			t.Errorf("id=%x: minimizer fallback %d != hash %d", id, got, want)
+		}
+	}
+}

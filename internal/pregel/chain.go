@@ -22,6 +22,8 @@ func Convert[V2, M2, V1, M1 any](
 
 	convNs := make([]float64, src.cfg.Workers)
 	outBytes := make([]float64, src.cfg.Workers)
+	localBytes := make([]float64, src.cfg.Workers)
+	var nLocal, nRemote int64
 	type pending struct {
 		id  VertexID
 		val V2
@@ -40,7 +42,16 @@ func Convert[V2, M2, V1, M1 any](
 		fn(id, *val, func(nid VertexID, nval V2) {
 			emitted = append(emitted, pending{nid, nval})
 			if w < len(outBytes) {
-				outBytes[w] += float64(cfg.MessageBytes)
+				// The conversion shuffle is tiered like any other: a vertex
+				// emitted to its source worker's own partition (under the
+				// destination graph's partitioner) never crosses the wire.
+				if w < dst.cfg.Workers && dst.WorkerOf(nid) == w {
+					localBytes[w] += float64(cfg.MessageBytes)
+					nLocal++
+				} else {
+					outBytes[w] += float64(cfg.MessageBytes)
+					nRemote++
+				}
 			}
 		})
 	})
@@ -50,7 +61,8 @@ func Convert[V2, M2, V1, M1 any](
 	for _, p := range emitted {
 		dst.AddVertex(p.id, p.val)
 	}
-	dst.clock.ChargeSuperstep(convNs, outBytes)
+	dst.clock.ChargeSuperstepTiered(convNs, outBytes, localBytes)
+	dst.clock.CountMessages(nLocal, nRemote)
 	return dst
 }
 

@@ -282,10 +282,20 @@ type aggSnapshot struct {
 type ckptFile struct {
 	Step    int
 	Pending int64
+	// PartitionerName and NumWorkers identify the placement the snapshot
+	// was written under. Worker partitions are restored by index, so a
+	// restore under a different partitioner or worker count would scatter
+	// partition-local state; loadCheckpoint rejects either mismatch with
+	// an error naming the difference (the job-key and fingerprint checks
+	// alone would only report a generic identity mismatch).
+	PartitionerName string
+	NumWorkers      int
 	// Run counters at the barrier, restored on rollback so a recovered
 	// run reports the same totals as an unfailed one.
 	Supersteps      int
 	Messages        int64
+	LocalMessages   int64
+	RemoteMessages  int64
 	Bytes           int64
 	DroppedMessages int64
 	// ClockNs is the simulated clock at checkpoint time (including this
@@ -305,10 +315,12 @@ type ckptFile struct {
 // ckptRun is the per-Run checkpointing state: the reserved job key, the
 // cadence, the store, and the run's identity fingerprint.
 type ckptRun struct {
-	store Checkpointer
-	job   string
-	every int
-	fp    uint64
+	store   Checkpointer
+	job     string
+	every   int
+	fp      uint64
+	part    string // Partitioner.Name() of the running graph
+	workers int
 }
 
 // newCkptRun reserves a job key when checkpointing is enabled for g, and
@@ -333,10 +345,12 @@ func (g *Graph[V, M]) newCkptRun(name string) (*ckptRun, error) {
 		}
 	}
 	return &ckptRun{
-		store: store,
-		job:   job,
-		every: g.cfg.CheckpointEvery,
-		fp:    g.runFingerprint(),
+		store:   store,
+		job:     job,
+		every:   g.cfg.CheckpointEvery,
+		fp:      g.runFingerprint(),
+		part:    g.cfg.Partitioner.Name(),
+		workers: g.cfg.Workers,
 	}, nil
 }
 
@@ -396,8 +410,12 @@ func (g *Graph[V, M]) saveCheckpoint(ck *ckptRun, step int, pending int64, stats
 	file := ckptFile{
 		Step:            step,
 		Pending:         pending,
+		PartitionerName: ck.part,
+		NumWorkers:      ck.workers,
 		Supersteps:      stats.Supersteps,
 		Messages:        stats.Messages,
+		LocalMessages:   stats.LocalMessages,
+		RemoteMessages:  stats.RemoteMessages,
 		Bytes:           stats.Bytes,
 		DroppedMessages: stats.DroppedMessages,
 		ClockNs:         g.clock.ns,
@@ -425,6 +443,16 @@ func (ck *ckptRun) loadCheckpoint() (*ckptFile, bool, error) {
 	var file ckptFile
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&file); err != nil {
 		return nil, false, fmt.Errorf("pregel: decoding checkpoint (job %q): %w", ck.job, err)
+	}
+	// Placement guards run before the generic fingerprint check so a
+	// partitioner or worker-count change is reported as exactly that.
+	// Snapshots from before these headers existed decode to zero values
+	// and fall through to the fingerprint, which covers the worker count.
+	if file.PartitionerName != "" && file.PartitionerName != ck.part {
+		return nil, false, fmt.Errorf("pregel: checkpoint for job %q was written under partitioner %q, but this run places vertices with %q; restoring would scatter partition-local state — rerun with the original partitioner or delete the checkpoint directory to start fresh", ck.job, file.PartitionerName, ck.part)
+	}
+	if file.NumWorkers != 0 && file.NumWorkers != ck.workers {
+		return nil, false, fmt.Errorf("pregel: checkpoint for job %q was written with %d workers, but this run has %d; rerun with the original worker count or delete the checkpoint directory to start fresh", ck.job, file.NumWorkers, ck.workers)
 	}
 	if file.Fingerprint != ck.fp {
 		return nil, false, fmt.Errorf("pregel: checkpoint for job %q was written by a different run (input or configuration changed); delete the checkpoint directory to start fresh", ck.job)
@@ -484,6 +512,8 @@ func (g *Graph[V, M]) restoreCheckpoint(file *ckptFile, stats *Stats) (step int,
 	g.agg.restore(file.Agg)
 	stats.Supersteps = file.Supersteps
 	stats.Messages = file.Messages
+	stats.LocalMessages = file.LocalMessages
+	stats.RemoteMessages = file.RemoteMessages
 	stats.Bytes = file.Bytes
 	stats.DroppedMessages = file.DroppedMessages
 	g.clock.advanceTo(file.ClockNs)

@@ -20,8 +20,17 @@ import "time"
 type CostModel struct {
 	// SuperstepLatency is λ, charged once per superstep/shuffle round.
 	SuperstepLatency time.Duration
-	// BytesPerSecond is the per-worker link bandwidth B.
+	// BytesPerSecond is the per-worker link bandwidth B for inter-machine
+	// (remote) traffic: messages whose source and destination vertices
+	// live on different workers.
 	BytesPerSecond float64
+	// LocalBytesPerSecond is the intra-machine tier: messages between
+	// vertices on the same worker never touch the wire and are charged at
+	// this (memory-copy) bandwidth instead. Zero means
+	// DefaultLocalBytesPerSecond. Without this split no placement strategy
+	// can ever beat random: every message costs the same regardless of
+	// locality.
+	LocalBytesPerSecond float64
 	// ComputeScale multiplies measured compute time (1.0 = as measured).
 	// It lets experiments model slower per-node CPUs if desired.
 	ComputeScale float64
@@ -39,13 +48,21 @@ type CostModel struct {
 	CheckpointLatency time.Duration
 }
 
+// DefaultLocalBytesPerSecond is the default intra-machine bandwidth: a
+// conservative single-channel memory-copy rate (8 GiB/s), roughly 70x the
+// default Gigabit wire. Local delivery is cheap but not free — the copy
+// into the destination inbox still happens.
+const DefaultLocalBytesPerSecond = 8 << 30
+
 // DefaultCost returns a model resembling the paper's testbed: Gigabit
-// Ethernet (~117 MiB/s per link) and a 1 ms superstep barrier.
+// Ethernet (~117 MiB/s per link) between machines, memory-copy bandwidth
+// within one, and a 1 ms superstep barrier.
 func DefaultCost() CostModel {
 	return CostModel{
-		SuperstepLatency: time.Millisecond,
-		BytesPerSecond:   117 * 1024 * 1024,
-		ComputeScale:     1.0,
+		SuperstepLatency:    time.Millisecond,
+		BytesPerSecond:      117 * 1024 * 1024,
+		LocalBytesPerSecond: DefaultLocalBytesPerSecond,
+		ComputeScale:        1.0,
 	}
 }
 
@@ -56,6 +73,12 @@ func DefaultCost() CostModel {
 type SimClock struct {
 	model CostModel
 	ns    float64
+	// Cluster-wide traffic counters, folded in by the engine and the mini-
+	// MapReduce shuffle via CountMessages. They count traffic as executed:
+	// supersteps replayed after a simulated crash recount, and a resumed
+	// process counts only post-resume traffic (per-run Stats restore their
+	// counters from the checkpoint instead).
+	localMsgs, remoteMsgs int64
 }
 
 // NewSimClock returns a clock at time zero.
@@ -68,6 +91,9 @@ func NewSimClock(m CostModel) *SimClock {
 	}
 	if m.BytesPerSecond == 0 {
 		m.BytesPerSecond = DefaultCost().BytesPerSecond
+	}
+	if m.LocalBytesPerSecond == 0 {
+		m.LocalBytesPerSecond = DefaultLocalBytesPerSecond
 	}
 	if m.CheckpointBytesPerSecond == 0 {
 		m.CheckpointBytesPerSecond = m.BytesPerSecond
@@ -82,23 +108,54 @@ func NewSimClock(m CostModel) *SimClock {
 func (c *SimClock) Model() CostModel { return c.model }
 
 // ChargeSuperstep charges one BSP superstep: barrier latency plus the
-// slowest worker's compute plus the most-loaded link's transfer time.
+// slowest worker's compute plus the most-loaded link's transfer time. All
+// bytes are priced at the inter-machine tier; callers that distinguish
+// local traffic use ChargeSuperstepTiered.
 func (c *SimClock) ChargeSuperstep(computeNs, bytesPerWorker []float64) {
-	maxC, maxB := 0.0, 0.0
+	c.ChargeSuperstepTiered(computeNs, bytesPerWorker, nil)
+}
+
+// ChargeSuperstepTiered charges one BSP superstep with the network split
+// into its two tiers: remoteBytes travels the wire at BytesPerSecond,
+// localBytes stays intra-machine at LocalBytesPerSecond. Each tier's
+// critical path is its most-loaded worker; a nil localBytes charges no
+// local traffic.
+func (c *SimClock) ChargeSuperstepTiered(computeNs, remoteBytes, localBytes []float64) {
+	maxC, maxR, maxL := 0.0, 0.0, 0.0
 	for _, v := range computeNs {
 		if v > maxC {
 			maxC = v
 		}
 	}
-	for _, v := range bytesPerWorker {
-		if v > maxB {
-			maxB = v
+	for _, v := range remoteBytes {
+		if v > maxR {
+			maxR = v
+		}
+	}
+	for _, v := range localBytes {
+		if v > maxL {
+			maxL = v
 		}
 	}
 	c.ns += float64(c.model.SuperstepLatency.Nanoseconds())
 	c.ns += maxC * c.model.ComputeScale
-	c.ns += maxB / c.model.BytesPerSecond * 1e9
+	c.ns += maxR / c.model.BytesPerSecond * 1e9
+	c.ns += maxL / c.model.LocalBytesPerSecond * 1e9
 }
+
+// CountMessages folds one shuffle round's traffic into the clock's
+// cluster-wide counters, which is how a whole pipeline's remote-message
+// fraction is read off one shared clock.
+func (c *SimClock) CountMessages(local, remote int64) {
+	c.localMsgs += local
+	c.remoteMsgs += remote
+}
+
+// LocalMessages returns the intra-machine messages counted so far.
+func (c *SimClock) LocalMessages() int64 { return c.localMsgs }
+
+// RemoteMessages returns the inter-machine messages counted so far.
+func (c *SimClock) RemoteMessages() int64 { return c.remoteMsgs }
 
 // ChargeSerial charges a section that runs on a single node regardless of
 // worker count (e.g. a coordinator stage).
@@ -142,8 +199,8 @@ func (c *SimClock) advanceTo(ns float64) {
 // Seconds returns the simulated time elapsed so far.
 func (c *SimClock) Seconds() float64 { return c.ns / 1e9 }
 
-// Reset rewinds the clock to zero.
-func (c *SimClock) Reset() { c.ns = 0 }
+// Reset rewinds the clock to zero and clears the traffic counters.
+func (c *SimClock) Reset() { c.ns, c.localMsgs, c.remoteMsgs = 0, 0, 0 }
 
 // nowNs is the engine's monotonic time source.
 func nowNs() int64 { return time.Now().UnixNano() }
@@ -151,10 +208,17 @@ func nowNs() int64 { return time.Now().UnixNano() }
 // Stats summarizes one Run (or one MapReduce) for reporting; Tables II/III
 // of the paper are printed directly from these fields.
 type Stats struct {
-	Name            string
-	Workers         int
-	Supersteps      int
-	Messages        int64
+	Name       string
+	Workers    int
+	Supersteps int
+	Messages   int64
+	// LocalMessages and RemoteMessages split Messages by network tier:
+	// local messages stayed on their worker, remote ones crossed the
+	// simulated wire. The split — unlike the total — depends on the
+	// configured Partitioner, which is exactly what makes placement
+	// strategies comparable.
+	LocalMessages   int64
+	RemoteMessages  int64
 	Bytes           int64
 	DroppedMessages int64
 	// Recoveries counts worker failures this run rolled back from. The
@@ -171,6 +235,8 @@ type Stats struct {
 func (s *Stats) Add(other *Stats) {
 	s.Supersteps += other.Supersteps
 	s.Messages += other.Messages
+	s.LocalMessages += other.LocalMessages
+	s.RemoteMessages += other.RemoteMessages
 	s.Bytes += other.Bytes
 	s.DroppedMessages += other.DroppedMessages
 	s.Recoveries += other.Recoveries

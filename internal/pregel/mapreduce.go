@@ -13,7 +13,8 @@ import (
 //
 // The input is sharded per worker (input[w] is worker w's shard, mirroring
 // HDFS block placement). Each worker maps its shard, emitted (key, value)
-// pairs are shuffled to worker keyHash(key) % W, sorted by key with keyLess,
+// pairs are shuffled to worker keyHash(key) % W (or through a configured
+// Partitioner; see MRConfig), sorted by key with keyLess,
 // grouped, and reduced; reduce output stays on the reducing worker (which is
 // how contigs acquire their (worker, ordinal) IDs in op ③).
 //
@@ -55,6 +56,20 @@ type MRConfig struct {
 	// different workers and must not write shared state without
 	// per-worker partitioning.
 	Parallel bool
+	// Partitioner, when non-nil, routes keys to reducers through the same
+	// placement strategy the Pregel engine uses for vertices: keyHash is
+	// then treated as a key → routing-ID projection (usually the identity
+	// on a vertex-ID key, NOT a mixing hash) and the reducer is
+	// Partitioner.Assign(routingID). A reduce whose output feeds a graph
+	// keyed by the same IDs thus lands on the destination vertex's home
+	// worker. With a nil Partitioner keys group by keyHash(k) % Workers,
+	// the historical behavior; for a routing ID the two paths agree
+	// exactly when the partitioner is HashPartitioner, since Assign applies
+	// the same SplitMix64 mix as Uint64Hash. Call sites whose reducer
+	// identity is part of the output contract (the assembler's contig
+	// merge, whose reducer index is baked into contig IDs) deliberately
+	// leave this nil so the grouping stays placement-invariant.
+	Partitioner Partitioner
 	// Faults, when non-nil, injects worker crashes for fault-tolerance
 	// testing. MapReduce recovers by lineage, not by checkpoint: the
 	// failed worker's map or reduce task re-runs from its in-memory input
@@ -115,11 +130,21 @@ func MapReduceCfg[I, K, V, O any](
 	}
 	stats := &Stats{Name: "mapreduce", Workers: workers}
 
+	// Key grouping: with a partitioner, keyHash projects the key to a
+	// routing ID placed like a vertex; without one, it is a mixing hash
+	// taken modulo the worker count (the historical behavior).
+	route := func(k K) int { return int(keyHash(k) % uint64(workers)) }
+	if part := cfg.Partitioner; part != nil {
+		route = func(k K) int { return part.Assign(VertexID(keyHash(k)), workers) }
+	}
+
 	// Map phase: each worker maps its shard into per-destination lanes.
 	buckets := make([][][]pair, workers) // [src][dst][]pair
 	mapNs := make([]float64, workers)
 	outBytes := make([]float64, workers)
+	localBytes := make([]float64, workers)
 	emitted := make([]int64, workers)
+	emittedLocal := make([]int64, workers)
 	mapWorker := func(w int) {
 		buckets[w] = make([][]pair, workers)
 		if w >= len(input) {
@@ -128,9 +153,12 @@ func MapReduceCfg[I, K, V, O any](
 		start := nowNs()
 		for _, item := range input[w] {
 			mapFn(w, item, func(k K, v V) {
-				d := int(keyHash(k) % uint64(workers))
+				d := route(k)
 				buckets[w][d] = append(buckets[w][d], pair{k, v})
 				emitted[w]++
+				if d == w {
+					emittedLocal[w]++
+				}
 			})
 		}
 		mapNs[w] = float64(nowNs() - start)
@@ -143,17 +171,23 @@ func MapReduceCfg[I, K, V, O any](
 		// for why the UDFs are not literally invoked a second time).
 		redo := make([]float64, workers)
 		redoBytes := make([]float64, workers)
+		redoLocal := make([]float64, workers)
 		redo[w] = mapNs[w]
-		redoBytes[w] = float64(emitted[w]) * float64(cfg.PairBytes)
-		clock.ChargeSuperstep(redo, redoBytes)
+		redoBytes[w] = float64(emitted[w]-emittedLocal[w]) * float64(cfg.PairBytes)
+		redoLocal[w] = float64(emittedLocal[w]) * float64(cfg.PairBytes)
+		clock.ChargeSuperstepTiered(redo, redoBytes, redoLocal)
 		stats.Recoveries++
 	}
 	for w := 0; w < workers; w++ {
-		outBytes[w] = float64(emitted[w]) * float64(cfg.PairBytes)
+		outBytes[w] = float64(emitted[w]-emittedLocal[w]) * float64(cfg.PairBytes)
+		localBytes[w] = float64(emittedLocal[w]) * float64(cfg.PairBytes)
 		stats.Messages += emitted[w]
+		stats.LocalMessages += emittedLocal[w]
+		stats.RemoteMessages += emitted[w] - emittedLocal[w]
 		stats.Bytes += emitted[w] * int64(cfg.PairBytes)
 	}
-	clock.ChargeSuperstep(mapNs, outBytes)
+	clock.ChargeSuperstepTiered(mapNs, outBytes, localBytes)
+	clock.CountMessages(stats.LocalMessages, stats.RemoteMessages)
 
 	// Shuffle + sort + reduce phase: destination worker d drains the lanes
 	// buckets[*][d] into one flat pair arena (sized exactly), sorts it, and

@@ -4,8 +4,9 @@
 // a mini-MapReduce procedure for loading/grouping data by key (§II), and
 // in-memory job concatenation via a convert UDF (§II).
 //
-// The engine partitions vertices across W logical workers by a hash of the
-// vertex ID, runs user compute functions in numbered supersteps, shuffles
+// The engine partitions vertices across W logical workers with a pluggable
+// Partitioner (by a hash of the vertex ID unless configured otherwise; see
+// partition.go), runs user compute functions in numbered supersteps, shuffles
 // messages between supersteps, supports vote-to-halt with reactivation on
 // message receipt, aggregators, and vertex removal. It records per-superstep
 // metrics (message counts, bytes, per-worker compute time) and charges them
@@ -55,6 +56,11 @@ type Config struct {
 	Strict bool
 	// Cost is the simulated-cluster cost model. Zero value = DefaultCost().
 	Cost CostModel
+	// Partitioner maps vertex IDs to workers (see Partitioner). Nil means
+	// HashPartitioner, the engine's historical hashID-modulo placement.
+	// Checkpoints record the partitioner's name; Resume under a different
+	// one fails loudly instead of scattering partition-local state.
+	Partitioner Partitioner
 
 	// CheckpointEvery enables Pregel-style fault tolerance: every N
 	// supersteps each run snapshots its vertex state, pending inboxes,
@@ -128,6 +134,9 @@ func (c Config) withDefaults() Config {
 	if c.Cost == (CostModel{}) {
 		c.Cost = DefaultCost()
 	}
+	if c.Partitioner == nil {
+		c.Partitioner = HashPartitioner{}
+	}
 	if c.CheckpointEvery > 0 && c.Checkpointer == nil {
 		c.Checkpointer = NewMemCheckpointer()
 	}
@@ -174,9 +183,10 @@ type worker[V, M any] struct {
 	outbox [][]envelope[M]      // one lane per destination worker
 	fold   []map[VertexID]int32 // eager-combine index: dst vertex -> lane position
 
-	ctx     Context[M]
-	nDead   int
-	msgsOut int64 // messages sent by this worker in current superstep
+	ctx       Context[M]
+	nDead     int
+	msgsOut   int64 // messages sent by this worker in current superstep
+	msgsLocal int64 // subset of msgsOut addressed back to this worker
 
 	// Per-superstep delivery results, filled by deliverTo (this worker as
 	// the destination), folded into run totals after the barrier.
@@ -200,6 +210,7 @@ type Graph[V, M any] struct {
 	// Per-superstep scratch, reused across supersteps and runs.
 	computeNs      []float64
 	bytesPerWorker []float64
+	localBytes     []float64
 }
 
 // NewGraph creates an empty graph with the given configuration.
@@ -228,10 +239,16 @@ func (g *Graph[V, M]) Clock() *SimClock { return g.clock }
 // the op's own prefix.
 func (g *Graph[V, M]) SetJobPrefix(prefix string) { g.cfg.JobPrefix = prefix }
 
-// WorkerOf returns the worker index that owns id.
+// WorkerOf returns the worker index that owns id, as decided by the
+// configured Partitioner. Every placement decision in the engine routes
+// through here: vertex insertion, message-lane addressing, point lookups,
+// and the Convert re-shard.
 func (g *Graph[V, M]) WorkerOf(id VertexID) int {
-	return int(hashID(id) % uint64(g.cfg.Workers))
+	return g.cfg.Partitioner.Assign(id, g.cfg.Workers)
 }
+
+// Partitioner returns the (defaulted) placement strategy of this graph.
+func (g *Graph[V, M]) Partitioner() Partitioner { return g.cfg.Partitioner }
 
 // AddVertex inserts a vertex. Adding an existing ID replaces its value.
 // AddVertex must not be called while Run is executing.
@@ -477,6 +494,7 @@ func (g *Graph[V, M]) Run(compute Compute[V, M], opts ...RunOption) (*Stats, err
 		if g.computeNs == nil {
 			g.computeNs = make([]float64, g.cfg.Workers)
 			g.bytesPerWorker = make([]float64, g.cfg.Workers)
+			g.localBytes = make([]float64, g.cfg.Workers)
 		}
 		computeNs := g.computeNs
 		forEachWorker(g.cfg.Workers, g.cfg.Parallel, func(wi int) {
@@ -488,17 +506,24 @@ func (g *Graph[V, M]) Run(compute Compute[V, M], opts ...RunOption) (*Stats, err
 		if err != nil {
 			return stats, err
 		}
-		msgs := int64(0)
+		msgs, local := int64(0), int64(0)
 		for _, w := range g.workers {
 			msgs += w.msgsOut
+			local += w.msgsLocal
 		}
-		bytesPerWorker := g.bytesPerWorker
+		// Two-tier network charge: a worker's self-addressed messages stay
+		// intra-machine; only the rest travel the simulated wire.
+		bytesPerWorker, localBytes := g.bytesPerWorker, g.localBytes
 		for wi, w := range g.workers {
-			bytesPerWorker[wi] = float64(w.msgsOut) * float64(g.cfg.MessageBytes)
+			bytesPerWorker[wi] = float64(w.msgsOut-w.msgsLocal) * float64(g.cfg.MessageBytes)
+			localBytes[wi] = float64(w.msgsLocal) * float64(g.cfg.MessageBytes)
 		}
-		g.clock.ChargeSuperstep(computeNs, bytesPerWorker)
+		g.clock.ChargeSuperstepTiered(computeNs, bytesPerWorker, localBytes)
+		g.clock.CountMessages(local, msgs-local)
 		stats.Supersteps++
 		stats.Messages += msgs
+		stats.LocalMessages += local
+		stats.RemoteMessages += msgs - local
 		stats.Bytes += msgs * int64(g.cfg.MessageBytes)
 		stats.DroppedMessages += dropped
 		g.agg.flip()
@@ -535,7 +560,7 @@ func (g *Graph[V, M]) runWorker(wi, step int, compute Compute[V, M]) float64 {
 			clear(m)
 		}
 	}
-	w.msgsOut = 0
+	w.msgsOut, w.msgsLocal = 0, 0
 	w.ctx = Context[M]{g: gAdapter[V, M]{g}, worker: wi, superstep: step}
 	ctx := &w.ctx
 	start := nowNs()
@@ -690,6 +715,9 @@ func (a gAdapter[V, M]) send(from int, dst VertexID, m M) {
 	}
 	w.outbox[dwi] = append(w.outbox[dwi], envelope[M]{dst, m})
 	w.msgsOut++
+	if dwi == from {
+		w.msgsLocal++
+	}
 }
 func (a gAdapter[V, M]) workers() int    { return a.g.cfg.Workers }
 func (a gAdapter[V, M]) aggs() *aggState { return a.g.agg }

@@ -42,18 +42,31 @@ func RequestRespond[V, M, R any](
 		}
 		computeNs[w] += float64(nowNs() - start)
 	})
-	reqCount := int64(0)
+	// Requests to a target owned by the requesting worker itself stay
+	// intra-machine; only cross-worker requests (and their responses) pay
+	// the wire, mirroring the engine's two-tier network charge.
+	reqCount, reqLocal := int64(0), int64(0)
 	bytesOut := make([]float64, workers)
+	localOut := make([]float64, workers)
+	localReqs := make([]int64, workers)
 	for w := range requests {
 		reqCount += int64(len(requests[w]))
-		bytesOut[w] = float64(len(requests[w])) * float64(g.cfg.MessageBytes)
+		for t := range requests[w] {
+			if g.WorkerOf(t) == w {
+				localReqs[w]++
+			}
+		}
+		reqLocal += localReqs[w]
+		bytesOut[w] = float64(int64(len(requests[w]))-localReqs[w]) * float64(g.cfg.MessageBytes)
+		localOut[w] = float64(localReqs[w]) * float64(g.cfg.MessageBytes)
 	}
-	g.clock.ChargeSuperstep(computeNs, bytesOut)
+	g.clock.ChargeSuperstepTiered(computeNs, bytesOut, localOut)
 
 	// Phase B ("superstep 1"): resolve each deduplicated request against
 	// the target's value and build per-worker caches.
 	caches := make([]map[VertexID]R, workers)
 	respNs := make([]float64, workers)
+	answeredLocal := make([]int64, workers)
 	dropped := int64(0)
 	for w := range requests {
 		caches[w] = make(map[VertexID]R, len(requests[w]))
@@ -70,14 +83,19 @@ func RequestRespond[V, M, R any](
 				continue
 			}
 			caches[w][t] = answer(t, &val)
+			if g.WorkerOf(t) == w {
+				answeredLocal[w]++
+			}
 		}
 		respNs[w] = float64(nowNs() - start)
 	}
 	respBytes := make([]float64, workers)
+	respLocal := make([]float64, workers)
 	for w := range caches {
-		respBytes[w] = float64(len(caches[w])) * float64(g.cfg.MessageBytes)
+		respBytes[w] = float64(int64(len(caches[w]))-answeredLocal[w]) * float64(g.cfg.MessageBytes)
+		respLocal[w] = float64(answeredLocal[w]) * float64(g.cfg.MessageBytes)
 	}
-	g.clock.ChargeSuperstep(respNs, respBytes)
+	g.clock.ChargeSuperstepTiered(respNs, respBytes, respLocal)
 
 	// Phase C ("superstep 2"): every vertex reads the worker cache.
 	applyNs := make([]float64, workers)
@@ -91,11 +109,18 @@ func RequestRespond[V, M, R any](
 	})
 	g.clock.ChargeSuperstep(applyNs, make([]float64, workers))
 
+	local := reqLocal
+	for _, n := range answeredLocal {
+		local += n
+	}
+	g.clock.CountMessages(local, 2*reqCount-local)
 	return &Stats{
 		Name:            "request-respond",
 		Workers:         workers,
 		Supersteps:      3,
 		Messages:        2 * reqCount,
+		LocalMessages:   local,
+		RemoteMessages:  2*reqCount - local,
 		Bytes:           2 * reqCount * int64(g.cfg.MessageBytes),
 		DroppedMessages: dropped,
 		SimSeconds:      g.clock.Seconds(),

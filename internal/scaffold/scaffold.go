@@ -106,6 +106,14 @@ type Options struct {
 	Parallel bool
 	// Cost parameterizes the simulated cluster (zero value = default).
 	Cost pregel.CostModel
+	// Partitioner places the contig-link graph's vertices (nil = hash);
+	// the assembly pipeline threads its own strategy through so the whole
+	// run shares one placement.
+	Partitioner pregel.Partitioner
+	// MessageBytes is the charged wire size of one scaffolding message
+	// (0 = engine default); the pipeline passes its Msg wire size so both
+	// stages price traffic consistently.
+	MessageBytes int
 	// Clock, when non-nil, is the shared pipeline clock scaffolding charges
 	// its supersteps to; nil starts a fresh clock.
 	Clock *pregel.SimClock
@@ -265,6 +273,7 @@ func Build(contigs []Contig, pairs []Pair, opt Options) (*Result, error) {
 	sim0 := clock.Seconds()
 	cfg := pregel.Config{
 		Workers: opt.Workers, Parallel: opt.Parallel, Cost: opt.Cost,
+		Partitioner: opt.Partitioner, MessageBytes: opt.MessageBytes,
 		CheckpointEvery: opt.CheckpointEvery, Checkpointer: opt.Checkpointer,
 		Faults: opt.Faults, Resume: opt.Resume, JobPrefix: opt.JobPrefix,
 	}

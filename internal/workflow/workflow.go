@@ -68,6 +68,16 @@ type Env struct {
 	Parallel bool
 	// Cost parameterizes the simulated cluster (zero value = default).
 	Cost pregel.CostModel
+	// Partitioner is the vertex-placement strategy every op builds its
+	// graphs with (nil = hash). Ops may replace it mid-plan (see
+	// core.PartitionOp); graphs already built keep the placement they were
+	// constructed with.
+	Partitioner pregel.Partitioner
+	// MessageBytes is the charged wire size of one engine message (0 =
+	// pregel.DefaultMessageBytes). The assembler sets its Msg record's
+	// actual wire size here so the simulated network load reflects the
+	// traffic the paper's cluster would carry.
+	MessageBytes int
 
 	// CheckpointEvery, Checkpointer, Faults and Resume configure Pregel-
 	// style fault tolerance exactly as on pregel.Config; the plan passes
@@ -108,6 +118,7 @@ func (e *Env) normalize() error {
 func (e *Env) Config() pregel.Config {
 	return pregel.Config{
 		Workers: e.Workers, Parallel: e.Parallel, Cost: e.Cost,
+		Partitioner: e.Partitioner, MessageBytes: e.MessageBytes,
 		CheckpointEvery: e.CheckpointEvery, Checkpointer: e.Checkpointer,
 		Faults: e.Faults, Resume: e.Resume,
 		JobPrefix: e.prefix,
@@ -116,7 +127,11 @@ func (e *Env) Config() pregel.Config {
 
 // MRConfig renders the environment as a mini-MapReduce configuration.
 // MapReduce jobs recover by lineage, not checkpoint, so only the crash
-// schedule is threaded through.
+// schedule is threaded through. The partitioner deliberately is not:
+// MRConfig.Partitioner reinterprets keyHash as a routing-ID projection,
+// which only call sites with vertex-ID keys opt into explicitly (the DBG
+// build); generic ops keep hashed grouping so their reducer assignment
+// stays placement-invariant.
 func (e *Env) MRConfig() pregel.MRConfig {
 	return pregel.MRConfig{Workers: e.Workers, Parallel: e.Parallel, Faults: e.Faults}
 }
