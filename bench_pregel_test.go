@@ -105,6 +105,19 @@ type benchArtifact struct {
 	// deterministic, and the default measured-compute model, which is
 	// host-noisy.
 	Pipeline []pipelinePartitioner `json:"pipeline_partitioners"`
+	// CheckpointIO reruns the standard pipeline with checkpointing every 5
+	// supersteps against the in-memory store and records the checkpoint
+	// traffic — the deterministic I/O cost of the fault-tolerance cadence.
+	CheckpointIO checkpointIO `json:"checkpoint_io"`
+}
+
+// checkpointIO is the checkpoint-traffic section of the artifact.
+type checkpointIO struct {
+	Every         int   `json:"every_supersteps"`
+	Saves         int64 `json:"saves"`
+	Restores      int64 `json:"restores"`
+	BytesWritten  int64 `json:"bytes_written"`
+	BytesRestored int64 `json:"bytes_restored"`
 }
 
 // partitionerShuffle is one engine-level placement row.
@@ -278,6 +291,35 @@ func runPipelineRows(t *testing.T) []pipelinePartitioner {
 	return rows
 }
 
+// runCheckpointIO measures the checkpoint traffic of the standard pipeline
+// at the default fault-tolerance cadence (every 5 supersteps, in-memory
+// store). The counts and bytes are deterministic for a fixed workload.
+func runCheckpointIO(t *testing.T) checkpointIO {
+	t.Helper()
+	reads, pairs, err := benchGenomeReads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, every = 4, 5
+	opt := core.DefaultOptions(workers)
+	opt.K = 21
+	opt.CheckpointEvery = every
+	res, err2 := core.Assemble(pregel.ShardSlice(reads, workers), opt)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	if _, _, err := core.ScaffoldContigs(res, opt, pairs, scaffold.Options{InsertMean: 600, InsertSD: 50}); err != nil {
+		t.Fatal(err)
+	}
+	return checkpointIO{
+		Every:         every,
+		Saves:         res.CheckpointSaves,
+		Restores:      res.CheckpointRestores,
+		BytesWritten:  res.CheckpointBytesWritten,
+		BytesRestored: res.CheckpointBytesRestored,
+	}
+}
+
 // TestEmitPregelBenchArtifact runs the shuffle workload in both modes and
 // writes BENCH_pregel.json to the path in $BENCH_PREGEL_JSON. Without the
 // variable it skips, so plain `go test ./...` stays fast; CI sets it and
@@ -315,6 +357,7 @@ func TestEmitPregelBenchArtifact(t *testing.T) {
 		a.Partitioners = append(a.Partitioners, runPartitionerShuffle(p.name, p.part))
 	}
 	a.Pipeline = runPipelineRows(t)
+	a.CheckpointIO = runCheckpointIO(t)
 	out, err := json.MarshalIndent(a, "", "  ")
 	if err != nil {
 		t.Fatal(err)
@@ -367,5 +410,18 @@ func TestEmitPregelBenchArtifact(t *testing.T) {
 	if pipe["minimizer"].NetSimSeconds >= pipe["hash"].NetSimSeconds {
 		t.Errorf("pipeline: minimizer communication-bound makespan %.4fs not below hash's %.4fs",
 			pipe["minimizer"].NetSimSeconds, pipe["hash"].NetSimSeconds)
+	}
+
+	// Checkpoint gate: with a 5-superstep cadence and no faults, the
+	// standard pipeline must actually write checkpoints and restore none.
+	t.Logf("checkpoint I/O: %d saves (%d bytes), %d restores (%d bytes)",
+		a.CheckpointIO.Saves, a.CheckpointIO.BytesWritten,
+		a.CheckpointIO.Restores, a.CheckpointIO.BytesRestored)
+	if a.CheckpointIO.Saves == 0 || a.CheckpointIO.BytesWritten == 0 {
+		t.Errorf("checkpoint I/O section empty: saves=%d bytes=%d",
+			a.CheckpointIO.Saves, a.CheckpointIO.BytesWritten)
+	}
+	if a.CheckpointIO.Restores != 0 {
+		t.Errorf("fault-free run restored %d checkpoints", a.CheckpointIO.Restores)
 	}
 }

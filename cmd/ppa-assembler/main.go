@@ -59,6 +59,12 @@ type cliOpts struct {
 	resume     bool
 
 	workflow string
+
+	trace       string
+	traceFormat string
+	metricsOut  string
+	cpuProfile  string
+	memProfile  string
 }
 
 func main() {
@@ -88,6 +94,11 @@ func main() {
 	flag.StringVar(&o.faultPlan, "faultplan", "", "inject simulated worker crashes: comma-separated ROUND:WORKER pairs counted over all BSP rounds, e.g. \"12:0,57:3\"")
 	flag.BoolVar(&o.resume, "resume", false, "resume a killed run from the checkpoints in -checkpoint")
 	flag.StringVar(&o.workflow, "workflow", "", "compose the assembly as an explicit op workflow instead of the canned pipeline, e.g. \"build,label,merge,bubble,rebuild,link,tiptrim:minlen=40,label,merge,fasta\" (unset op parameters inherit the global flags)")
+	flag.StringVar(&o.trace, "trace", "", "write a structured trace of every superstep, op, MR phase and checkpoint to this file")
+	flag.StringVar(&o.traceFormat, "trace-format", "", "trace file format: jsonl (default) or chrome (load in Perfetto / chrome://tracing)")
+	flag.StringVar(&o.metricsOut, "metrics", "", "write engine metrics (Prometheus text format) to this file at exit")
+	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file (engine goroutines carry job/phase/worker pprof labels)")
+	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 	o.theta = uint32(theta)
 	if o.in == "" {
@@ -106,9 +117,24 @@ func run(o cliOpts) error {
 	if o.resume && o.checkpoint == "" {
 		return fmt.Errorf("-resume requires -checkpoint (there is nothing to resume from in-memory checkpoints)")
 	}
-	if o.workflow != "" {
-		return runWorkflow(o)
+	obs, err := openObservability(o)
+	if err != nil {
+		return err
 	}
+	if o.workflow != "" {
+		err = runWorkflow(o, obs)
+	} else {
+		err = runCanned(o, obs)
+	}
+	// Flush the trace/metrics/profile files even when the run failed — a
+	// truncated trace of a failed run is exactly when one wants to look.
+	if ferr := obs.finish(); err == nil {
+		err = ferr
+	}
+	return err
+}
+
+func runCanned(o cliOpts, obs *observability) error {
 	if o.gfa != "" && o.rounds != 2 {
 		return fmt.Errorf("-gfa requires -rounds 2 (the graph is built during error correction)")
 	}
@@ -122,6 +148,8 @@ func run(o cliOpts) error {
 		Rounds:         o.rounds,
 		KeepGraph:      o.gfa != "",
 		Resume:         o.resume,
+		Tracer:         obs.Tracer,
+		Metrics:        obs.Metrics,
 	}
 	var err error
 	opt.CheckpointEvery, opt.Checkpointer, opt.Faults, err = faultTolerance(o)
@@ -235,6 +263,8 @@ func run(o cliOpts) error {
 			fmt.Fprintf(os.Stderr, "faults injected:   %d/%d fired, all recovered (checkpoint every %d supersteps)\n",
 				opt.Faults.FiredCount(), opt.Faults.Scheduled(), opt.CheckpointEvery)
 		}
+		printCheckpointIO(res.CheckpointSaves, res.CheckpointRestores,
+			res.CheckpointBytesWritten, res.CheckpointBytesRestored)
 		if total := res.LocalMessages + res.RemoteMessages; total > 0 {
 			fmt.Fprintf(os.Stderr, "shuffle traffic:   %d messages, %.1f%% remote (partitioner %s)\n",
 				total, 100*float64(res.RemoteMessages)/float64(total), o.partitioner)

@@ -49,7 +49,7 @@ func faultTolerance(o cliOpts) (every int, store pregel.Checkpointer, faults *pr
 // become the spec's parameter defaults, the plan is type-checked before any
 // input is read, and the fasta/scaffold artifacts it produces are written
 // to -out and -scaffold.
-func runWorkflow(o cliOpts) error {
+func runWorkflow(o cliOpts, obs *observability) error {
 	if o.gfa != "" {
 		return fmt.Errorf("-gfa is not supported with -workflow (the canned pipeline tracks the final graph)")
 	}
@@ -118,6 +118,7 @@ func runWorkflow(o cliOpts) error {
 		Partitioner: part, MessageBytes: core.MsgWireBytes,
 		CheckpointEvery: every, Checkpointer: store,
 		Faults: faults, Resume: o.resume,
+		Tracer: obs.Tracer, Metrics: obs.Metrics,
 	}
 
 	reads, err := loadReadList(o.in)
@@ -206,6 +207,8 @@ func printWorkflowSummary(o cliOpts, spec string, env *workflow.Env, st *core.St
 		fmt.Fprintf(os.Stderr, "faults injected:   %d/%d fired, all recovered (checkpoint every %d supersteps)\n",
 			env.Faults.FiredCount(), env.Faults.Scheduled(), env.CheckpointEvery)
 	}
+	printCheckpointIO(env.Clock.CheckpointSaves(), env.Clock.CheckpointRestores(),
+		env.Clock.CheckpointBytesWritten(), env.Clock.CheckpointBytesRestored())
 	if total := env.Clock.LocalMessages() + env.Clock.RemoteMessages(); total > 0 {
 		fmt.Fprintf(os.Stderr, "shuffle traffic:   %d messages, %.1f%% remote (partitioner %s)\n",
 			total, 100*float64(env.Clock.RemoteMessages())/float64(total), env.Partitioner.Name())

@@ -10,6 +10,7 @@ import (
 	"ppaassembler/internal/pregel"
 	"ppaassembler/internal/scaffold"
 	"ppaassembler/internal/shardio"
+	"ppaassembler/internal/telemetry"
 	"ppaassembler/internal/workflow"
 )
 
@@ -505,12 +506,87 @@ func (o ScaffoldOp) Run(env *workflow.Env, st *State) error {
 	if opt.JobPrefix == "" {
 		opt.JobPrefix = env.JobPrefix()
 	}
+	if opt.Tracer == nil {
+		opt.Tracer = env.Tracer
+	}
+	if opt.Metrics == nil {
+		opt.Metrics = env.Metrics
+	}
 	sres, err := scaffold.Build(contigs, st.Pairs, opt)
 	if err != nil {
 		return err
 	}
 	st.Scaffold = sres
 	st.ScaffoldContigs = contigs
+	return nil
+}
+
+// TraceOp turns telemetry on for the rest of the plan: it opens the
+// requested trace/metrics sinks, layers the trace sink over any tracer the
+// environment already carries, and registers closers so everything flushes
+// when the plan finishes (even a failed one). It is how the CLI's
+// `trace:file=...` spec op gives arbitrary user workflows the same
+// observability as the -trace flag.
+type TraceOp struct {
+	// File is the trace output path ("" = no trace sink).
+	File string
+	// Format selects the trace encoding: "jsonl" (default) or "chrome"
+	// (trace_event JSON for Perfetto / chrome://tracing).
+	Format string
+	// Metrics is the Prometheus-text metrics dump path ("" = no dump).
+	Metrics string
+}
+
+// Info implements workflow.Op. The op needs no artifacts: it may open any
+// plan, or sit mid-plan to trace only the ops after it.
+func (o TraceOp) Info() workflow.Info { return workflow.Info{Name: "trace"} }
+
+// Run implements workflow.Op.
+func (o TraceOp) Run(env *workflow.Env, st *State) error {
+	if o.File != "" {
+		f, err := os.Create(o.File)
+		if err != nil {
+			return fmt.Errorf("core: trace sink: %w", err)
+		}
+		var sink interface {
+			telemetry.Tracer
+			Close() error
+		}
+		switch o.Format {
+		case "", "jsonl":
+			sink = telemetry.NewJSONLWriter(f)
+		case "chrome":
+			sink = telemetry.NewChromeWriter(f)
+		default:
+			f.Close()
+			return fmt.Errorf("core: trace format %q: want jsonl or chrome", o.Format)
+		}
+		env.Tracer = telemetry.Multi(env.Tracer, sink)
+		env.AddCloser(sink.Close)
+	}
+	if o.Metrics != "" {
+		if env.Metrics == nil {
+			env.Metrics = telemetry.NewRegistry()
+		}
+		reg, path := env.Metrics, o.Metrics
+		env.AddCloser(func() error {
+			f, err := os.Create(path)
+			if err != nil {
+				return fmt.Errorf("core: metrics dump: %w", err)
+			}
+			if err := reg.WritePrometheus(f); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		})
+	}
+	// A graph built by an earlier op captured the pre-trace telemetry in
+	// its Config; retrofit the live sinks so the remaining ops on it are
+	// traced too.
+	if st.Graph != nil {
+		st.Graph.SetTelemetry(env.Tracer, env.Metrics)
+	}
 	return nil
 }
 
@@ -547,6 +623,8 @@ func DefaultOpDefaults() OpDefaults {
 //	split:ratio=N               branch splitting (Spaler extension)
 //	tiptrim[:minlen=80]         tip removal waves (op ⑤)
 //	stage[:dir=PATH]            dump/reload seam through a shardio store
+//	trace[:file=PATH][:format=jsonl|chrome][:metrics=PATH]
+//	                            telemetry sinks for the rest of the plan
 //	fasta[:minlen=0]            render contigs as FASTA
 //	scaffold[:insert=0][:insertsd=0][:minsupport=3][:minlen=500][:seed=31]
 //	                            paired-end scaffolding (stage ⑦)
@@ -613,6 +691,20 @@ func OpRegistry(def OpDefaults) workflow.Registry[State] {
 		},
 		"stage": func(p *workflow.Params) (workflow.Op[State], error) {
 			return StageOp{Dir: p.Str("dir", "")}, p.Err()
+		},
+		"trace": func(p *workflow.Params) (workflow.Op[State], error) {
+			op := TraceOp{
+				File:    p.Str("file", ""),
+				Format:  p.Str("format", "jsonl"),
+				Metrics: p.Str("metrics", ""),
+			}
+			if op.Format != "jsonl" && op.Format != "chrome" {
+				return nil, fmt.Errorf("parameter format=%q: want jsonl or chrome", op.Format)
+			}
+			if op.File == "" && op.Metrics == "" {
+				return nil, fmt.Errorf("trace op needs file= and/or metrics=")
+			}
+			return op, p.Err()
 		},
 		"fasta": func(p *workflow.Params) (workflow.Op[State], error) {
 			return EmitFastaOp{MinLen: p.Int("minlen", def.MinLen)}, p.Err()

@@ -69,7 +69,10 @@ func MergeContigs(g *Graph, k, tipLen int) (*MergeResult, error) {
 	// stay placement-invariant — all three partitioners must produce
 	// byte-identical contigs.
 	out, st := pregel.MapReduceCfg(
-		g.Clock(), pregel.MRConfig{Workers: workers, PairBytes: 64, Parallel: g.Config().Parallel, Faults: g.Config().Faults},
+		g.Clock(), pregel.MRConfig{
+			Workers: workers, PairBytes: 64, Parallel: g.Config().Parallel, Faults: g.Config().Faults,
+			Name: g.Config().JobPrefix + "group", Tracer: g.Config().Tracer, Metrics: g.Config().Metrics,
+		},
 		input, // 64 ≈ id + packed node on the wire, rough charge
 		func(w int, m member, emit func(uint64, member)) {
 			emit(uint64(m.label), m)

@@ -7,6 +7,7 @@ import (
 	"ppaassembler/internal/dbg"
 	"ppaassembler/internal/pregel"
 	"ppaassembler/internal/scaffold"
+	"ppaassembler/internal/telemetry"
 	"ppaassembler/internal/workflow"
 )
 
@@ -63,6 +64,14 @@ type Options struct {
 	// Checkpointer by a previous (killed) process; see
 	// pregel.Config.Resume.
 	Resume bool
+
+	// Tracer, when non-nil, receives telemetry spans from every workflow
+	// op and every engine/MapReduce job of the pipeline (see
+	// pregel.Config.Tracer). Nil disables tracing at zero cost.
+	Tracer telemetry.Tracer
+	// Metrics, when non-nil, collects engine and workflow counters for a
+	// Prometheus-text dump (telemetry.Registry.WritePrometheus).
+	Metrics *telemetry.Registry
 
 	// Optional extension operations (§V names both as user
 	// customizations; zero disables them):
@@ -140,6 +149,12 @@ type Result struct {
 	// split depends on Options.Partitioner; the totals do not.
 	LocalMessages, RemoteMessages int64
 
+	// Checkpoint I/O across the whole pipeline (read off the shared
+	// clock): saves and restores performed, and their total bytes. All
+	// zero when Options.CheckpointEvery is zero.
+	CheckpointSaves, CheckpointRestores             int64
+	CheckpointBytesWritten, CheckpointBytesRestored int64
+
 	// FinalGraph is the post-error-correction mixed graph (only when
 	// Options.KeepGraph was set); pass it to WriteGFA.
 	FinalGraph *Graph
@@ -165,7 +180,8 @@ func (o Options) Env(clock *pregel.SimClock) *workflow.Env {
 		Partitioner: o.Partitioner, MessageBytes: MsgWireBytes,
 		CheckpointEvery: o.CheckpointEvery, Checkpointer: o.Checkpointer,
 		Faults: o.Faults, Resume: o.Resume,
-		Clock: clock,
+		Clock:  clock,
+		Tracer: o.Tracer, Metrics: o.Metrics,
 	}
 }
 
@@ -250,10 +266,23 @@ func Assemble(readShards [][]string, opt Options) (*Result, error) {
 		res.FinalGraph = st.Graph
 	}
 	res.SimSeconds = env.Clock.Seconds()
-	res.LocalMessages = env.Clock.LocalMessages()
-	res.RemoteMessages = env.Clock.RemoteMessages()
+	res.readClockCounters()
 	res.WallSeconds = time.Since(start).Seconds()
 	return res, nil
+}
+
+// readClockCounters refreshes the Result's pipeline-wide traffic and
+// checkpoint-I/O totals from the shared clock.
+func (r *Result) readClockCounters() {
+	if r.Clock == nil {
+		return
+	}
+	r.LocalMessages = r.Clock.LocalMessages()
+	r.RemoteMessages = r.Clock.RemoteMessages()
+	r.CheckpointSaves = r.Clock.CheckpointSaves()
+	r.CheckpointRestores = r.Clock.CheckpointRestores()
+	r.CheckpointBytesWritten = r.Clock.CheckpointBytesWritten()
+	r.CheckpointBytesRestored = r.Clock.CheckpointBytesRestored()
 }
 
 // ScaffoldContigs is the pipeline's seventh stage (⑦): paired-end
@@ -282,8 +311,7 @@ func ScaffoldContigs(res *Result, asmOpt Options, pairs []scaffold.Pair, opt sca
 	}
 	if res.Clock != nil {
 		res.SimSeconds = res.Clock.Seconds()
-		res.LocalMessages = res.Clock.LocalMessages()
-		res.RemoteMessages = res.Clock.RemoteMessages()
+		res.readClockCounters()
 	}
 	return st.Scaffold, st.ScaffoldContigs, nil
 }

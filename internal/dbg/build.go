@@ -74,7 +74,10 @@ func BuildDBG(clock *pregel.SimClock, cfg pregel.Config, readShards [][]string, 
 		return uint64(pref)
 	}
 	rawKey := func(k uint64) uint64 { return k }
-	mrCfg := pregel.MRConfig{Workers: workers, PairBytes: 12, Parallel: cfg.Parallel, Faults: cfg.Faults, Partitioner: part}
+	mrCfg := pregel.MRConfig{
+		Workers: workers, PairBytes: 12, Parallel: cfg.Parallel, Faults: cfg.Faults, Partitioner: part,
+		Name: cfg.JobPrefix + "k1", Tracer: cfg.Tracer, Metrics: cfg.Metrics,
+	}
 	k1Distinct := make([]int64, workers)
 	k1Kept := make([]int64, workers)
 	k1Shards, st1 := pregel.MapReduceCfg(
@@ -117,6 +120,7 @@ func BuildDBG(clock *pregel.SimClock, cfg pregel.Config, readShards [][]string, 
 		item AdjKmer
 	}
 	mrCfg.PairBytes = 10 // 8-byte key + 1-byte item + varint cov
+	mrCfg.Name = cfg.JobPrefix + "adj"
 	vertShards, st2 := pregel.MapReduceCfg(
 		clock, mrCfg,
 		k1Shards,

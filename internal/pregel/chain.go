@@ -1,5 +1,7 @@
 package pregel
 
+import "ppaassembler/internal/telemetry"
+
 // Convert is the paper's second Pregel+ API extension (§II): in-memory job
 // concatenation. It transforms the vertex set of a finished job j (graph
 // src, vertex class V1) into the input vertex set of the next job j′
@@ -19,6 +21,13 @@ func Convert[V2, M2, V1, M1 any](
 	cfg = cfg.withDefaults()
 	dst := NewGraph[V2, M2](cfg)
 	dst.clock = src.clock
+	if cfg.Tracer != nil {
+		cfg.Tracer.Emit(telemetry.Event{
+			Kind: telemetry.KindBegin, Name: "convert", Cat: "pregel",
+			WallNs: nowNs(), SimNs: src.clock.Ns(),
+			Args: []telemetry.Arg{telemetry.I("vertices", int64(src.VertexCount()))},
+		})
+	}
 
 	convNs := make([]float64, src.cfg.Workers)
 	outBytes := make([]float64, src.cfg.Workers)
@@ -63,9 +72,25 @@ func Convert[V2, M2, V1, M1 any](
 	}
 	dst.clock.ChargeSuperstepTiered(convNs, outBytes, localBytes)
 	dst.clock.CountMessages(nLocal, nRemote)
+	if cfg.Tracer != nil {
+		cfg.Tracer.Emit(telemetry.Event{
+			Kind: telemetry.KindEnd, Name: "convert", Cat: "pregel",
+			WallNs: nowNs(), SimNs: dst.clock.Ns(),
+			Args: []telemetry.Arg{telemetry.I("emitted", int64(len(emitted)))},
+		})
+	}
 	return dst
 }
 
 // UseClock replaces g's simulated clock, letting independent graphs charge
 // a shared end-to-end pipeline clock.
 func (g *Graph[V, M]) UseClock(c *SimClock) { g.clock = c }
+
+// SetTelemetry replaces the graph's tracer and metrics registry. A graph
+// captures both in its Config at construction, so a sink installed later
+// (e.g. by a mid-plan trace op) must be retrofitted explicitly; nil
+// detaches.
+func (g *Graph[V, M]) SetTelemetry(tr telemetry.Tracer, m *telemetry.Registry) {
+	g.cfg.Tracer = tr
+	g.cfg.Metrics = m
+}

@@ -10,6 +10,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"ppaassembler/internal/telemetry"
 )
 
 // Checkpointer persists superstep checkpoints, the engine's Pregel-style
@@ -379,9 +381,14 @@ func (g *Graph[V, M]) runFingerprint() uint64 {
 // encode their partitions concurrently in Parallel mode, mirroring the
 // compute/deliver phases.
 func (g *Graph[V, M]) saveCheckpoint(ck *ckptRun, step int, pending int64, stats *Stats) error {
+	wall0 := nowNs()
+	if g.cfg.Tracer != nil {
+		g.emit(telemetry.KindBegin, "checkpoint.save", "checkpoint", wall0, g.clock.Ns(),
+			telemetry.I("step", int64(step)))
+	}
 	blobs := make([][]byte, g.cfg.Workers)
 	errs := make([]error, g.cfg.Workers)
-	forEachWorker(g.cfg.Workers, g.cfg.Parallel, func(wi int) {
+	forEachWorkerProf(g.cfg.Workers, g.cfg.Parallel, g.runName, "checkpoint", func(wi int) {
 		w := g.workers[wi]
 		var buf bytes.Buffer
 		errs[wi] = gob.NewEncoder(&buf).Encode(ckptWorker[V, M]{
@@ -395,11 +402,12 @@ func (g *Graph[V, M]) saveCheckpoint(ck *ckptRun, step int, pending int64, stats
 		})
 		blobs[wi] = buf.Bytes()
 	})
-	maxBytes := 0.0
+	maxBytes, totalBytes := 0.0, int64(0)
 	for wi, err := range errs {
 		if err != nil {
 			return fmt.Errorf("pregel: encoding checkpoint (job %q, worker %d): %w", ck.job, wi, err)
 		}
+		totalBytes += int64(len(blobs[wi]))
 		if b := float64(len(blobs[wi])); b > maxBytes {
 			maxBytes = b
 		}
@@ -429,6 +437,17 @@ func (g *Graph[V, M]) saveCheckpoint(ck *ckptRun, step int, pending int64, stats
 	}
 	if err := ck.store.Save(ck.job, step, buf.Bytes()); err != nil {
 		return err
+	}
+	stats.CheckpointSaves++
+	stats.CheckpointBytesWritten += totalBytes
+	g.clock.CountCheckpointSave(totalBytes)
+	if g.cfg.Metrics != nil {
+		g.cfg.Metrics.Counter("pregel_checkpoint_saves_total").Add(1)
+		g.cfg.Metrics.Counter("pregel_checkpoint_bytes_written_total").Add(totalBytes)
+	}
+	if g.cfg.Tracer != nil {
+		g.emit(telemetry.KindEnd, "checkpoint.save", "checkpoint", nowNs(), g.clock.Ns(),
+			telemetry.I("step", int64(step)), telemetry.I("bytes", totalBytes))
 	}
 	return nil
 }
@@ -469,14 +488,20 @@ func (g *Graph[V, M]) restoreCheckpoint(file *ckptFile, stats *Stats) (step int,
 	if len(file.Workers) != g.cfg.Workers {
 		return 0, 0, fmt.Errorf("pregel: checkpoint has %d workers, graph has %d", len(file.Workers), g.cfg.Workers)
 	}
+	wall0 := nowNs()
+	if g.cfg.Tracer != nil {
+		g.emit(telemetry.KindBegin, "checkpoint.restore", "checkpoint", wall0, g.clock.Ns(),
+			telemetry.I("step", int64(file.Step)))
+	}
 	errs := make([]error, g.cfg.Workers)
-	maxBytes := 0.0
+	maxBytes, totalBytes := 0.0, int64(0)
 	for _, b := range file.Workers {
+		totalBytes += int64(len(b))
 		if n := float64(len(b)); n > maxBytes {
 			maxBytes = n
 		}
 	}
-	forEachWorker(g.cfg.Workers, g.cfg.Parallel, func(wi int) {
+	forEachWorkerProf(g.cfg.Workers, g.cfg.Parallel, g.runName, "checkpoint", func(wi int) {
 		var cw ckptWorker[V, M]
 		if err := gob.NewDecoder(bytes.NewReader(file.Workers[wi])).Decode(&cw); err != nil {
 			errs[wi] = err
@@ -518,5 +543,16 @@ func (g *Graph[V, M]) restoreCheckpoint(file *ckptFile, stats *Stats) (step int,
 	stats.DroppedMessages = file.DroppedMessages
 	g.clock.advanceTo(file.ClockNs)
 	g.clock.ChargeRecovery(maxBytes)
+	stats.CheckpointRestores++
+	stats.CheckpointBytesRestored += totalBytes
+	g.clock.CountCheckpointRestore(totalBytes)
+	if g.cfg.Metrics != nil {
+		g.cfg.Metrics.Counter("pregel_checkpoint_restores_total").Add(1)
+		g.cfg.Metrics.Counter("pregel_checkpoint_bytes_restored_total").Add(totalBytes)
+	}
+	if g.cfg.Tracer != nil {
+		g.emit(telemetry.KindEnd, "checkpoint.restore", "checkpoint", nowNs(), g.clock.Ns(),
+			telemetry.I("step", int64(file.Step)), telemetry.I("bytes", totalBytes))
+	}
 	return file.Step, file.Pending, nil
 }

@@ -79,6 +79,12 @@ type SimClock struct {
 	// process counts only post-resume traffic (per-run Stats restore their
 	// counters from the checkpoint instead).
 	localMsgs, remoteMsgs int64
+	// Cluster-wide checkpoint I/O counters, folded in by the engine via
+	// CountCheckpointSave/CountCheckpointRestore. Like the traffic counters
+	// they count I/O as executed, so a pipeline-level report can read total
+	// checkpoint traffic off the one shared clock.
+	ckptSaves, ckptRestores         int64
+	ckptBytesWritten, ckptBytesRead int64
 }
 
 // NewSimClock returns a clock at time zero.
@@ -157,6 +163,31 @@ func (c *SimClock) LocalMessages() int64 { return c.localMsgs }
 // RemoteMessages returns the inter-machine messages counted so far.
 func (c *SimClock) RemoteMessages() int64 { return c.remoteMsgs }
 
+// CountCheckpointSave folds one checkpoint write (total bytes across all
+// worker partitions) into the clock's I/O counters.
+func (c *SimClock) CountCheckpointSave(bytes int64) {
+	c.ckptSaves++
+	c.ckptBytesWritten += bytes
+}
+
+// CountCheckpointRestore folds one checkpoint restore into the counters.
+func (c *SimClock) CountCheckpointRestore(bytes int64) {
+	c.ckptRestores++
+	c.ckptBytesRead += bytes
+}
+
+// CheckpointSaves returns the checkpoint writes counted so far.
+func (c *SimClock) CheckpointSaves() int64 { return c.ckptSaves }
+
+// CheckpointRestores returns the checkpoint restores counted so far.
+func (c *SimClock) CheckpointRestores() int64 { return c.ckptRestores }
+
+// CheckpointBytesWritten returns total checkpoint bytes written so far.
+func (c *SimClock) CheckpointBytesWritten() int64 { return c.ckptBytesWritten }
+
+// CheckpointBytesRestored returns total checkpoint bytes re-read so far.
+func (c *SimClock) CheckpointBytesRestored() int64 { return c.ckptBytesRead }
+
 // ChargeSerial charges a section that runs on a single node regardless of
 // worker count (e.g. a coordinator stage).
 func (c *SimClock) ChargeSerial(computeNs float64) {
@@ -199,8 +230,45 @@ func (c *SimClock) advanceTo(ns float64) {
 // Seconds returns the simulated time elapsed so far.
 func (c *SimClock) Seconds() float64 { return c.ns / 1e9 }
 
-// Reset rewinds the clock to zero and clears the traffic counters.
-func (c *SimClock) Reset() { c.ns, c.localMsgs, c.remoteMsgs = 0, 0, 0 }
+// Ns returns the simulated time elapsed so far in nanoseconds — the reading
+// telemetry events stamp into their SimNs field.
+func (c *SimClock) Ns() float64 { return c.ns }
+
+// SuperstepParts decomposes one superstep's charge into its three critical-
+// path components — barrier latency, slowest-worker compute, and the
+// network transfer (both tiers) — without charging anything. The tracer
+// uses it to synthesize sub-phase boundaries on the simulated timeline; the
+// actual charge still goes through the single ChargeSuperstepTiered call,
+// so instrumented and uninstrumented runs accumulate bit-identical clocks.
+func (c *SimClock) SuperstepParts(computeNs, remoteBytes, localBytes []float64) (latencyNs, compNs, netNs float64) {
+	maxC, maxR, maxL := 0.0, 0.0, 0.0
+	for _, v := range computeNs {
+		if v > maxC {
+			maxC = v
+		}
+	}
+	for _, v := range remoteBytes {
+		if v > maxR {
+			maxR = v
+		}
+	}
+	for _, v := range localBytes {
+		if v > maxL {
+			maxL = v
+		}
+	}
+	latencyNs = float64(c.model.SuperstepLatency.Nanoseconds())
+	compNs = maxC * c.model.ComputeScale
+	netNs = maxR/c.model.BytesPerSecond*1e9 + maxL/c.model.LocalBytesPerSecond*1e9
+	return latencyNs, compNs, netNs
+}
+
+// Reset rewinds the clock to zero and clears the traffic and checkpoint
+// counters.
+func (c *SimClock) Reset() {
+	c.ns, c.localMsgs, c.remoteMsgs = 0, 0, 0
+	c.ckptSaves, c.ckptRestores, c.ckptBytesWritten, c.ckptBytesRead = 0, 0, 0, 0
+}
 
 // nowNs is the engine's monotonic time source.
 func nowNs() int64 { return time.Now().UnixNano() }
@@ -226,6 +294,15 @@ type Stats struct {
 	// so a recovered run reports the same Supersteps/Messages/Bytes as an
 	// unfailed one; only Recoveries and SimSeconds reveal the failure.
 	Recoveries int
+	// Checkpoint I/O performed by this run, as executed: saves (and their
+	// total bytes across worker partitions) and restores (rollbacks plus
+	// Resume fast-forwards). Unlike the message counters these are not
+	// rewound on rollback — the I/O genuinely happened — so they are how a
+	// report shows what fault tolerance cost.
+	CheckpointSaves         int
+	CheckpointRestores      int
+	CheckpointBytesWritten  int64
+	CheckpointBytesRestored int64
 	// SimSeconds is the simulated clock reading when the run finished
 	// (cumulative across jobs sharing the clock).
 	SimSeconds float64
@@ -240,6 +317,10 @@ func (s *Stats) Add(other *Stats) {
 	s.Bytes += other.Bytes
 	s.DroppedMessages += other.DroppedMessages
 	s.Recoveries += other.Recoveries
+	s.CheckpointSaves += other.CheckpointSaves
+	s.CheckpointRestores += other.CheckpointRestores
+	s.CheckpointBytesWritten += other.CheckpointBytesWritten
+	s.CheckpointBytesRestored += other.CheckpointBytesRestored
 	if other.SimSeconds > s.SimSeconds {
 		s.SimSeconds = other.SimSeconds
 	}

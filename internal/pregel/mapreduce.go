@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"ppaassembler/internal/telemetry"
 )
 
 // MapReduce is the paper's first Pregel+ API extension (§II): a mini
@@ -83,6 +85,15 @@ type MRConfig struct {
 	// UDFs, so recovery only charges the clock an extra round carried by
 	// the failed worker alone.
 	Faults *FaultPlan
+
+	// Name labels this MapReduce in trace spans and pprof labels (e.g.
+	// "build.k1", "scaffold.links"). Empty means "mapreduce".
+	Name string
+	// Tracer, when non-nil, receives map/shuffle/reduce phase spans; see
+	// Config.Tracer for the emission contract.
+	Tracer telemetry.Tracer
+	// Metrics, when non-nil, receives the mr_* counters.
+	Metrics *telemetry.Registry
 }
 
 // Validate rejects nonsensical MapReduce configurations with a clear
@@ -128,7 +139,20 @@ func MapReduceCfg[I, K, V, O any](
 		k K
 		v V
 	}
-	stats := &Stats{Name: "mapreduce", Workers: workers}
+	name := cfg.Name
+	if name == "" {
+		name = "mapreduce"
+	}
+	stats := &Stats{Name: name, Workers: workers}
+	tr := cfg.Tracer
+	emitEv := func(kind telemetry.Kind, evName string, wallNs int64, simNs float64, args ...telemetry.Arg) {
+		tr.Emit(telemetry.Event{Kind: kind, Name: evName, Cat: "mr", WallNs: wallNs, SimNs: simNs, Args: args})
+	}
+	var wallMap0 int64
+	if tr != nil {
+		wallMap0 = nowNs()
+		emitEv(telemetry.KindBegin, "mr", wallMap0, clock.Ns(), telemetry.S("name", name))
+	}
 
 	// Key grouping: with a partitioner, keyHash projects the key to a
 	// routing ID placed like a vertex; without one, it is a mixing hash
@@ -163,12 +187,20 @@ func MapReduceCfg[I, K, V, O any](
 		}
 		mapNs[w] = float64(nowNs() - start)
 	}
-	forEachWorker(workers, cfg.Parallel, mapWorker)
+	forEachWorkerProf(workers, cfg.Parallel, name, "map", mapWorker)
+	wallMap1 := int64(0)
+	if tr != nil {
+		wallMap1 = nowNs()
+	}
 	if w, fired := cfg.Faults.tick(workers); fired {
 		// Lineage recovery: worker w's map output is lost and its task
 		// re-runs from the in-memory shard while the other workers wait —
 		// charged as an extra round carried by w alone (see MRConfig.Faults
 		// for why the UDFs are not literally invoked a second time).
+		if tr != nil {
+			emitEv(telemetry.KindInstant, "fault", nowNs(), clock.Ns(),
+				telemetry.I("worker", int64(w)), telemetry.S("phase", "map"))
+		}
 		redo := make([]float64, workers)
 		redoBytes := make([]float64, workers)
 		redoLocal := make([]float64, workers)
@@ -186,8 +218,33 @@ func MapReduceCfg[I, K, V, O any](
 		stats.RemoteMessages += emitted[w] - emittedLocal[w]
 		stats.Bytes += emitted[w] * int64(cfg.PairBytes)
 	}
+	var simMap0, simComp float64
+	if tr != nil {
+		simMap0 = clock.Ns()
+		_, simComp, _ = clock.SuperstepParts(mapNs, outBytes, localBytes)
+	}
 	clock.ChargeSuperstepTiered(mapNs, outBytes, localBytes)
 	clock.CountMessages(stats.LocalMessages, stats.RemoteMessages)
+	if cfg.Metrics != nil {
+		cfg.Metrics.Counter("mr_jobs_total").Add(1)
+		cfg.Metrics.Counter("mr_pairs_local_total").Add(stats.LocalMessages)
+		cfg.Metrics.Counter("mr_pairs_remote_total").Add(stats.RemoteMessages)
+		cfg.Metrics.Counter("mr_bytes_total").Add(stats.Bytes)
+	}
+	var wallRed0 int64
+	if tr != nil {
+		// The map span covers UDF execution; the shuffle span covers the
+		// charged network transfer (its sim width is the λ + transfer part
+		// of the map round's charge, its wall width the gap between the map
+		// and reduce phases, where lane draining happens).
+		wallRed0 = nowNs()
+		emitEv(telemetry.KindBegin, "map", wallMap0, simMap0)
+		emitEv(telemetry.KindEnd, "map", wallMap1, simMap0+simComp)
+		emitEv(telemetry.KindBegin, "shuffle", wallMap1, simMap0+simComp)
+		emitEv(telemetry.KindEnd, "shuffle", wallRed0, clock.Ns(),
+			telemetry.I("pairs", stats.Messages))
+		emitEv(telemetry.KindBegin, "reduce", wallRed0, clock.Ns())
+	}
 
 	// Shuffle + sort + reduce phase: destination worker d drains the lanes
 	// buckets[*][d] into one flat pair arena (sized exactly), sorts it, and
@@ -222,10 +279,14 @@ func MapReduceCfg[I, K, V, O any](
 		}
 		redNs[d] = float64(nowNs() - start)
 	}
-	forEachWorker(workers, cfg.Parallel, reduceWorker)
+	forEachWorkerProf(workers, cfg.Parallel, name, "reduce", reduceWorker)
 	if d, fired := cfg.Faults.tick(workers); fired {
 		// Lineage recovery: the failed reduce task re-runs from its lanes,
 		// priced as an extra round carried by d alone.
+		if tr != nil {
+			emitEv(telemetry.KindInstant, "fault", nowNs(), clock.Ns(),
+				telemetry.I("worker", int64(d)), telemetry.S("phase", "reduce"))
+		}
 		redo := make([]float64, workers)
 		redo[d] = redNs[d]
 		clock.ChargeSuperstep(redo, make([]float64, workers))
@@ -234,6 +295,12 @@ func MapReduceCfg[I, K, V, O any](
 	clock.ChargeSuperstep(redNs, make([]float64, workers))
 	stats.Supersteps = 2
 	stats.SimSeconds = clock.Seconds()
+	if tr != nil {
+		wallRed1 := nowNs()
+		emitEv(telemetry.KindEnd, "reduce", wallRed1, clock.Ns())
+		emitEv(telemetry.KindEnd, "mr", wallRed1, clock.Ns(),
+			telemetry.I("pairs", stats.Messages))
+	}
 	return out, stats
 }
 

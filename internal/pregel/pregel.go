@@ -17,6 +17,8 @@ package pregel
 import (
 	"fmt"
 	"sort"
+
+	"ppaassembler/internal/telemetry"
 )
 
 // VertexID identifies a vertex. The assembler encodes k-mer sequences and
@@ -90,6 +92,22 @@ type Config struct {
 	// op's plan position (e.g. "s03.tiptrim."), so checkpoint keys are
 	// deterministic and self-describing for arbitrary compositions.
 	JobPrefix string
+
+	// Tracer, when non-nil, receives structured span/event records for
+	// every run on this graph: job start/end, each superstep's
+	// compute/shuffle/barrier sub-phases, checkpoint saves/restores and
+	// fault-plan firings, each stamped with both wall time and the
+	// simulated-clock reading. Events are emitted only from coordinator
+	// code at superstep barriers — never per message — and the span
+	// sequence (timestamps aside) is deterministic across Parallel on/off,
+	// worker counts and partitioners. Nil disables tracing with zero
+	// allocations on the message path.
+	Tracer telemetry.Tracer
+	// Metrics, when non-nil, receives engine counters, gauges and
+	// histograms (messages by network tier, bytes, supersteps, dropped
+	// messages, checkpoint I/O, active/halted vertices, per-worker inbox
+	// depths). Instrument handles are resolved once per run.
+	Metrics *telemetry.Registry
 }
 
 // Validate rejects configurations that would otherwise be silently
@@ -211,6 +229,10 @@ type Graph[V, M any] struct {
 	computeNs      []float64
 	bytesPerWorker []float64
 	localBytes     []float64
+
+	// runName is the current run's label (set by Run), used for pprof
+	// labels on the delivery and checkpoint phases.
+	runName string
 }
 
 // NewGraph creates an empty graph with the given configuration.
@@ -421,6 +443,18 @@ func (g *Graph[V, M]) Run(compute Compute[V, M], opts ...RunOption) (*Stats, err
 	g.sortVertices()
 	g.agg.reset()
 	stats := &Stats{Name: o.name, Workers: g.cfg.Workers}
+	g.runName = o.name
+	tr := g.cfg.Tracer
+	rm := newRunMetrics(g.cfg.Metrics)
+	if tr != nil {
+		g.emit(telemetry.KindBegin, "job", "pregel", nowNs(), g.clock.Ns(),
+			telemetry.S("name", o.name), telemetry.I("vertices", int64(g.VertexCount())))
+		defer func() {
+			g.emit(telemetry.KindEnd, "job", "pregel", nowNs(), g.clock.Ns(),
+				telemetry.I("supersteps", int64(stats.Supersteps)),
+				telemetry.I("messages", stats.Messages))
+		}()
+	}
 
 	ck, err := g.newCkptRun(o.name)
 	if err != nil {
@@ -474,6 +508,10 @@ func (g *Graph[V, M]) Run(compute Compute[V, M], opts ...RunOption) (*Stats, err
 		// Fault injection: the crash consumes the round (its work is lost)
 		// and the run rolls back to the latest checkpoint.
 		if w, fired := g.cfg.Faults.tick(g.cfg.Workers); fired {
+			if tr != nil {
+				g.emit(telemetry.KindInstant, "fault", "fault", nowNs(), g.clock.Ns(),
+					telemetry.I("worker", int64(w)), telemetry.I("step", int64(step)))
+			}
 			if ck == nil {
 				return stats, fmt.Errorf("pregel: job %q: worker %d crashed at superstep %d with checkpointing disabled", o.name, w, step)
 			}
@@ -488,6 +526,9 @@ func (g *Graph[V, M]) Run(compute Compute[V, M], opts ...RunOption) (*Stats, err
 				return stats, err
 			}
 			stats.Recoveries++
+			if g.cfg.Metrics != nil {
+				g.cfg.Metrics.Counter("pregel_recoveries_total").Add(1)
+			}
 			continue
 		}
 
@@ -496,15 +537,35 @@ func (g *Graph[V, M]) Run(compute Compute[V, M], opts ...RunOption) (*Stats, err
 			g.bytesPerWorker = make([]float64, g.cfg.Workers)
 			g.localBytes = make([]float64, g.cfg.Workers)
 		}
+		// Telemetry observes at the barrier only: wall marks bracket the
+		// phases, the sim-timeline sub-phase boundaries are synthesized from
+		// SuperstepParts, and the events are emitted together after the
+		// charge so the disabled path costs one branch and no allocations.
+		var activeVerts, haltedVerts int64
+		var wall0, wall1, wall2 int64
+		var sim0 float64
+		if tr != nil || rm != nil {
+			activeVerts, haltedVerts = g.countVertices()
+		}
+		if tr != nil {
+			wall0 = nowNs()
+			sim0 = g.clock.Ns()
+		}
 		computeNs := g.computeNs
-		forEachWorker(g.cfg.Workers, g.cfg.Parallel, func(wi int) {
+		forEachWorkerProf(g.cfg.Workers, g.cfg.Parallel, o.name, "compute", func(wi int) {
 			computeNs[wi] = g.runWorker(wi, step, compute)
 		})
+		if tr != nil {
+			wall1 = nowNs()
+		}
 
 		// Barrier: deliver messages, apply aggregator values, record stats.
 		delivered, dropped, err := g.deliver()
 		if err != nil {
 			return stats, err
+		}
+		if tr != nil {
+			wall2 = nowNs()
 		}
 		msgs, local := int64(0), int64(0)
 		for _, w := range g.workers {
@@ -518,6 +579,10 @@ func (g *Graph[V, M]) Run(compute Compute[V, M], opts ...RunOption) (*Stats, err
 			bytesPerWorker[wi] = float64(w.msgsOut-w.msgsLocal) * float64(g.cfg.MessageBytes)
 			localBytes[wi] = float64(w.msgsLocal) * float64(g.cfg.MessageBytes)
 		}
+		var simComp, simNet float64
+		if tr != nil {
+			_, simComp, simNet = g.clock.SuperstepParts(computeNs, bytesPerWorker, localBytes)
+		}
 		g.clock.ChargeSuperstepTiered(computeNs, bytesPerWorker, localBytes)
 		g.clock.CountMessages(local, msgs-local)
 		stats.Supersteps++
@@ -526,6 +591,36 @@ func (g *Graph[V, M]) Run(compute Compute[V, M], opts ...RunOption) (*Stats, err
 		stats.RemoteMessages += msgs - local
 		stats.Bytes += msgs * int64(g.cfg.MessageBytes)
 		stats.DroppedMessages += dropped
+		if rm != nil {
+			rm.localMsgs.Add(local)
+			rm.remoteMsgs.Add(msgs - local)
+			rm.bytes.Add(msgs * int64(g.cfg.MessageBytes))
+			rm.supersteps.Add(1)
+			rm.dropped.Add(dropped)
+			rm.activeVerts.Set(activeVerts)
+			rm.haltedVerts.Set(haltedVerts)
+			for _, w := range g.workers {
+				rm.inboxDepth.Observe(float64(w.delivered))
+			}
+		}
+		if tr != nil {
+			// Span args carry only placement-invariant totals (step, active
+			// vertices, delivered/dropped/message counts) so the signature
+			// sequence is identical across partitioners and worker counts.
+			wall3 := nowNs()
+			sim1 := g.clock.Ns()
+			g.emit(telemetry.KindBegin, "superstep", "pregel", wall0, sim0,
+				telemetry.I("step", int64(step)), telemetry.I("active", activeVerts))
+			g.emit(telemetry.KindBegin, "compute", "phase", wall0, sim0)
+			g.emit(telemetry.KindEnd, "compute", "phase", wall1, sim0+simComp)
+			g.emit(telemetry.KindBegin, "shuffle", "phase", wall1, sim0+simComp)
+			g.emit(telemetry.KindEnd, "shuffle", "phase", wall2, sim0+simComp+simNet,
+				telemetry.I("delivered", delivered), telemetry.I("dropped", dropped))
+			g.emit(telemetry.KindBegin, "barrier", "phase", wall2, sim0+simComp+simNet)
+			g.emit(telemetry.KindEnd, "barrier", "phase", wall3, sim1)
+			g.emit(telemetry.KindEnd, "superstep", "pregel", wall3, sim1,
+				telemetry.I("messages", msgs))
+		}
 		g.agg.flip()
 		pending = delivered
 		step++
@@ -618,7 +713,7 @@ func combineEnvelopes[M any](envs []envelope[M], fn func(a, b M) M) []envelope[M
 // sequential path because each worker's arena depends only on lane contents,
 // which are fixed at the compute barrier.
 func (g *Graph[V, M]) deliver() (delivered, dropped int64, err error) {
-	forEachWorker(g.cfg.Workers, g.cfg.Parallel, g.deliverTo)
+	forEachWorkerProf(g.cfg.Workers, g.cfg.Parallel, g.runName, "deliver", g.deliverTo)
 	for _, w := range g.workers {
 		delivered += w.delivered
 		dropped += w.dropped

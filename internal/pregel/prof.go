@@ -1,0 +1,57 @@
+package pregel
+
+import (
+	"context"
+	"runtime/pprof"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// profLabelsOn gates runtime/pprof labels on engine goroutines. Off by
+// default: attaching labels allocates a label set per phase, which would
+// show up in the engine's allocation fences. CLIs that write CPU/heap
+// profiles flip it on so samples segment by job, phase and worker.
+var profLabelsOn atomic.Bool
+
+// EnableProfLabels toggles pprof labels (job name, superstep phase, worker
+// id) on the engine's compute, delivery, checkpoint and MapReduce
+// goroutines. ppa-assembler enables it whenever -cpuprofile or -memprofile
+// is set, so `go tool pprof -tagfocus phase=compute` isolates one phase.
+func EnableProfLabels(on bool) { profLabelsOn.Store(on) }
+
+// ProfLabelsEnabled reports whether labels are currently attached.
+func ProfLabelsEnabled() bool { return profLabelsOn.Load() }
+
+// forEachWorkerProf is forEachWorker plus pprof labels when enabled: the
+// disabled path is a single atomic load in front of the plain loop, so
+// engine phases stay allocation-free. In parallel mode each worker
+// goroutine gets its own label set including its worker id.
+func forEachWorkerProf(workers int, parallel bool, job, phase string, fn func(w int)) {
+	if !profLabelsOn.Load() {
+		forEachWorker(workers, parallel, fn)
+		return
+	}
+	if job == "" {
+		job = "run"
+	}
+	if !parallel || workers <= 1 {
+		pprof.Do(context.Background(), pprof.Labels("job", job, "phase", phase), func(context.Context) {
+			for w := 0; w < workers; w++ {
+				fn(w)
+			}
+		})
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pprof.Do(context.Background(),
+				pprof.Labels("job", job, "phase", phase, "worker", strconv.Itoa(w)),
+				func(context.Context) { fn(w) })
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,63 @@
+package pregel
+
+import "ppaassembler/internal/telemetry"
+
+// Telemetry is emitted only from coordinator code — the between-superstep
+// barrier, checkpoint save/restore, and job start/end — never from the
+// per-message send/deliver hot path. A nil Config.Tracer/Metrics therefore
+// costs one branch per superstep and zero allocations anywhere (locked by
+// TestShuffleAllocRegressionFence).
+
+// runMetrics caches the engine's instrument handles for one run so the
+// per-superstep barrier bumps atomics without registry lookups.
+type runMetrics struct {
+	localMsgs, remoteMsgs, bytes *telemetry.Counter
+	supersteps, dropped          *telemetry.Counter
+	activeVerts, haltedVerts     *telemetry.Gauge
+	inboxDepth                   *telemetry.Histogram
+}
+
+// newRunMetrics resolves the engine's instruments; nil registry → nil.
+func newRunMetrics(r *telemetry.Registry) *runMetrics {
+	if r == nil {
+		return nil
+	}
+	return &runMetrics{
+		localMsgs:   r.Counter("pregel_messages_local_total"),
+		remoteMsgs:  r.Counter("pregel_messages_remote_total"),
+		bytes:       r.Counter("pregel_bytes_total"),
+		supersteps:  r.Counter("pregel_supersteps_total"),
+		dropped:     r.Counter("pregel_dropped_messages_total"),
+		activeVerts: r.Gauge("pregel_vertices_active"),
+		haltedVerts: r.Gauge("pregel_vertices_halted"),
+		inboxDepth:  r.Histogram("pregel_inbox_queue_depth"),
+	}
+}
+
+// emit sends one event to the graph's tracer. Callers must have checked
+// g.cfg.Tracer != nil (the variadic args would otherwise allocate for
+// nothing).
+func (g *Graph[V, M]) emit(kind telemetry.Kind, name, cat string, wallNs int64, simNs float64, args ...telemetry.Arg) {
+	g.cfg.Tracer.Emit(telemetry.Event{
+		Kind: kind, Name: name, Cat: cat,
+		WallNs: wallNs, SimNs: simNs, Args: args,
+	})
+}
+
+// countVertices tallies live active and halted vertices — an O(V) pass run
+// only when a tracer or metrics registry is observing the run.
+func (g *Graph[V, M]) countVertices() (active, halted int64) {
+	for _, w := range g.workers {
+		for i := range w.active {
+			if w.dead[i] {
+				continue
+			}
+			if w.active[i] {
+				active++
+			} else {
+				halted++
+			}
+		}
+	}
+	return active, halted
+}

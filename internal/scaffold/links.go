@@ -76,7 +76,10 @@ func bundleLinks(ix *contigIndex, pairs []Pair, opt Options, clock *pregel.SimCl
 	type pairCounts struct{ placed, sameContig, linking int }
 	counts := make([]pairCounts, opt.Workers)
 	out, st := pregel.MapReduceCfg(
-		clock, pregel.MRConfig{Workers: opt.Workers, PairBytes: 24, Parallel: opt.Parallel, Faults: opt.Faults},
+		clock, pregel.MRConfig{
+			Workers: opt.Workers, PairBytes: 24, Parallel: opt.Parallel, Faults: opt.Faults,
+			Name: opt.JobPrefix + "links", Tracer: opt.Tracer, Metrics: opt.Metrics,
+		},
 		shards, // 24 ≈ key + span on the wire
 		func(w int, p Pair, emit func(linkKey, float64)) {
 			p1, ok1 := ix.place(p.R1)

@@ -37,6 +37,7 @@ import (
 	"ppaassembler/internal/dna"
 	"ppaassembler/internal/fastx"
 	"ppaassembler/internal/pregel"
+	"ppaassembler/internal/telemetry"
 )
 
 // End names one side of a contig in its stored orientation: L precedes base
@@ -130,6 +131,12 @@ type Options struct {
 	// (see pregel.Config.JobPrefix); the workflow layer sets a per-op
 	// prefix so keys stay deterministic in arbitrary compositions.
 	JobPrefix string
+
+	// Tracer and Metrics thread telemetry into every scaffolding job,
+	// exactly as on pregel.Config; the assembly pipeline passes its own so
+	// one trace covers the whole run.
+	Tracer  telemetry.Tracer
+	Metrics *telemetry.Registry
 
 	// SeedLen is the exact-match seed length for mate placement (default
 	// 31, the paper's k; must exceed the assembly k-1 so seeds cannot tie
@@ -276,6 +283,7 @@ func Build(contigs []Contig, pairs []Pair, opt Options) (*Result, error) {
 		Partitioner: opt.Partitioner, MessageBytes: opt.MessageBytes,
 		CheckpointEvery: opt.CheckpointEvery, Checkpointer: opt.Checkpointer,
 		Faults: opt.Faults, Resume: opt.Resume, JobPrefix: opt.JobPrefix,
+		Tracer: opt.Tracer, Metrics: opt.Metrics,
 	}
 	res := &Result{Stats: &pregel.Stats{Name: "scaffold", Workers: opt.Workers}}
 	res.PairsTotal = len(pairs)

@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// ChromeWriter is a Tracer that writes the Chrome trace_event JSON-array
+// format, loadable directly in Perfetto (https://ui.perfetto.dev) and
+// chrome://tracing. Spans map to "B"/"E" duration events and instants to
+// "i"; timestamps are microseconds relative to the first event, and the
+// simulated-cluster clock reading rides along in each event's args as
+// "sim_us".
+//
+// The trailing "]" is written by Close, but the format explicitly tolerates
+// its absence, so even a trace cut short by a crash still loads.
+type ChromeWriter struct {
+	mu    sync.Mutex
+	w     *bufio.Writer
+	c     io.Closer
+	buf   []byte
+	t0    int64
+	first bool
+}
+
+// NewChromeWriter wraps w and writes the opening bracket immediately. If w
+// is also an io.Closer, Close closes it.
+func NewChromeWriter(w io.Writer) *ChromeWriter {
+	cw := &ChromeWriter{w: bufio.NewWriter(w), first: true}
+	if c, ok := w.(io.Closer); ok {
+		cw.c = c
+	}
+	cw.w.WriteString("[\n")
+	return cw
+}
+
+// Emit implements Tracer.
+func (c *ChromeWriter) Emit(e Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.t0 == 0 {
+		c.t0 = e.WallNs
+	}
+	b := c.buf[:0]
+	if c.first {
+		c.first = false
+	} else {
+		b = append(b, ',', '\n')
+	}
+	b = append(b, `{"name":`...)
+	b = appendJSONString(b, e.Name)
+	b = append(b, `,"cat":`...)
+	b = appendJSONString(b, e.Cat)
+	b = append(b, `,"ph":"`...)
+	b = append(b, e.Kind.String()...)
+	b = append(b, `","ts":`...)
+	b = strconv.AppendFloat(b, float64(e.WallNs-c.t0)/1e3, 'f', 3, 64)
+	if e.Kind == KindInstant {
+		// Thread-scoped instant, rendered as a marker in the track.
+		b = append(b, `,"s":"t"`...)
+	}
+	b = append(b, `,"pid":1,"tid":1,"args":`...)
+	b = appendArgsJSON(b, e.SimNs, e.Args)
+	b = append(b, '}')
+	c.buf = b
+	c.w.Write(b)
+}
+
+// Close terminates the JSON array, flushes, and closes the underlying
+// writer when it is closable.
+func (c *ChromeWriter) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.w.WriteString("\n]\n")
+	err := c.w.Flush()
+	if c.c != nil {
+		if cerr := c.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

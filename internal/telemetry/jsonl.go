@@ -1,0 +1,63 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// JSONLWriter is a Tracer that writes one JSON object per event per line:
+//
+//	{"ph":"B","name":"superstep","cat":"pregel","wall_ns":...,"args":{"sim_us":...,"step":3}}
+//
+// The format is self-describing and greppable; cmd/tracecheck validates it.
+type JSONLWriter struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	c   io.Closer
+	buf []byte
+}
+
+// NewJSONLWriter wraps w. If w is also an io.Closer, Close closes it.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	j := &JSONLWriter{w: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		j.c = c
+	}
+	return j
+}
+
+// Emit implements Tracer.
+func (j *JSONLWriter) Emit(e Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	b := j.buf[:0]
+	b = append(b, `{"ph":"`...)
+	b = append(b, e.Kind.String()...)
+	b = append(b, `","name":`...)
+	b = appendJSONString(b, e.Name)
+	b = append(b, `,"cat":`...)
+	b = appendJSONString(b, e.Cat)
+	b = append(b, `,"wall_ns":`...)
+	b = strconv.AppendInt(b, e.WallNs, 10)
+	b = append(b, `,"args":`...)
+	b = appendArgsJSON(b, e.SimNs, e.Args)
+	b = append(b, '}', '\n')
+	j.buf = b
+	j.w.Write(b)
+}
+
+// Close flushes buffered events and closes the underlying writer when it is
+// closable.
+func (j *JSONLWriter) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	err := j.w.Flush()
+	if j.c != nil {
+		if cerr := j.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

@@ -24,8 +24,10 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"ppaassembler/internal/pregel"
+	"ppaassembler/internal/telemetry"
 )
 
 // Artifact names a typed value flowing between operations (reads, the
@@ -91,7 +93,17 @@ type Env struct {
 	// installs a fresh one when nil.
 	Clock *pregel.SimClock
 
-	prefix string // current op's deterministic job-key prefix
+	// Tracer, when non-nil, receives telemetry spans from every op and
+	// every engine/MapReduce job the ops start: Plan.Run brackets the plan
+	// and each op with spans, and Config/MRConfig thread the tracer down
+	// to the engine. Ops may install or wrap it mid-plan (core.TraceOp is
+	// how the `trace:` spec op turns tracing on for the rest of a plan).
+	Tracer telemetry.Tracer
+	// Metrics, when non-nil, collects engine and workflow counters.
+	Metrics *telemetry.Registry
+
+	prefix  string         // current op's deterministic job-key prefix
+	closers []func() error // sinks to flush/close when the plan finishes
 }
 
 // normalize fills the cross-job state exactly once per run.
@@ -122,6 +134,7 @@ func (e *Env) Config() pregel.Config {
 		CheckpointEvery: e.CheckpointEvery, Checkpointer: e.Checkpointer,
 		Faults: e.Faults, Resume: e.Resume,
 		JobPrefix: e.prefix,
+		Tracer:    e.Tracer, Metrics: e.Metrics,
 	}
 }
 
@@ -133,7 +146,10 @@ func (e *Env) Config() pregel.Config {
 // build); generic ops keep hashed grouping so their reducer assignment
 // stays placement-invariant.
 func (e *Env) MRConfig() pregel.MRConfig {
-	return pregel.MRConfig{Workers: e.Workers, Parallel: e.Parallel, Faults: e.Faults}
+	return pregel.MRConfig{
+		Workers: e.Workers, Parallel: e.Parallel, Faults: e.Faults,
+		Name: strings.TrimSuffix(e.prefix, "."), Tracer: e.Tracer, Metrics: e.Metrics,
+	}
 }
 
 // JobPrefix is the deterministic job-key prefix of the op being run
@@ -142,6 +158,25 @@ func (e *Env) MRConfig() pregel.MRConfig {
 // start, so checkpoint keys are stable and self-describing for any
 // composition, and a re-executed plan re-reserves identical keys on Resume.
 func (e *Env) JobPrefix() string { return e.prefix }
+
+// AddCloser registers fn to run when the enclosing Plan.Run finishes,
+// success or failure — how trace/metrics sinks opened mid-plan (by
+// core.TraceOp) get flushed exactly once. Closers run in registration
+// order after the last op; their first error surfaces only when the plan
+// itself succeeded.
+func (e *Env) AddCloser(fn func() error) { e.closers = append(e.closers, fn) }
+
+// runClosers drains the registered closers, returning the first error.
+func (e *Env) runClosers() error {
+	var first error
+	for _, fn := range e.closers {
+		if err := fn(); err != nil && first == nil {
+			first = err
+		}
+	}
+	e.closers = nil
+	return first
+}
 
 // Plan is an ordered composition of ops plus the artifact-flow validation
 // state. Build one with NewPlan, chain ops with Then (validation errors
@@ -221,7 +256,7 @@ func (p *Plan[S]) Provides(a Artifact) bool { return p.err == nil && p.live[a] }
 // runs every op in order with a deterministic job-key prefix derived from
 // the op's plan position, so arbitrary compositions checkpoint and resume
 // exactly like the canned pipelines.
-func (p *Plan[S]) Run(env *Env, st *S) error {
+func (p *Plan[S]) Run(env *Env, st *S) (err error) {
 	if p.err != nil {
 		return p.err
 	}
@@ -231,10 +266,55 @@ func (p *Plan[S]) Run(env *Env, st *S) error {
 	if err := env.normalize(); err != nil {
 		return err
 	}
+	// Sinks registered by ops (TraceOp) must flush even when a later op
+	// fails — a truncated trace of a failed run is exactly when one wants
+	// to look at it.
+	defer func() {
+		if cerr := env.runClosers(); err == nil {
+			err = cerr
+		}
+	}()
+	if env.Tracer != nil {
+		env.Tracer.Emit(telemetry.Event{
+			Kind: telemetry.KindBegin, Name: "plan", Cat: "workflow",
+			WallNs: time.Now().UnixNano(), SimNs: env.Clock.Ns(),
+			Args: []telemetry.Arg{telemetry.I("ops", int64(len(p.ops)))},
+		})
+		defer func() {
+			env.Tracer.Emit(telemetry.Event{
+				Kind: telemetry.KindEnd, Name: "plan", Cat: "workflow",
+				WallNs: time.Now().UnixNano(), SimNs: env.Clock.Ns(),
+			})
+		}()
+	}
 	for i, op := range p.ops {
-		env.prefix = fmt.Sprintf("s%02d.%s.", i, sanitizeName(op.Info().Name))
-		if err := op.Run(env, st); err != nil {
-			return fmt.Errorf("workflow: op %d (%s): %w", i, op.Info().Name, err)
+		name := op.Info().Name
+		env.prefix = fmt.Sprintf("s%02d.%s.", i, sanitizeName(name))
+		// Checked per op, not once: an op may install the tracer mid-plan.
+		// The End goes to the tracer that saw the Begin — an op that
+		// installs a sink (TraceOp) must not open that sink's stream with
+		// its own unbalanced End span.
+		tr := env.Tracer
+		if tr != nil {
+			tr.Emit(telemetry.Event{
+				Kind: telemetry.KindBegin, Name: "op", Cat: "workflow",
+				WallNs: time.Now().UnixNano(), SimNs: env.Clock.Ns(),
+				Args: []telemetry.Arg{telemetry.S("op", name), telemetry.I("index", int64(i))},
+			})
+		}
+		opErr := op.Run(env, st)
+		if tr != nil {
+			tr.Emit(telemetry.Event{
+				Kind: telemetry.KindEnd, Name: "op", Cat: "workflow",
+				WallNs: time.Now().UnixNano(), SimNs: env.Clock.Ns(),
+				Args: []telemetry.Arg{telemetry.S("op", name)},
+			})
+		}
+		if env.Metrics != nil {
+			env.Metrics.Counter("workflow_ops_total").Add(1)
+		}
+		if opErr != nil {
+			return fmt.Errorf("workflow: op %d (%s): %w", i, name, opErr)
 		}
 	}
 	env.prefix = ""
