@@ -2,6 +2,7 @@ package bench
 
 import (
 	"encoding/json"
+	"fmt"
 	"math"
 	"os"
 	"runtime"
@@ -30,9 +31,9 @@ const (
 // shuffleBenchmark returns a benchmark function running the canonical
 // shuffle workload in the given mode and accumulating total messages plus
 // their local/remote tier split.
-func shuffleBenchmark(parallel bool, msgs, local, remote *int64) func(b *testing.B) {
+func shuffleBenchmark(parallel, overlap bool, msgs, local, remote *int64) func(b *testing.B) {
 	return func(b *testing.B) {
-		g := pregel.NewGraph[int64, int64](pregel.Config{Workers: shuffleWorkers, Parallel: parallel})
+		g := pregel.NewGraph[int64, int64](pregel.Config{Workers: shuffleWorkers, Parallel: parallel, Overlap: overlap})
 		for i := 0; i < shuffleVertices; i++ {
 			g.AddVertex(pregel.VertexID(i), 0)
 		}
@@ -89,10 +90,22 @@ type benchArtifact struct {
 	} `json:"workload"`
 	Sequential shuffleResult `json:"sequential"`
 	Parallel   shuffleResult `json:"parallel"`
+	// ParallelOverlap is the parallel workload with compute/delivery
+	// overlap on (-overlap): same traffic and output, barrier tax removed.
+	ParallelOverlap shuffleResult `json:"parallel_overlap"`
 	// ParallelSpeedup is sequential ns/op divided by parallel ns/op; > 1
 	// means goroutine-per-worker execution wins on this host. Expect < 1 on
 	// single-core runners and > 1 from 4 cores up.
 	ParallelSpeedup float64 `json:"parallel_speedup"`
+	// OverlapSpeedup is barriered-parallel ns/op divided by overlapped
+	// ns/op: the measured barrier tax on this host.
+	OverlapSpeedup float64 `json:"overlap_speedup"`
+	// ParallelSpeedupValid gates interpretation of the two speedups: a run
+	// with GOMAXPROCS < 2 executes "parallel" goroutines on one thread, so
+	// the ratios measure scheduler overhead, not parallelism.
+	// ParallelSpeedupNote carries the human-readable caveat.
+	ParallelSpeedupValid bool   `json:"parallel_speedup_valid"`
+	ParallelSpeedupNote  string `json:"parallel_speedup_note,omitempty"`
 
 	// Partitioners benchmarks the engine shuffle on a neighbor-exchange
 	// (ring) workload under each placement strategy: same traffic, only
@@ -109,6 +122,10 @@ type benchArtifact struct {
 	// supersteps against the in-memory store and records the checkpoint
 	// traffic — the deterministic I/O cost of the fault-tolerance cadence.
 	CheckpointIO checkpointIO `json:"checkpoint_io"`
+	// CheckpointThroughput measures the v2 binary checkpoint codec against
+	// the v1 gob baseline on a synthetic worker partition: encode/decode
+	// MB/s and speedups, plus the delta-checkpoint size ratio.
+	CheckpointThroughput pregel.CheckpointCodecStats `json:"checkpoint_throughput"`
 }
 
 // checkpointIO is the checkpoint-traffic section of the artifact.
@@ -145,9 +162,9 @@ type pipelinePartitioner struct {
 }
 
 // runShuffleMode measures one mode with testing.Benchmark.
-func runShuffleMode(parallel bool) shuffleResult {
+func runShuffleMode(parallel, overlap bool) shuffleResult {
 	var msgs, local, remote int64
-	r := testing.Benchmark(shuffleBenchmark(parallel, &msgs, &local, &remote))
+	r := testing.Benchmark(shuffleBenchmark(parallel, overlap, &msgs, &local, &remote))
 	n := int64(r.N)
 	if n == 0 {
 		n = 1
@@ -339,10 +356,20 @@ func TestEmitPregelBenchArtifact(t *testing.T) {
 	a.Workload.Fanout = shuffleFanout
 	a.Workload.Supersteps = shuffleSupersteps
 	a.Workload.Workers = shuffleWorkers
-	a.Sequential = runShuffleMode(false)
-	a.Parallel = runShuffleMode(true)
+	a.Sequential = runShuffleMode(false, false)
+	a.Parallel = runShuffleMode(true, false)
+	a.ParallelOverlap = runShuffleMode(true, true)
 	if a.Parallel.NsPerOp > 0 {
 		a.ParallelSpeedup = float64(a.Sequential.NsPerOp) / float64(a.Parallel.NsPerOp)
+	}
+	if a.ParallelOverlap.NsPerOp > 0 {
+		a.OverlapSpeedup = float64(a.Parallel.NsPerOp) / float64(a.ParallelOverlap.NsPerOp)
+	}
+	a.ParallelSpeedupValid = a.GoMaxProcs >= 2
+	if !a.ParallelSpeedupValid {
+		a.ParallelSpeedupNote = fmt.Sprintf(
+			"measured with GOMAXPROCS=%d on %d CPU(s): parallel and overlap speedups reflect goroutine scheduling overhead, not parallel execution, and must not be read as engine regressions",
+			a.GoMaxProcs, a.NumCPU)
 	}
 	for _, p := range []struct {
 		name string
@@ -358,6 +385,11 @@ func TestEmitPregelBenchArtifact(t *testing.T) {
 	}
 	a.Pipeline = runPipelineRows(t)
 	a.CheckpointIO = runCheckpointIO(t)
+	ct, err := pregel.MeasureCheckpointCodec(50_000, 2, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.CheckpointThroughput = ct
 	out, err := json.MarshalIndent(a, "", "  ")
 	if err != nil {
 		t.Fatal(err)
@@ -379,8 +411,20 @@ func TestEmitPregelBenchArtifact(t *testing.T) {
 	if a.Sequential.AllocsPerOp > 240_000 {
 		t.Errorf("sequential shuffle allocs/op = %d, want <= 240000 (arena regression)", a.Sequential.AllocsPerOp)
 	}
-	if a.NumCPU >= 4 && a.ParallelSpeedup < 0.9 {
-		t.Errorf("parallel shuffle much slower than sequential on %d cores (speedup %.2fx)", a.NumCPU, a.ParallelSpeedup)
+	// The speedup gates only bind when the measurement is valid (the
+	// committed artifact from a GOMAXPROCS=1 runner recorded a meaningless
+	// ratio; the validity flag exists so that can never recur silently).
+	if a.ParallelSpeedupValid && a.GoMaxProcs >= 4 && a.ParallelSpeedup <= 1.0 {
+		t.Errorf("parallel shuffle not faster than sequential with GOMAXPROCS=%d (speedup %.2fx)", a.GoMaxProcs, a.ParallelSpeedup)
+	}
+	if !a.ParallelSpeedupValid {
+		t.Logf("NOTE: %s", a.ParallelSpeedupNote)
+	}
+	// Overlap must never change the traffic (determinism contract holds in
+	// every mode; only the wall-clock barrier cost may move).
+	if a.ParallelOverlap.LocalMsgs != a.Parallel.LocalMsgs || a.ParallelOverlap.RemoteMsgs != a.Parallel.RemoteMsgs {
+		t.Errorf("overlap changed shuffle traffic: %d/%d local/remote, barriered %d/%d",
+			a.ParallelOverlap.LocalMsgs, a.ParallelOverlap.RemoteMsgs, a.Parallel.LocalMsgs, a.Parallel.RemoteMsgs)
 	}
 
 	// Locality gates — all deterministic, so they hold on any hardware: on
@@ -423,5 +467,26 @@ func TestEmitPregelBenchArtifact(t *testing.T) {
 	}
 	if a.CheckpointIO.Restores != 0 {
 		t.Errorf("fault-free run restored %d checkpoints", a.CheckpointIO.Restores)
+	}
+
+	// Codec gates: the v2 binary codec must beat the gob baseline on both
+	// encode and decode time per snapshot (the margin is large — ~2x on
+	// encode — so >1.0 holds even on noisy shared runners), and a 5%-dirty
+	// delta must be a small fraction of a full snapshot.
+	t.Logf("checkpoint codec: binary %.0f/%.0f MB/s enc/dec, gob %.0f/%.0f MB/s, speedup %.2fx/%.2fx, delta ratio %.3f",
+		ct.BinEncodeMBps, ct.BinDecodeMBps, ct.GobEncodeMBps, ct.GobDecodeMBps,
+		ct.EncodeSpeedup, ct.DecodeSpeedup, ct.DeltaRatio)
+	if ct.EncodeSpeedup <= 1.0 {
+		t.Errorf("binary checkpoint encode not faster than gob (%.2fx)", ct.EncodeSpeedup)
+	}
+	if ct.DecodeSpeedup <= 1.0 {
+		t.Errorf("binary checkpoint decode not faster than gob (%.2fx)", ct.DecodeSpeedup)
+	}
+	if ct.DeltaRatio >= 0.5 {
+		t.Errorf("delta checkpoint at %.0f%% dirty is %.2fx the full snapshot; expected well under half",
+			100*ct.DirtyFraction, ct.DeltaRatio)
+	}
+	if ct.FullBytes >= ct.GobBytes {
+		t.Errorf("binary full snapshot (%d bytes) not smaller than gob (%d bytes)", ct.FullBytes, ct.GobBytes)
 	}
 }

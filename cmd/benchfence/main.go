@@ -1,0 +1,266 @@
+// Command benchfence compares a freshly emitted BENCH_pregel.json against
+// the committed baseline and fails (exit 1) on regressions, in the spirit of
+// benchstat but specialised to this repo's artifact schema.
+//
+//	go run ./cmd/benchfence -baseline BENCH_pregel.json -current BENCH_pregel.new.json -threshold 0.25
+//
+// Three classes of checks:
+//
+//   - Host-independent metrics are always compared: allocations per op,
+//     checkpoint-codec sizes and the delta ratio, pipeline remote-message
+//     fractions, and invariants that must hold on any machine (overlap
+//     leaves traffic untouched, the binary codec beats gob, a fault-free
+//     run restores nothing).
+//   - Time-based metrics (ns/op, msgs/s) are compared only when baseline
+//     and current were measured on a comparable host (same num_cpu and
+//     go_max_procs); otherwise they are reported as skipped.
+//   - The parallel-speedup gate binds only when the current artifact's
+//     parallel_speedup_valid flag is set and GOMAXPROCS >= 4 — a
+//     single-core runner cannot demonstrate parallel speedup, and its
+//     ratio measures scheduler overhead, not the engine.
+//
+// -threshold is the allowed fractional regression for ratio comparisons
+// (0.25 = current may be up to 25% worse than baseline).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// The structs below mirror the subset of the BENCH_pregel.json schema the
+// fence reads (the emitter lives in bench_pregel_test.go at the repo root).
+// Unknown fields are ignored, so the artifact can grow without breaking
+// older fences.
+
+type shuffleRow struct {
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	MsgsPerSec  float64 `json:"msgs_per_sec"`
+	LocalMsgs   int64   `json:"local_msgs"`
+	RemoteMsgs  int64   `json:"remote_msgs"`
+}
+
+type codecStats struct {
+	FullBytes     int     `json:"full_bytes"`
+	GobBytes      int     `json:"gob_bytes"`
+	DeltaBytes    int     `json:"delta_bytes"`
+	DeltaRatio    float64 `json:"delta_ratio"`
+	EncodeSpeedup float64 `json:"encode_speedup"`
+	DecodeSpeedup float64 `json:"decode_speedup"`
+}
+
+type pipelineRow struct {
+	Name           string  `json:"name"`
+	RemoteFraction float64 `json:"remote_fraction"`
+	NetSimSeconds  float64 `json:"net_sim_seconds"`
+}
+
+type checkpointIO struct {
+	Saves        int64 `json:"saves"`
+	Restores     int64 `json:"restores"`
+	BytesWritten int64 `json:"bytes_written"`
+}
+
+type artifact struct {
+	NumCPU               int           `json:"num_cpu"`
+	GoMaxProcs           int           `json:"go_max_procs"`
+	Sequential           shuffleRow    `json:"sequential"`
+	Parallel             shuffleRow    `json:"parallel"`
+	ParallelOverlap      shuffleRow    `json:"parallel_overlap"`
+	ParallelSpeedup      float64       `json:"parallel_speedup"`
+	OverlapSpeedup       float64       `json:"overlap_speedup"`
+	ParallelSpeedupValid bool          `json:"parallel_speedup_valid"`
+	Pipeline             []pipelineRow `json:"pipeline_partitioners"`
+	CheckpointIO         checkpointIO  `json:"checkpoint_io"`
+	CheckpointThroughput codecStats    `json:"checkpoint_throughput"`
+}
+
+// report accumulates regressions (fail the fence) and notes (informational:
+// skipped comparisons, measured ratios).
+type report struct {
+	regressions []string
+	notes       []string
+}
+
+func (r *report) failf(format string, args ...any) {
+	r.regressions = append(r.regressions, fmt.Sprintf(format, args...))
+}
+
+func (r *report) notef(format string, args ...any) {
+	r.notes = append(r.notes, fmt.Sprintf(format, args...))
+}
+
+// worseRatio reports by how much current exceeds baseline, as a fraction
+// (0.10 = 10% worse). Non-positive baselines compare as "not worse".
+func worseRatio(baseline, current float64) float64 {
+	if baseline <= 0 {
+		return 0
+	}
+	return current/baseline - 1
+}
+
+// checkGrowth flags current > baseline*(1+threshold) for a
+// smaller-is-better metric.
+func checkGrowth(r *report, name string, baseline, current, threshold float64) {
+	if w := worseRatio(baseline, current); w > threshold {
+		r.failf("%s regressed %.1f%% (baseline %.4g, current %.4g, threshold %.0f%%)",
+			name, 100*w, baseline, current, 100*threshold)
+	}
+}
+
+// compare runs every fence check and returns the verdict.
+func compare(baseline, current artifact, threshold float64) report {
+	var r report
+
+	// --- Host-independent: allocation counts on the shuffle workload. ---
+	for _, m := range []struct {
+		name      string
+		base, cur shuffleRow
+	}{
+		{"sequential", baseline.Sequential, current.Sequential},
+		{"parallel", baseline.Parallel, current.Parallel},
+		{"parallel_overlap", baseline.ParallelOverlap, current.ParallelOverlap},
+	} {
+		checkGrowth(&r, m.name+" allocs/op", float64(m.base.AllocsPerOp), float64(m.cur.AllocsPerOp), threshold)
+		checkGrowth(&r, m.name+" bytes/op", float64(m.base.BytesPerOp), float64(m.cur.BytesPerOp), threshold)
+	}
+
+	// --- Host-independent invariant: overlap must not change traffic. ---
+	if current.ParallelOverlap.LocalMsgs != current.Parallel.LocalMsgs ||
+		current.ParallelOverlap.RemoteMsgs != current.Parallel.RemoteMsgs {
+		r.failf("overlap changed shuffle traffic: overlapped %d/%d local/remote vs barriered %d/%d — determinism contract broken",
+			current.ParallelOverlap.LocalMsgs, current.ParallelOverlap.RemoteMsgs,
+			current.Parallel.LocalMsgs, current.Parallel.RemoteMsgs)
+	}
+
+	// --- Host-independent: checkpoint codec. Sizes are deterministic for
+	// the fixed synthetic workload; the speedups are host-noisy but their
+	// floor (beat gob at all) holds anywhere. ---
+	ct, bt := current.CheckpointThroughput, baseline.CheckpointThroughput
+	checkGrowth(&r, "checkpoint full_bytes", float64(bt.FullBytes), float64(ct.FullBytes), threshold)
+	checkGrowth(&r, "checkpoint delta_ratio", bt.DeltaRatio, ct.DeltaRatio, threshold)
+	if ct.EncodeSpeedup <= 1.0 {
+		r.failf("binary checkpoint encode not faster than gob (%.2fx)", ct.EncodeSpeedup)
+	}
+	if ct.DecodeSpeedup <= 1.0 {
+		r.failf("binary checkpoint decode not faster than gob (%.2fx)", ct.DecodeSpeedup)
+	}
+	if ct.FullBytes >= ct.GobBytes {
+		r.failf("binary full snapshot (%d bytes) not smaller than gob (%d bytes)", ct.FullBytes, ct.GobBytes)
+	}
+
+	// --- Host-independent: checkpoint I/O of the fault-free pipeline. ---
+	if current.CheckpointIO.Saves == 0 || current.CheckpointIO.BytesWritten == 0 {
+		r.failf("checkpoint_io section empty: saves=%d bytes=%d",
+			current.CheckpointIO.Saves, current.CheckpointIO.BytesWritten)
+	}
+	if current.CheckpointIO.Restores != 0 {
+		r.failf("fault-free benchmark pipeline restored %d checkpoints", current.CheckpointIO.Restores)
+	}
+
+	// --- Host-independent: pipeline locality (remote fractions and the
+	// communication-bound simulated makespan are deterministic). ---
+	basePipe := map[string]pipelineRow{}
+	for _, row := range baseline.Pipeline {
+		basePipe[row.Name] = row
+	}
+	for _, row := range current.Pipeline {
+		b, ok := basePipe[row.Name]
+		if !ok {
+			r.notef("pipeline partitioner %q has no baseline row; skipping", row.Name)
+			continue
+		}
+		checkGrowth(&r, "pipeline "+row.Name+" remote_fraction", b.RemoteFraction, row.RemoteFraction, threshold)
+		checkGrowth(&r, "pipeline "+row.Name+" net_sim_seconds", b.NetSimSeconds, row.NetSimSeconds, threshold)
+	}
+
+	// --- Time-based metrics: only on a comparable host. ---
+	if baseline.NumCPU == current.NumCPU && baseline.GoMaxProcs == current.GoMaxProcs {
+		for _, m := range []struct {
+			name      string
+			base, cur shuffleRow
+		}{
+			{"sequential", baseline.Sequential, current.Sequential},
+			{"parallel", baseline.Parallel, current.Parallel},
+			{"parallel_overlap", baseline.ParallelOverlap, current.ParallelOverlap},
+		} {
+			checkGrowth(&r, m.name+" ns/op", float64(m.base.NsPerOp), float64(m.cur.NsPerOp), threshold)
+		}
+	} else {
+		r.notef("skipping ns/op comparison: baseline measured on %d CPU / GOMAXPROCS %d, current on %d / %d",
+			baseline.NumCPU, baseline.GoMaxProcs, current.NumCPU, current.GoMaxProcs)
+	}
+
+	// --- Parallel speedup: binds only when the measurement means
+	// something (see parallel_speedup_valid in the artifact schema). ---
+	if current.ParallelSpeedupValid && current.GoMaxProcs >= 4 {
+		if current.ParallelSpeedup <= 1.0 {
+			r.failf("parallel shuffle not faster than sequential with GOMAXPROCS=%d (speedup %.2fx)",
+				current.GoMaxProcs, current.ParallelSpeedup)
+		}
+		if current.OverlapSpeedup > 0 && current.OverlapSpeedup < 1-threshold {
+			r.failf("overlapped delivery slower than the barriered path beyond threshold (%.2fx)", current.OverlapSpeedup)
+		}
+	} else {
+		r.notef("skipping parallel-speedup gate: valid=%v, GOMAXPROCS=%d (need valid and >= 4); measured %.2fx parallel, %.2fx overlap",
+			current.ParallelSpeedupValid, current.GoMaxProcs, current.ParallelSpeedup, current.OverlapSpeedup)
+	}
+
+	return r
+}
+
+func load(path string) (artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return artifact{}, err
+	}
+	var a artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return artifact{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return a, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_pregel.json", "committed benchmark artifact to compare against")
+	currentPath := flag.String("current", "", "freshly emitted benchmark artifact (required)")
+	threshold := flag.Float64("threshold", 0.25, "allowed fractional regression for ratio comparisons (0.25 = 25%)")
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchfence: -current is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *threshold <= 0 {
+		fmt.Fprintln(os.Stderr, "benchfence: -threshold must be positive")
+		os.Exit(2)
+	}
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchfence: %v\n", err)
+		os.Exit(2)
+	}
+	current, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchfence: %v\n", err)
+		os.Exit(2)
+	}
+	rep := compare(baseline, current, *threshold)
+	for _, n := range rep.notes {
+		fmt.Printf("note: %s\n", n)
+	}
+	if len(rep.regressions) == 0 {
+		fmt.Printf("benchfence: OK — %s within %.0f%% of %s on all applicable metrics\n",
+			*currentPath, 100**threshold, *baselinePath)
+		return
+	}
+	for _, reg := range rep.regressions {
+		fmt.Fprintf(os.Stderr, "REGRESSION: %s\n", reg)
+	}
+	fmt.Fprintf(os.Stderr, "benchfence: %d regression(s) against %s\n", len(rep.regressions), *baselinePath)
+	os.Exit(1)
+}

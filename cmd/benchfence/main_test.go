@@ -1,0 +1,165 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// healthyArtifact is a baseline-shaped artifact with no regressions in it:
+// codec beats gob, overlap traffic matches barriered, pipeline rows present.
+func healthyArtifact() artifact {
+	a := artifact{
+		NumCPU:               4,
+		GoMaxProcs:           4,
+		ParallelSpeedup:      1.8,
+		OverlapSpeedup:       1.1,
+		ParallelSpeedupValid: true,
+	}
+	a.Sequential = shuffleRow{NsPerOp: 100_000, AllocsPerOp: 1000, BytesPerOp: 50_000, LocalMsgs: 240, RemoteMsgs: 720}
+	a.Parallel = shuffleRow{NsPerOp: 55_000, AllocsPerOp: 1100, BytesPerOp: 52_000, LocalMsgs: 240, RemoteMsgs: 720}
+	a.ParallelOverlap = shuffleRow{NsPerOp: 50_000, AllocsPerOp: 1150, BytesPerOp: 52_000, LocalMsgs: 240, RemoteMsgs: 720}
+	a.CheckpointIO = checkpointIO{Saves: 19, Restores: 0, BytesWritten: 1 << 20}
+	a.CheckpointThroughput = codecStats{
+		FullBytes: 900_000, GobBytes: 1_200_000, DeltaBytes: 40_000,
+		DeltaRatio: 0.04, EncodeSpeedup: 2.5, DecodeSpeedup: 1.2,
+	}
+	a.Pipeline = []pipelineRow{
+		{Name: "hash", RemoteFraction: 0.74, NetSimSeconds: 2.0},
+		{Name: "minimizer", RemoteFraction: 0.40, NetSimSeconds: 1.2},
+	}
+	return a
+}
+
+func wantClean(t *testing.T, r report) {
+	t.Helper()
+	if len(r.regressions) != 0 {
+		t.Fatalf("expected clean fence, got regressions: %v", r.regressions)
+	}
+}
+
+func wantRegression(t *testing.T, r report, substr string) {
+	t.Helper()
+	for _, reg := range r.regressions {
+		if strings.Contains(reg, substr) {
+			return
+		}
+	}
+	t.Fatalf("expected a regression mentioning %q, got: %v", substr, r.regressions)
+}
+
+func wantNote(t *testing.T, r report, substr string) {
+	t.Helper()
+	for _, n := range r.notes {
+		if strings.Contains(n, substr) {
+			return
+		}
+	}
+	t.Fatalf("expected a note mentioning %q, got: %v", substr, r.notes)
+}
+
+func TestIdenticalArtifactsPass(t *testing.T) {
+	a := healthyArtifact()
+	wantClean(t, compare(a, a, 0.25))
+}
+
+func TestSmallDriftWithinThresholdPasses(t *testing.T) {
+	base := healthyArtifact()
+	cur := healthyArtifact()
+	cur.Sequential.NsPerOp = base.Sequential.NsPerOp * 110 / 100 // +10% < 25%
+	cur.Sequential.AllocsPerOp = base.Sequential.AllocsPerOp * 105 / 100
+	wantClean(t, compare(base, cur, 0.25))
+}
+
+func TestAllocRegressionCaughtRegardlessOfHost(t *testing.T) {
+	base := healthyArtifact()
+	cur := healthyArtifact()
+	cur.NumCPU, cur.GoMaxProcs = 1, 1 // different host: time comparisons skipped...
+	cur.ParallelSpeedupValid = false
+	cur.Parallel.AllocsPerOp = base.Parallel.AllocsPerOp * 2 // ...but allocs are not
+	r := compare(base, cur, 0.25)
+	wantRegression(t, r, "parallel allocs/op")
+	wantNote(t, r, "skipping ns/op comparison")
+}
+
+func TestNsPerOpComparedOnlyOnMatchingHost(t *testing.T) {
+	base := healthyArtifact()
+	cur := healthyArtifact()
+	cur.Sequential.NsPerOp = base.Sequential.NsPerOp * 3 // way past threshold
+	wantRegression(t, compare(base, cur, 0.25), "sequential ns/op")
+
+	cur.GoMaxProcs = 8 // now hosts differ: same 3x slowdown must be skipped, not failed
+	cur.ParallelSpeedup = 2.5
+	r := compare(base, cur, 0.25)
+	for _, reg := range r.regressions {
+		if strings.Contains(reg, "ns/op") {
+			t.Fatalf("ns/op compared across mismatched hosts: %v", r.regressions)
+		}
+	}
+	wantNote(t, r, "skipping ns/op comparison")
+}
+
+func TestOverlapTrafficDivergenceFails(t *testing.T) {
+	base := healthyArtifact()
+	cur := healthyArtifact()
+	cur.ParallelOverlap.RemoteMsgs++ // overlap must never change traffic
+	wantRegression(t, compare(base, cur, 0.25), "determinism contract")
+}
+
+func TestCodecMustBeatGobAnywhere(t *testing.T) {
+	base := healthyArtifact()
+	cur := healthyArtifact()
+	cur.NumCPU, cur.GoMaxProcs = 1, 1 // even on a mismatched host
+	cur.ParallelSpeedupValid = false
+	cur.CheckpointThroughput.EncodeSpeedup = 0.9
+	wantRegression(t, compare(base, cur, 0.25), "encode not faster than gob")
+}
+
+func TestDeltaRatioGrowthFails(t *testing.T) {
+	base := healthyArtifact()
+	cur := healthyArtifact()
+	cur.CheckpointThroughput.DeltaRatio = base.CheckpointThroughput.DeltaRatio * 2
+	wantRegression(t, compare(base, cur, 0.25), "delta_ratio")
+}
+
+func TestPipelineLocalityRegressionFails(t *testing.T) {
+	base := healthyArtifact()
+	cur := healthyArtifact()
+	cur.Pipeline[1].RemoteFraction = 0.70 // minimizer locality collapses toward hash
+	wantRegression(t, compare(base, cur, 0.25), "minimizer remote_fraction")
+}
+
+func TestParallelSpeedupGateBindsOnlyWhenValid(t *testing.T) {
+	base := healthyArtifact()
+
+	cur := healthyArtifact()
+	cur.ParallelSpeedup = 0.8 // valid 4-core host claiming a slowdown: fail
+	wantRegression(t, compare(base, cur, 0.25), "not faster than sequential")
+
+	cur = healthyArtifact()
+	cur.NumCPU, cur.GoMaxProcs = 1, 1
+	cur.ParallelSpeedupValid = false
+	cur.ParallelSpeedup = 0.8 // single-core ratio is noise: note, not failure
+	r := compare(base, cur, 0.25)
+	for _, reg := range r.regressions {
+		if strings.Contains(reg, "not faster than sequential") {
+			t.Fatalf("speedup gate bound on an invalid measurement: %v", r.regressions)
+		}
+	}
+	wantNote(t, r, "skipping parallel-speedup gate")
+}
+
+func TestFaultFreeRestoreFails(t *testing.T) {
+	base := healthyArtifact()
+	cur := healthyArtifact()
+	cur.CheckpointIO.Restores = 2
+	wantRegression(t, compare(base, cur, 0.25), "restored")
+}
+
+func TestMissingBaselinePipelineRowIsNoted(t *testing.T) {
+	base := healthyArtifact()
+	base.Pipeline = base.Pipeline[:1] // baseline predates the minimizer row
+	cur := healthyArtifact()
+	r := compare(base, cur, 0.25)
+	wantClean(t, r)
+	wantNote(t, r, "no baseline row")
+}

@@ -55,8 +55,10 @@ type cliOpts struct {
 
 	checkpoint string
 	ckptEvery  int
+	ckptDelta  bool
 	faultPlan  string
 	resume     bool
+	overlap    bool
 
 	workflow string
 
@@ -78,6 +80,7 @@ func main() {
 	flag.IntVar(&o.editDist, "editdist", 5, "bubble edit-distance threshold")
 	flag.IntVar(&o.workers, "workers", 4, "logical Pregel workers")
 	flag.BoolVar(&o.parallel, "parallel", false, "run workers on goroutines (multi-core; output is identical to sequential mode)")
+	flag.BoolVar(&o.overlap, "overlap", false, "with -parallel, overlap message delivery with compute instead of a global barrier (output is identical either way)")
 	flag.StringVar(&o.partitioner, "partitioner", "hash", "vertex placement strategy: hash (scatter), range (contiguous k-mer ID spans), minimizer (co-locate DBG-adjacent k-mers) or affinity (re-place contigs next to their graph neighborhood); output is identical for all of them, only simulated network locality changes")
 	flag.StringVar(&o.labeler, "labeler", "lr", "contig labeling algorithm: lr or sv")
 	flag.IntVar(&o.rounds, "rounds", 2, "labeling+merging rounds (1 = no error correction)")
@@ -91,6 +94,7 @@ func main() {
 	flag.IntVar(&o.scafMinLen, "scafminlen", 500, "exclude shorter contigs from scaffold linking")
 	flag.StringVar(&o.checkpoint, "checkpoint", "", "checkpoint directory for fault tolerance (empty with -ckpt-every set = in-memory checkpoints)")
 	flag.IntVar(&o.ckptEvery, "ckpt-every", 0, "checkpoint every N supersteps (0 = no checkpointing; implied 5 when -checkpoint or -faultplan is set)")
+	flag.BoolVar(&o.ckptDelta, "ckpt-delta", false, "with checkpointing on, save incremental (dirty-vertex-only) checkpoints between full snapshots")
 	flag.StringVar(&o.faultPlan, "faultplan", "", "inject simulated worker crashes: comma-separated ROUND:WORKER pairs counted over all BSP rounds, e.g. \"12:0,57:3\"")
 	flag.BoolVar(&o.resume, "resume", false, "resume a killed run from the checkpoints in -checkpoint")
 	flag.StringVar(&o.workflow, "workflow", "", "compose the assembly as an explicit op workflow instead of the canned pipeline, e.g. \"build,label,merge,bubble,rebuild,link,tiptrim:minlen=40,label,merge,fasta\" (unset op parameters inherit the global flags)")
@@ -139,17 +143,19 @@ func runCanned(o cliOpts, obs *observability) error {
 		return fmt.Errorf("-gfa requires -rounds 2 (the graph is built during error correction)")
 	}
 	opt := core.Options{
-		K:              o.k,
-		Theta:          o.theta,
-		TipLen:         o.tip,
-		BubbleEditDist: o.editDist,
-		Workers:        o.workers,
-		Parallel:       o.parallel,
-		Rounds:         o.rounds,
-		KeepGraph:      o.gfa != "",
-		Resume:         o.resume,
-		Tracer:         obs.Tracer,
-		Metrics:        obs.Metrics,
+		K:                o.k,
+		Theta:            o.theta,
+		TipLen:           o.tip,
+		BubbleEditDist:   o.editDist,
+		Workers:          o.workers,
+		Parallel:         o.parallel,
+		Overlap:          o.overlap,
+		Rounds:           o.rounds,
+		KeepGraph:        o.gfa != "",
+		Resume:           o.resume,
+		DeltaCheckpoints: o.ckptDelta,
+		Tracer:           obs.Tracer,
+		Metrics:          obs.Metrics,
 	}
 	var err error
 	opt.CheckpointEvery, opt.Checkpointer, opt.Faults, err = faultTolerance(o)

@@ -114,10 +114,11 @@ func runWorkflow(o cliOpts, obs *observability) error {
 		}
 	}
 	env := &workflow.Env{
-		Workers: o.workers, Parallel: o.parallel,
+		Workers: o.workers, Parallel: o.parallel, Overlap: o.overlap,
 		Partitioner: part, MessageBytes: core.MsgWireBytes,
 		CheckpointEvery: every, Checkpointer: store,
-		Faults: faults, Resume: o.resume,
+		DeltaCheckpoints: o.ckptDelta,
+		Faults:           faults, Resume: o.resume,
 		Tracer: obs.Tracer, Metrics: obs.Metrics,
 	}
 

@@ -1,0 +1,161 @@
+// Checkpoint codec methods: VData and Msg opt into the Pregel engine's
+// binary checkpoint format (v2) by implementing pregel.CheckpointAppender /
+// pregel.CheckpointDecoder, so segment-graph jobs checkpoint without gob
+// and become eligible for delta checkpoints. Field order is the struct
+// order; vertex IDs are fixed 8-byte little-endian (canonical k-mer codes
+// and flipped IDs span the full 64-bit range, where varints buy nothing).
+
+package core
+
+import (
+	"fmt"
+
+	"ppaassembler/internal/dbg"
+	"ppaassembler/internal/pregel"
+)
+
+// AppendCheckpoint implements pregel.CheckpointAppender.
+func (v *VData) AppendCheckpoint(buf []byte) []byte {
+	buf = v.Node.AppendCheckpoint(buf)
+	buf = pregel.AppendUvarint(buf, uint64(len(v.NbrAmbig)))
+	for _, b := range v.NbrAmbig {
+		buf = pregel.AppendBool(buf, b)
+	}
+	buf = pregel.AppendBool(buf, v.Ambig)
+	for i := 0; i < 2; i++ {
+		buf = v.Sides[i].AppendCheckpoint(buf)
+		buf = pregel.AppendBool(buf, v.HasSide[i])
+		buf = pregel.AppendUint64(buf, uint64(v.P[i]))
+		buf = append(buf, v.PSide[i])
+		buf = pregel.AppendBool(buf, v.Done[i])
+	}
+	buf = pregel.AppendUint64(buf, uint64(v.Label))
+	buf = pregel.AppendBool(buf, v.Labeled)
+	buf = pregel.AppendBool(buf, v.Cycle)
+	buf = pregel.AppendVarint(buf, v.LastActive)
+	buf = pregel.AppendUint64(buf, uint64(v.D))
+	buf = pregel.AppendUint64(buf, uint64(v.DD))
+	return pregel.AppendBool(buf, v.TipProbed)
+}
+
+// DecodeCheckpoint implements pregel.CheckpointDecoder.
+func (v *VData) DecodeCheckpoint(data []byte) ([]byte, error) {
+	data, err := v.Node.DecodeCheckpoint(data)
+	if err != nil {
+		return nil, err
+	}
+	na, data, err := pregel.ConsumeUvarint(data)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(data)) < na {
+		return nil, fmt.Errorf("core: corrupt VData encoding: %d ambiguity flags in %d bytes", na, len(data))
+	}
+	v.NbrAmbig = nil
+	if na > 0 {
+		v.NbrAmbig = make([]bool, na)
+	}
+	for i := range v.NbrAmbig {
+		if v.NbrAmbig[i], data, err = pregel.ConsumeBool(data); err != nil {
+			return nil, err
+		}
+	}
+	if v.Ambig, data, err = pregel.ConsumeBool(data); err != nil {
+		return nil, err
+	}
+	for i := 0; i < 2; i++ {
+		if data, err = v.Sides[i].DecodeCheckpoint(data); err != nil {
+			return nil, err
+		}
+		if v.HasSide[i], data, err = pregel.ConsumeBool(data); err != nil {
+			return nil, err
+		}
+		var id uint64
+		if id, data, err = pregel.ConsumeUint64(data); err != nil {
+			return nil, err
+		}
+		v.P[i] = pregel.VertexID(id)
+		if len(data) < 1 {
+			return nil, fmt.Errorf("core: corrupt VData encoding: truncated side")
+		}
+		v.PSide[i], data = data[0], data[1:]
+		if v.Done[i], data, err = pregel.ConsumeBool(data); err != nil {
+			return nil, err
+		}
+	}
+	var id uint64
+	if id, data, err = pregel.ConsumeUint64(data); err != nil {
+		return nil, err
+	}
+	v.Label = pregel.VertexID(id)
+	if v.Labeled, data, err = pregel.ConsumeBool(data); err != nil {
+		return nil, err
+	}
+	if v.Cycle, data, err = pregel.ConsumeBool(data); err != nil {
+		return nil, err
+	}
+	if v.LastActive, data, err = pregel.ConsumeVarint(data); err != nil {
+		return nil, err
+	}
+	if id, data, err = pregel.ConsumeUint64(data); err != nil {
+		return nil, err
+	}
+	v.D = pregel.VertexID(id)
+	if id, data, err = pregel.ConsumeUint64(data); err != nil {
+		return nil, err
+	}
+	v.DD = pregel.VertexID(id)
+	if v.TipProbed, data, err = pregel.ConsumeBool(data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// AppendCheckpoint implements pregel.CheckpointAppender.
+func (m *Msg) AppendCheckpoint(buf []byte) []byte {
+	buf = append(buf, byte(m.Kind), m.Side, m.Side2, byte(m.P1), byte(m.P2))
+	buf = pregel.AppendBool(buf, m.Flag)
+	buf = pregel.AppendUint64(buf, uint64(m.From))
+	buf = pregel.AppendUint64(buf, uint64(m.Ptr))
+	buf = pregel.AppendVarint(buf, m.Len)
+	buf = pregel.AppendUvarint(buf, uint64(m.Cov))
+	return pregel.AppendVarint(buf, int64(m.NLen))
+}
+
+// DecodeCheckpoint implements pregel.CheckpointDecoder.
+func (m *Msg) DecodeCheckpoint(data []byte) ([]byte, error) {
+	if len(data) < 5 {
+		return nil, fmt.Errorf("core: corrupt Msg encoding: truncated header")
+	}
+	m.Kind = MsgKind(data[0])
+	m.Side, m.Side2 = data[1], data[2]
+	m.P1, m.P2 = dbg.Polarity(data[3]), dbg.Polarity(data[4])
+	data = data[5:]
+	var err error
+	if m.Flag, data, err = pregel.ConsumeBool(data); err != nil {
+		return nil, err
+	}
+	var id uint64
+	if id, data, err = pregel.ConsumeUint64(data); err != nil {
+		return nil, err
+	}
+	m.From = pregel.VertexID(id)
+	if id, data, err = pregel.ConsumeUint64(data); err != nil {
+		return nil, err
+	}
+	m.Ptr = pregel.VertexID(id)
+	if m.Len, data, err = pregel.ConsumeVarint(data); err != nil {
+		return nil, err
+	}
+	cov, data, err := pregel.ConsumeUvarint(data)
+	if err != nil {
+		return nil, err
+	}
+	m.Cov = uint32(cov)
+	nl, data, err := pregel.ConsumeVarint(data)
+	if err != nil {
+		return nil, err
+	}
+	m.NLen = int32(nl)
+	return data, nil
+}

@@ -13,11 +13,12 @@ import (
 // partitionerRun executes the full pipeline (assemble + scaffold) under one
 // named placement strategy and renders both FASTA outputs exactly as the
 // CLI does, so byte equality here is byte equality of shipped artifacts.
-func partitionerRun(t *testing.T, reads []string, pairs []scaffold.Pair, workers int, parallel bool, partitioner string) (contigFasta, scaffoldFasta []byte, res *Result, sres *scaffold.Result) {
+func partitionerRun(t *testing.T, reads []string, pairs []scaffold.Pair, workers int, parallel, overlap bool, partitioner string) (contigFasta, scaffoldFasta []byte, res *Result, sres *scaffold.Result) {
 	t.Helper()
 	opt := DefaultOptions(workers)
 	opt.K = 21
 	opt.Parallel = parallel
+	opt.Overlap = overlap
 	part, err := MakePartitioner(partitioner, opt.K)
 	if err != nil {
 		t.Fatal(err)
@@ -54,22 +55,30 @@ func partitionerRun(t *testing.T, reads []string, pairs []scaffold.Pair, workers
 // TestPipelinePartitionerByteIdentity is the placement-independence
 // contract at pipeline scale: the assemble+scaffold workload must produce
 // byte-identical contig and scaffold FASTA — and identical experiment
-// counters — under every partitioner, for workers in {1, 4, 7},
-// sequential and parallel alike. Placement may only move the local/remote
-// traffic split, and for multi-worker runs the minimizer partitioner must
-// actually move it: fewer remote messages than hash.
+// counters — under every partitioner, for workers in {1, 4, 7}, sequential,
+// parallel-barriered and parallel-overlapped alike. Placement and delivery
+// mode may only move the local/remote traffic split, and for multi-worker
+// runs the minimizer partitioner must actually move it: fewer remote
+// messages than hash.
 func TestPipelinePartitionerByteIdentity(t *testing.T) {
 	if testing.Short() {
 		t.Skip("pipeline partitioner matrix is slow")
 	}
 	reads, pairs := exampleGenomeReads(t)
+	modes := []struct{ parallel, overlap bool }{
+		{false, false}, {true, false}, {true, true},
+	}
 	for _, workers := range []int{1, 4, 7} {
-		cBase, sBase, resBase, sresBase := partitionerRun(t, reads, pairs, workers, false, "hash")
+		cBase, sBase, resBase, sresBase := partitionerRun(t, reads, pairs, workers, false, false, "hash")
 		baseTotal := resBase.LocalMessages + resBase.RemoteMessages
-		for _, partitioner := range []string{"range", "minimizer", "affinity"} {
-			for _, parallel := range []bool{false, true} {
-				label := fmt.Sprintf("workers=%d partitioner=%s parallel=%v", workers, partitioner, parallel)
-				c, s, res, sres := partitionerRun(t, reads, pairs, workers, parallel, partitioner)
+		for _, partitioner := range []string{"hash", "range", "minimizer", "affinity"} {
+			for _, mode := range modes {
+				if partitioner == "hash" && !mode.parallel {
+					continue // that run is the baseline itself
+				}
+				parallel, overlap := mode.parallel, mode.overlap
+				label := fmt.Sprintf("workers=%d partitioner=%s parallel=%v overlap=%v", workers, partitioner, parallel, overlap)
+				c, s, res, sres := partitionerRun(t, reads, pairs, workers, parallel, overlap, partitioner)
 				if !bytes.Equal(c, cBase) {
 					t.Errorf("%s: contig FASTA differs from hash", label)
 				}

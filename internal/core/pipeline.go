@@ -47,6 +47,10 @@ type Options struct {
 	// placement changes simulated network locality but never the
 	// assembler's output.
 	Partitioner pregel.Partitioner
+	// Overlap enables the engine's overlapped compute/delivery mode for
+	// every stage (see pregel.Config.Overlap); like Parallel and
+	// Partitioner, it never changes the assembler's output.
+	Overlap bool
 
 	// CheckpointEvery enables Pregel-style fault tolerance for every job
 	// of the pipeline: each run checkpoints its state every N supersteps
@@ -64,6 +68,10 @@ type Options struct {
 	// Checkpointer by a previous (killed) process; see
 	// pregel.Config.Resume.
 	Resume bool
+	// DeltaCheckpoints makes cadence checkpoints after the first snapshot
+	// only the vertices dirtied since the previous save (see
+	// pregel.Config.DeltaCheckpoints).
+	DeltaCheckpoints bool
 
 	// Tracer, when non-nil, receives telemetry spans from every workflow
 	// op and every engine/MapReduce job of the pipeline (see
@@ -176,10 +184,11 @@ type Result struct {
 // environment sharing the given clock (nil starts a fresh one on Run).
 func (o Options) Env(clock *pregel.SimClock) *workflow.Env {
 	return &workflow.Env{
-		Workers: o.Workers, Parallel: o.Parallel, Cost: o.Cost,
+		Workers: o.Workers, Parallel: o.Parallel, Overlap: o.Overlap, Cost: o.Cost,
 		Partitioner: o.Partitioner, MessageBytes: MsgWireBytes,
 		CheckpointEvery: o.CheckpointEvery, Checkpointer: o.Checkpointer,
-		Faults: o.Faults, Resume: o.Resume,
+		DeltaCheckpoints: o.DeltaCheckpoints,
+		Faults:           o.Faults, Resume: o.Resume,
 		Clock:  clock,
 		Tracer: o.Tracer, Metrics: o.Metrics,
 	}

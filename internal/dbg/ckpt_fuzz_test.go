@@ -1,0 +1,102 @@
+package dbg
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"ppaassembler/internal/dna"
+	"ppaassembler/internal/pregel"
+	"ppaassembler/internal/pregel/ckpttest"
+)
+
+// fuzzGen derives struct fields deterministically from raw fuzz input, so
+// the fuzzer's byte mutations explore the codec's value space.
+type fuzzGen struct {
+	data []byte
+	i    int
+}
+
+func (g *fuzzGen) b() byte {
+	if g.i >= len(g.data) {
+		return 0
+	}
+	v := g.data[g.i]
+	g.i++
+	return v
+}
+
+func (g *fuzzGen) flag() bool { return g.b()&1 == 1 }
+
+func (g *fuzzGen) u64() uint64 {
+	var raw [8]byte
+	for i := range raw {
+		raw[i] = g.b()
+	}
+	return binary.LittleEndian.Uint64(raw[:])
+}
+
+func (g *fuzzGen) u32() uint32 { return uint32(g.u64()) }
+
+func (g *fuzzGen) n(max int) int { return int(g.b()) % (max + 1) }
+
+func (g *fuzzGen) seq() dna.Seq {
+	s := dna.NewSeq(0)
+	for n := g.n(70); n > 0; n-- {
+		s = s.Append(dna.Base(g.b() & 3))
+	}
+	return s
+}
+
+func (g *fuzzGen) adj() Adj {
+	return Adj{
+		Nbr:    pregel.VertexID(g.u64()),
+		In:     g.flag(),
+		PSelf:  Polarity(g.b()),
+		PNbr:   Polarity(g.b()),
+		Cov:    g.u32(),
+		NbrLen: int32(g.u64()),
+	}
+}
+
+func (g *fuzzGen) node() Node {
+	n := Node{Kind: NodeKind(g.b()), Seq: g.seq(), Cov: g.u32()}
+	if na := g.n(4); na > 0 {
+		n.Adj = make([]Adj, na)
+		for i := range n.Adj {
+			n.Adj[i] = g.adj()
+		}
+	}
+	return n
+}
+
+func FuzzNodeCodecDifferential(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x03, 0x41, 0x42})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := &fuzzGen{data: data}
+		a := g.adj()
+		ckpttest.RoundTrip[Adj](t, &a)
+		n := g.node()
+		ckpttest.RoundTrip[Node](t, &n)
+		ckpttest.NoPanic[Adj](t, data)
+		ckpttest.NoPanic[Node](t, data)
+	})
+}
+
+func FuzzKmerVertexCodecDifferential(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x0f, 3, 200, 1, 0, 0x80, 0x80, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := &fuzzGen{data: data}
+		v := KmerVertex{Adj: Bitmap32(g.u32())}
+		if nc := g.n(8); nc > 0 {
+			v.Covs = make([]uint32, nc)
+			for i := range v.Covs {
+				v.Covs[i] = g.u32()
+			}
+		}
+		ckpttest.RoundTrip[KmerVertex](t, &v)
+		ckpttest.NoPanic[KmerVertex](t, data)
+	})
+}

@@ -1,0 +1,68 @@
+package ppa
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"ppaassembler/internal/pregel"
+	"ppaassembler/internal/pregel/ckpttest"
+)
+
+// fuzzGen derives struct fields deterministically from raw fuzz input.
+type fuzzGen struct {
+	data []byte
+	i    int
+}
+
+func (g *fuzzGen) b() byte {
+	if g.i >= len(g.data) {
+		return 0
+	}
+	v := g.data[g.i]
+	g.i++
+	return v
+}
+
+func (g *fuzzGen) u64() uint64 {
+	var raw [8]byte
+	for i := range raw {
+		raw[i] = g.b()
+	}
+	return binary.LittleEndian.Uint64(raw[:])
+}
+
+func (g *fuzzGen) id() pregel.VertexID { return pregel.VertexID(g.u64()) }
+
+func FuzzLRCodecDifferential(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := &fuzzGen{data: data}
+		v := LRVertex{Val: int64(g.u64()), Sum: int64(g.u64()), Pred: g.id()}
+		ckpttest.RoundTrip[LRVertex](t, &v)
+		m := LRMsg{From: g.id(), Sum: int64(g.u64()), Pred: g.id(), Resp: g.b()&1 == 1}
+		ckpttest.RoundTrip[LRMsg](t, &m)
+		ckpttest.NoPanic[LRVertex](t, data)
+		ckpttest.NoPanic[LRMsg](t, data)
+	})
+}
+
+func FuzzSVCodecDifferential(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff, 0x00, 0x11, 0x22, 0x33})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := &fuzzGen{data: data}
+		v := SVVertex{D: g.id(), DD: g.id()}
+		if nn := int(g.b()) % 6; nn > 0 {
+			v.Nbrs = make([]pregel.VertexID, nn)
+			for i := range v.Nbrs {
+				v.Nbrs[i] = g.id()
+			}
+		}
+		ckpttest.RoundTrip[SVVertex](t, &v)
+		m := SVMsg{Kind: svKind(g.b()), From: g.id(), ID: g.id()}
+		ckpttest.RoundTrip[SVMsg](t, &m)
+		ckpttest.NoPanic[SVVertex](t, data)
+		ckpttest.NoPanic[SVMsg](t, data)
+	})
+}

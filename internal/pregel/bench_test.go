@@ -58,13 +58,16 @@ func BenchmarkMessageThroughput(b *testing.B) {
 // throughput. cmd-level tooling (bench_pregel_test.go at the repo root)
 // re-runs this workload and emits BENCH_pregel.json.
 func BenchmarkShuffle(b *testing.B) {
-	for _, parallel := range []bool{false, true} {
-		name := "sequential"
-		if parallel {
-			name = "parallel"
-		}
-		b.Run(name, func(b *testing.B) {
-			st, msgs := runShuffleWorkload(b, parallel, 4)
+	for _, mode := range []struct {
+		name              string
+		parallel, overlap bool
+	}{
+		{"sequential", false, false},
+		{"parallel", true, false},
+		{"overlap", true, true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			st, msgs := runShuffleWorkload(b, mode.parallel, mode.overlap, 4)
 			_ = st
 			b.ReportMetric(float64(msgs)/b.Elapsed().Seconds(), "msgs/s")
 		})
@@ -73,14 +76,14 @@ func BenchmarkShuffle(b *testing.B) {
 
 // runShuffleWorkload runs the canonical shuffle benchmark job b.N times and
 // returns the last run's stats plus total messages across all runs.
-func runShuffleWorkload(b *testing.B, parallel bool, workers int) (*Stats, int64) {
+func runShuffleWorkload(b *testing.B, parallel, overlap bool, workers int) (*Stats, int64) {
 	b.Helper()
 	const (
 		n      = 20_000
 		fanout = 8
 		steps  = 6
 	)
-	g := NewGraph[int64, int64](Config{Workers: workers, Parallel: parallel})
+	g := NewGraph[int64, int64](Config{Workers: workers, Parallel: parallel, Overlap: overlap})
 	for i := 0; i < n; i++ {
 		g.AddVertex(VertexID(i), 0)
 	}
@@ -108,6 +111,74 @@ func runShuffleWorkload(b *testing.B, parallel bool, workers int) (*Stats, int64
 		msgs += st.Messages
 	}
 	return st, msgs
+}
+
+// BenchmarkCheckpointCodec measures full-snapshot encode/decode through
+// the v2 binary worker-section codec and the gob fallback, plus the delta
+// encoder, on the synthetic partition MeasureCheckpointCodec uses — the
+// engine-level counterpart of the checkpoint_throughput section in
+// BENCH_pregel.json.
+func BenchmarkCheckpointCodec(b *testing.B) {
+	const vertices, msgsPerVertex = 50_000, 2
+	w := benchWorker(vertices, msgsPerVertex)
+	binBlob, err := encodeWorkerFull(w, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gobBlob, err := encodeWorkerFull(w, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("section bytes: binary %d, gob %d", len(binBlob), len(gobBlob))
+
+	b.Run("encode-binary", func(b *testing.B) {
+		b.SetBytes(int64(len(binBlob)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := encodeWorkerFull(w, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("encode-gob", func(b *testing.B) {
+		b.SetBytes(int64(len(gobBlob)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := encodeWorkerFull(w, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decode-binary", func(b *testing.B) {
+		b.SetBytes(int64(len(binBlob)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := decodeWorkerSection[int64, int64](binBlob); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decode-gob", func(b *testing.B) {
+		b.SetBytes(int64(len(gobBlob)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := decodeWorkerSection[int64, int64](gobBlob); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("encode-delta", func(b *testing.B) {
+		w.dirty = make([]bool, vertices)
+		for i := 0; i < vertices; i += 20 {
+			w.dirty[i] = true
+		}
+		delta := encodeWorkerDelta(w)
+		b.SetBytes(int64(len(delta)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			encodeWorkerDelta(w)
+		}
+	})
 }
 
 // BenchmarkMapReduceShuffle measures the mini-MapReduce over 100k pairs.

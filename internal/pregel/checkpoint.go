@@ -1,8 +1,6 @@
 package pregel
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -37,6 +35,34 @@ type Checkpointer interface {
 	// Latest returns the most recent checkpoint saved for job, or ok=false
 	// when none exists.
 	Latest(job string) (step int, data []byte, ok bool, err error)
+}
+
+// DeltaCheckpointer is an optional Checkpointer extension for incremental
+// checkpoints (Config.DeltaCheckpoints): a delta records only the vertices
+// dirtied since the preceding save and is only restorable together with the
+// full snapshot it chains from. Stores that don't implement it silently get
+// full snapshots on every save. Both built-in stores implement it.
+type DeltaCheckpointer interface {
+	Checkpointer
+	// SaveDelta records an incremental checkpoint for job at step without
+	// superseding the preceding full checkpoint or earlier deltas. A later
+	// Save (full) supersedes the whole chain.
+	SaveDelta(job string, step int, data []byte) error
+	// Chain returns the newest full checkpoint plus every delta saved
+	// after it, in ascending step order; ok=false when no full checkpoint
+	// exists. Latest, by contrast, returns only the newest full snapshot
+	// (the newest blob restorable on its own).
+	Chain(job string) (steps []int, blobs [][]byte, ok bool, err error)
+}
+
+// legacyProber is an optional store hook used by Resume to tell "no
+// previous process ran" apart from "a pre-workflow binary left checkpoints
+// under the legacy key format": findLegacyJob reports a stored artifact
+// whose key starts with the bare (unprefixed) job base — the `name@seq`
+// format used before per-op plan prefixes — so the engine can fail loudly
+// instead of silently recomputing from scratch.
+type legacyProber interface {
+	findLegacyJob(base string) (string, bool)
 }
 
 // jobTracker is the engine-side guard against checkpoint-key collisions: a
@@ -74,9 +100,10 @@ func (s *jobSet) trackJob(job string) error {
 // within one process.
 type MemCheckpointer struct {
 	jobSet
-	mu   sync.Mutex
-	seq  int
-	data map[string]memCkpt
+	mu     sync.Mutex
+	seq    int
+	data   map[string]memCkpt
+	deltas map[string][]memCkpt
 }
 
 type memCkpt struct {
@@ -86,7 +113,7 @@ type memCkpt struct {
 
 // NewMemCheckpointer returns an empty in-memory store.
 func NewMemCheckpointer() *MemCheckpointer {
-	return &MemCheckpointer{data: map[string]memCkpt{}}
+	return &MemCheckpointer{data: map[string]memCkpt{}, deltas: map[string][]memCkpt{}}
 }
 
 // NextJob implements Checkpointer.
@@ -98,16 +125,33 @@ func (m *MemCheckpointer) NextJob(name string) string {
 	return job
 }
 
-// Save implements Checkpointer.
+// Save implements Checkpointer. A full save supersedes the job's previous
+// snapshot and any delta chain hanging off it.
 func (m *MemCheckpointer) Save(job string, step int, data []byte) error {
 	blob := append([]byte(nil), data...)
 	m.mu.Lock()
 	m.data[job] = memCkpt{step: step, blob: blob}
+	if m.deltas != nil {
+		delete(m.deltas, job)
+	}
 	m.mu.Unlock()
 	return nil
 }
 
-// Latest implements Checkpointer.
+// SaveDelta implements DeltaCheckpointer.
+func (m *MemCheckpointer) SaveDelta(job string, step int, data []byte) error {
+	blob := append([]byte(nil), data...)
+	m.mu.Lock()
+	if m.deltas == nil {
+		m.deltas = map[string][]memCkpt{}
+	}
+	m.deltas[job] = append(m.deltas[job], memCkpt{step: step, blob: blob})
+	m.mu.Unlock()
+	return nil
+}
+
+// Latest implements Checkpointer: the newest blob restorable on its own,
+// i.e. the newest full snapshot.
 func (m *MemCheckpointer) Latest(job string) (int, []byte, bool, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -116,6 +160,25 @@ func (m *MemCheckpointer) Latest(job string) (int, []byte, bool, error) {
 		return 0, nil, false, nil
 	}
 	return c.step, c.blob, true, nil
+}
+
+// Chain implements DeltaCheckpointer.
+func (m *MemCheckpointer) Chain(job string) ([]int, [][]byte, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.data[job]
+	if !ok {
+		return nil, nil, false, nil
+	}
+	steps := []int{c.step}
+	blobs := [][]byte{c.blob}
+	for _, d := range m.deltas[job] {
+		if d.step > c.step {
+			steps = append(steps, d.step)
+			blobs = append(blobs, d.blob)
+		}
+	}
+	return steps, blobs, true, nil
 }
 
 // DirCheckpointer persists checkpoints as files under one directory
@@ -129,7 +192,11 @@ type DirCheckpointer struct {
 	dir  string
 	mu   sync.Mutex
 	seq  int
-	last map[string]int // step of the newest file written per job this process
+	last map[string]int // step of the newest full file written per job this process
+	// deltasOf tracks the delta steps written since the last full save per
+	// job this process, so a full save can delete the superseded chain
+	// without a directory scan.
+	deltasOf map[string][]int
 }
 
 // NewDirCheckpointer creates (if needed) and opens a checkpoint directory.
@@ -137,7 +204,7 @@ func NewDirCheckpointer(dir string) (*DirCheckpointer, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("pregel: checkpoint dir: %w", err)
 	}
-	return &DirCheckpointer{dir: dir, last: map[string]int{}}, nil
+	return &DirCheckpointer{dir: dir, last: map[string]int{}, deltasOf: map[string][]int{}}, nil
 }
 
 // NextJob implements Checkpointer. The sequence restarts at zero in every
@@ -155,11 +222,14 @@ func (d *DirCheckpointer) path(job string, step int) string {
 	return filepath.Join(d.dir, fmt.Sprintf("%s.%08d.ckpt", job, step))
 }
 
-// Save implements Checkpointer.
-func (d *DirCheckpointer) Save(job string, step int, data []byte) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	final := d.path(job, step)
+// dpath is the delta-checkpoint file name: same shape as path with a
+// .dckpt extension, so full and incremental files sort and scan together
+// but never collide.
+func (d *DirCheckpointer) dpath(job string, step int) string {
+	return filepath.Join(d.dir, fmt.Sprintf("%s.%08d.dckpt", job, step))
+}
+
+func (d *DirCheckpointer) write(final string, data []byte) error {
 	tmp := final + ".tmp"
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		return fmt.Errorf("pregel: writing checkpoint: %w", err)
@@ -167,16 +237,30 @@ func (d *DirCheckpointer) Save(job string, step int, data []byte) error {
 	if err := os.Rename(tmp, final); err != nil {
 		return fmt.Errorf("pregel: committing checkpoint: %w", err)
 	}
-	// Drop superseded checkpoints of the same job. After the first save of
-	// a job the newest step is tracked in memory, so only that first save
-	// (which may find files a previous process left behind) pays for a
-	// directory scan.
+	return nil
+}
+
+// Save implements Checkpointer.
+func (d *DirCheckpointer) Save(job string, step int, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.write(d.path(job, step), data); err != nil {
+		return err
+	}
+	// Drop superseded checkpoints of the same job — the previous full file
+	// and any delta chain hanging off it. After the first save of a job
+	// the newest step is tracked in memory, so only that first save (which
+	// may find files a previous process left behind) pays for a directory
+	// scan.
 	if prev, ok := d.last[job]; ok {
 		if prev != step {
 			os.Remove(d.path(job, prev))
 		}
+		for _, s := range d.deltasOf[job] {
+			os.Remove(d.dpath(job, s))
+		}
 	} else {
-		steps, err := d.steps(job)
+		steps, dsteps, err := d.scan(job)
 		if err != nil {
 			return err
 		}
@@ -185,40 +269,69 @@ func (d *DirCheckpointer) Save(job string, step int, data []byte) error {
 				os.Remove(d.path(job, s))
 			}
 		}
+		for _, s := range dsteps {
+			os.Remove(d.dpath(job, s))
+		}
 	}
 	d.last[job] = step
+	delete(d.deltasOf, job)
 	return nil
 }
 
-// steps lists the checkpointed superstep numbers present for job.
-func (d *DirCheckpointer) steps(job string) ([]int, error) {
+// SaveDelta implements DeltaCheckpointer.
+func (d *DirCheckpointer) SaveDelta(job string, step int, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.write(d.dpath(job, step), data); err != nil {
+		return err
+	}
+	d.deltasOf[job] = append(d.deltasOf[job], step)
+	return nil
+}
+
+// scan lists the checkpointed superstep numbers present for job: full
+// snapshots and deltas, each ascending.
+func (d *DirCheckpointer) scan(job string) (steps, dsteps []int, err error) {
 	entries, err := os.ReadDir(d.dir)
 	if err != nil {
-		return nil, fmt.Errorf("pregel: scanning checkpoints: %w", err)
+		return nil, nil, fmt.Errorf("pregel: scanning checkpoints: %w", err)
 	}
 	prefix := job + "."
-	var steps []int
 	for _, e := range entries {
 		name := e.Name()
-		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ".ckpt") {
+		if !strings.HasPrefix(name, prefix) {
 			continue
 		}
-		num := strings.TrimSuffix(strings.TrimPrefix(name, prefix), ".ckpt")
+		num := strings.TrimPrefix(name, prefix)
+		delta := false
+		switch {
+		case strings.HasSuffix(num, ".dckpt"):
+			num, delta = strings.TrimSuffix(num, ".dckpt"), true
+		case strings.HasSuffix(num, ".ckpt"):
+			num = strings.TrimSuffix(num, ".ckpt")
+		default:
+			continue
+		}
 		s, err := strconv.Atoi(num)
 		if err != nil {
 			continue
 		}
-		steps = append(steps, s)
+		if delta {
+			dsteps = append(dsteps, s)
+		} else {
+			steps = append(steps, s)
+		}
 	}
 	sort.Ints(steps)
-	return steps, nil
+	sort.Ints(dsteps)
+	return steps, dsteps, nil
 }
 
-// Latest implements Checkpointer.
+// Latest implements Checkpointer: the newest full snapshot.
 func (d *DirCheckpointer) Latest(job string) (int, []byte, bool, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	steps, err := d.steps(job)
+	steps, _, err := d.scan(job)
 	if err != nil {
 		return 0, nil, false, err
 	}
@@ -233,9 +346,70 @@ func (d *DirCheckpointer) Latest(job string) (int, []byte, bool, error) {
 	return step, data, true, nil
 }
 
+// Chain implements DeltaCheckpointer.
+func (d *DirCheckpointer) Chain(job string) ([]int, [][]byte, bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	steps, dsteps, err := d.scan(job)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if len(steps) == 0 {
+		return nil, nil, false, nil
+	}
+	full := steps[len(steps)-1]
+	outSteps := []int{full}
+	for _, s := range dsteps {
+		if s > full {
+			outSteps = append(outSteps, s)
+		}
+	}
+	blobs := make([][]byte, len(outSteps))
+	for i, s := range outSteps {
+		p := d.path(job, s)
+		if i > 0 {
+			p = d.dpath(job, s)
+		}
+		if blobs[i], err = os.ReadFile(p); err != nil {
+			return nil, nil, false, fmt.Errorf("pregel: reading checkpoint: %w", err)
+		}
+	}
+	return outSteps, blobs, true, nil
+}
+
+// findLegacyJob implements legacyProber: it scans the directory for any
+// checkpoint file whose name starts with `base@` — the pre-workflow key
+// format `name@seq`, with no plan prefix — and returns the first such file
+// name. Current keys always start with the op's plan prefix (e.g.
+// "s03.tiptrim.name@seq"), so the two shapes cannot collide.
+func (d *DirCheckpointer) findLegacyJob(base string) (string, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return "", false
+	}
+	prefix := base + "@"
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, prefix) &&
+			(strings.HasSuffix(name, ".ckpt") || strings.HasSuffix(name, ".dckpt")) {
+			return name, true
+		}
+	}
+	return "", false
+}
+
 // jobKey builds the stable per-run key: the run name (or "run") plus the
 // store-wide reservation sequence, sanitized for use as a file name.
 func jobKey(name string, seq int) string {
+	return fmt.Sprintf("%s@%03d", sanitizeJobName(name), seq)
+}
+
+// sanitizeJobName is the file-name-safe form of a run name, shared by
+// jobKey and the legacy-format probe (which must sanitize the bare name
+// exactly as an old binary's jobKey would have).
+func sanitizeJobName(name string) string {
 	if name == "" {
 		name = "run"
 	}
@@ -250,7 +424,7 @@ func jobKey(name string, seq int) string {
 			clean = append(clean, '_')
 		}
 	}
-	return fmt.Sprintf("%s@%03d", clean, seq)
+	return string(clean)
 }
 
 // ckptWorker is the serialized partition of one worker: everything runWorker
@@ -280,10 +454,17 @@ type aggSnapshot struct {
 
 // ckptFile is one whole checkpoint: run-level progress plus the per-worker
 // partition blobs (each encoded separately, since on a real cluster every
-// worker persists its own partition in parallel).
+// worker persists its own partition in parallel). On disk it is serialized
+// by the v2 binary container codec (see codec.go); the worker blobs use
+// either the binary value codec or a per-section gob fallback.
 type ckptFile struct {
 	Step    int
 	Pending int64
+	// Kind distinguishes full snapshots from delta checkpoints; PrevStep
+	// is the step of the save a delta chains from (zero for full saves),
+	// which lets restore validate chain linkage.
+	Kind     byte
+	PrevStep int
 	// PartitionerName and NumWorkers identify the placement the snapshot
 	// was written under. Worker partitions are restored by index, so a
 	// restore under a different partitioner or worker count would scatter
@@ -315,14 +496,28 @@ type ckptFile struct {
 }
 
 // ckptRun is the per-Run checkpointing state: the reserved job key, the
-// cadence, the store, and the run's identity fingerprint.
+// cadence, the store, and the run's identity fingerprint, plus the delta-
+// checkpoint chain position.
 type ckptRun struct {
 	store   Checkpointer
 	job     string
+	name    string // bare (unprefixed) run name, for the legacy-key probe
+	prefix  string // JobPrefix in effect when the key was reserved
 	every   int
 	fp      uint64
 	part    string // Partitioner.Name() of the running graph
 	workers int
+
+	// bin: V and M both round-trip through the binary value codec.
+	// delta: this run takes delta checkpoints (bin, DeltaCheckpoints set,
+	// and the store implements DeltaCheckpointer).
+	bin   bool
+	delta bool
+	// Chain position: whether a full snapshot exists, the step of the last
+	// save (full or delta), and how many deltas follow the last full.
+	haveFull        bool
+	lastStep        int
+	deltasSinceFull int
 }
 
 // newCkptRun reserves a job key when checkpointing is enabled for g, and
@@ -346,14 +541,45 @@ func (g *Graph[V, M]) newCkptRun(name string) (*ckptRun, error) {
 			return nil, err
 		}
 	}
+	bin := binaryCodecFor[V]() && binaryCodecFor[M]()
+	delta := false
+	if g.cfg.DeltaCheckpoints && bin {
+		_, delta = store.(DeltaCheckpointer)
+	}
 	return &ckptRun{
 		store:   store,
 		job:     job,
+		name:    name,
+		prefix:  g.cfg.JobPrefix,
 		every:   g.cfg.CheckpointEvery,
 		fp:      g.runFingerprint(),
 		part:    g.cfg.Partitioner.Name(),
 		workers: g.cfg.Workers,
+		bin:     bin,
+		delta:   delta,
 	}, nil
+}
+
+// checkLegacyKeys runs when Resume finds nothing under the run's job key:
+// if the store holds an artifact under the legacy pre-workflow key format
+// (bare `name@seq`, no plan prefix), resuming would otherwise silently
+// recompute the whole pipeline from scratch, so fail naming both formats.
+func (ck *ckptRun) checkLegacyKeys() error {
+	if ck.prefix == "" {
+		// This run itself reserves unprefixed keys; there is no older
+		// format to probe for.
+		return nil
+	}
+	p, ok := ck.store.(legacyProber)
+	if !ok {
+		return nil
+	}
+	base := sanitizeJobName(ck.name)
+	file, found := p.findLegacyJob(base)
+	if !found {
+		return nil
+	}
+	return fmt.Errorf("pregel: Resume found no checkpoint under job key %q, but the store contains %q, which uses the legacy job-key format %q (name@seq, written by an older binary without workflow plan prefixes); this binary reserves keys as %q (planprefix.name@seq), so the old checkpoints can never match and resuming would silently recompute from scratch — rerun with the binary that wrote the checkpoint directory, or delete it to start fresh", ck.job, file, base+"@NNN", ck.prefix+"name@NNN")
 }
 
 // runFingerprint hashes the run's identity — worker layout plus the input
@@ -379,28 +605,41 @@ func (g *Graph[V, M]) runFingerprint() uint64 {
 // saveCheckpoint snapshots the graph at a superstep boundary, charges the
 // write to the simulated clock, and hands the blob to the store. Workers
 // encode their partitions concurrently in Parallel mode, mirroring the
-// compute/deliver phases.
+// compute/deliver phases. When the run takes delta checkpoints, saves
+// after the first snapshot encode only the dirtied vertices, up to
+// maxDeltaChain deltas (or a mostly-dirty graph) before the next full.
 func (g *Graph[V, M]) saveCheckpoint(ck *ckptRun, step int, pending int64, stats *Stats) error {
 	wall0 := nowNs()
 	if g.cfg.Tracer != nil {
 		g.emit(telemetry.KindBegin, "checkpoint.save", "checkpoint", wall0, g.clock.Ns(),
 			telemetry.I("step", int64(step)))
 	}
+	useDelta := ck.delta && ck.haveFull && ck.deltasSinceFull < maxDeltaChain
+	if useDelta {
+		// A delta of a mostly-dirty graph costs more than a full snapshot
+		// (per-entry index and flags overhead); fall back to full. The
+		// dirty pattern is deterministic, so so is this decision.
+		total, dirty := 0, 0
+		for _, w := range g.workers {
+			total += len(w.ids)
+			for _, d := range w.dirty {
+				if d {
+					dirty++
+				}
+			}
+		}
+		if 4*dirty >= 3*total {
+			useDelta = false
+		}
+	}
 	blobs := make([][]byte, g.cfg.Workers)
 	errs := make([]error, g.cfg.Workers)
 	forEachWorkerProf(g.cfg.Workers, g.cfg.Parallel, g.runName, "checkpoint", func(wi int) {
-		w := g.workers[wi]
-		var buf bytes.Buffer
-		errs[wi] = gob.NewEncoder(&buf).Encode(ckptWorker[V, M]{
-			IDs:     w.ids,
-			Vals:    w.vals,
-			Active:  w.active,
-			Dead:    w.dead,
-			NDead:   w.nDead,
-			InArena: w.inArena,
-			InOff:   w.inOff,
-		})
-		blobs[wi] = buf.Bytes()
+		if useDelta {
+			blobs[wi] = encodeWorkerDelta(g.workers[wi])
+			return
+		}
+		blobs[wi], errs[wi] = encodeWorkerFull(g.workers[wi], ck.bin)
 	})
 	maxBytes, totalBytes := 0.0, int64(0)
 	for wi, err := range errs {
@@ -415,9 +654,15 @@ func (g *Graph[V, M]) saveCheckpoint(ck *ckptRun, step int, pending int64, stats
 	// Charge the write before stamping ClockNs so a resumed run starts at
 	// the post-write time and never under-reports.
 	g.clock.ChargeCheckpoint(maxBytes)
+	kind := ckptKindFull
+	if useDelta {
+		kind = ckptKindDelta
+	}
 	file := ckptFile{
 		Step:            step,
 		Pending:         pending,
+		Kind:            kind,
+		PrevStep:        ck.lastStep,
 		PartitionerName: ck.part,
 		NumWorkers:      ck.workers,
 		Supersteps:      stats.Supersteps,
@@ -431,12 +676,30 @@ func (g *Graph[V, M]) saveCheckpoint(ck *ckptRun, step int, pending int64, stats
 		Agg:             g.agg.snapshot(),
 		Workers:         blobs,
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&file); err != nil {
-		return fmt.Errorf("pregel: encoding checkpoint (job %q): %w", ck.job, err)
+	data := encodeCkptFile(&file)
+	if useDelta {
+		if err := ck.store.(DeltaCheckpointer).SaveDelta(ck.job, step, data); err != nil {
+			return err
+		}
+		ck.deltasSinceFull++
+		stats.CheckpointDeltaSaves++
+		if g.cfg.Metrics != nil {
+			g.cfg.Metrics.Counter("pregel_checkpoint_delta_saves_total").Add(1)
+		}
+	} else {
+		if err := ck.store.Save(ck.job, step, data); err != nil {
+			return err
+		}
+		ck.haveFull = true
+		ck.deltasSinceFull = 0
 	}
-	if err := ck.store.Save(ck.job, step, buf.Bytes()); err != nil {
-		return err
+	ck.lastStep = step
+	// Everything up to this barrier is now captured; dirty tracking
+	// restarts for the next save.
+	for _, w := range g.workers {
+		if w.dirty != nil {
+			clear(w.dirty)
+		}
 	}
 	stats.CheckpointSaves++
 	stats.CheckpointBytesWritten += totalBytes
@@ -452,60 +715,123 @@ func (g *Graph[V, M]) saveCheckpoint(ck *ckptRun, step int, pending int64, stats
 	return nil
 }
 
-// loadCheckpoint fetches and decodes the latest checkpoint for the run,
-// verifying that it was written by a run with the same identity.
-func (ck *ckptRun) loadCheckpoint() (*ckptFile, bool, error) {
-	_, data, ok, err := ck.store.Latest(ck.job)
+// ckptChain is a decoded, restorable checkpoint: the newest full snapshot
+// plus every delta saved after it, in ascending step order. Non-delta runs
+// always carry an empty deltas slice.
+type ckptChain struct {
+	full   *ckptFile
+	deltas []*ckptFile
+}
+
+// tip is the chain's newest save — the barrier a restore resumes at.
+func (c *ckptChain) tip() *ckptFile {
+	if n := len(c.deltas); n > 0 {
+		return c.deltas[n-1]
+	}
+	return c.full
+}
+
+// loadCheckpoint fetches and decodes the latest checkpoint (chain) for the
+// run, verifying that it was written by a run with the same identity and
+// that the delta chain is unbroken.
+func (ck *ckptRun) loadCheckpoint() (*ckptChain, bool, error) {
+	var blobs [][]byte
+	var ok bool
+	var err error
+	if ck.delta {
+		_, blobs, ok, err = ck.store.(DeltaCheckpointer).Chain(ck.job)
+	} else {
+		var data []byte
+		_, data, ok, err = ck.store.Latest(ck.job)
+		blobs = [][]byte{data}
+	}
 	if err != nil || !ok {
 		return nil, ok, err
 	}
-	var file ckptFile
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&file); err != nil {
-		return nil, false, fmt.Errorf("pregel: decoding checkpoint (job %q): %w", ck.job, err)
+	chain := &ckptChain{}
+	for i, data := range blobs {
+		file, err := decodeCkptFile(ck.job, data)
+		if err != nil {
+			return nil, false, err
+		}
+		// Placement guards run before the generic fingerprint check so a
+		// partitioner or worker-count change is reported as exactly that.
+		if file.PartitionerName != ck.part {
+			return nil, false, fmt.Errorf("pregel: checkpoint for job %q was written under partitioner %q, but this run places vertices with %q; restoring would scatter partition-local state — rerun with the original partitioner or delete the checkpoint directory to start fresh", ck.job, file.PartitionerName, ck.part)
+		}
+		if file.NumWorkers != ck.workers {
+			return nil, false, fmt.Errorf("pregel: checkpoint for job %q was written with %d workers, but this run has %d; rerun with the original worker count or delete the checkpoint directory to start fresh", ck.job, file.NumWorkers, ck.workers)
+		}
+		if file.Fingerprint != ck.fp {
+			return nil, false, fmt.Errorf("pregel: checkpoint for job %q was written by a different run (input or configuration changed); delete the checkpoint directory to start fresh", ck.job)
+		}
+		if i == 0 {
+			if file.Kind != ckptKindFull {
+				return nil, false, fmt.Errorf("pregel: checkpoint chain for job %q starts with a delta at step %d; the full snapshot it chains from is missing — delete the checkpoint directory to start fresh", ck.job, file.Step)
+			}
+			chain.full = file
+			continue
+		}
+		prev := chain.tip()
+		if file.Kind != ckptKindDelta || file.PrevStep != prev.Step || file.Step <= prev.Step {
+			return nil, false, fmt.Errorf("pregel: delta checkpoint at step %d for job %q chains from step %d, but the preceding save in the chain is step %d; the chain is broken — delete the checkpoint directory to start fresh", file.Step, ck.job, file.PrevStep, prev.Step)
+		}
+		chain.deltas = append(chain.deltas, file)
 	}
-	// Placement guards run before the generic fingerprint check so a
-	// partitioner or worker-count change is reported as exactly that.
-	// Snapshots from before these headers existed decode to zero values
-	// and fall through to the fingerprint, which covers the worker count.
-	if file.PartitionerName != "" && file.PartitionerName != ck.part {
-		return nil, false, fmt.Errorf("pregel: checkpoint for job %q was written under partitioner %q, but this run places vertices with %q; restoring would scatter partition-local state — rerun with the original partitioner or delete the checkpoint directory to start fresh", ck.job, file.PartitionerName, ck.part)
-	}
-	if file.NumWorkers != 0 && file.NumWorkers != ck.workers {
-		return nil, false, fmt.Errorf("pregel: checkpoint for job %q was written with %d workers, but this run has %d; rerun with the original worker count or delete the checkpoint directory to start fresh", ck.job, file.NumWorkers, ck.workers)
-	}
-	if file.Fingerprint != ck.fp {
-		return nil, false, fmt.Errorf("pregel: checkpoint for job %q was written by a different run (input or configuration changed); delete the checkpoint directory to start fresh", ck.job)
-	}
-	return &file, true, nil
+	// Resync the chain position so post-restore saves extend (or supersede)
+	// what the store already holds.
+	ck.haveFull = true
+	ck.lastStep = chain.tip().Step
+	ck.deltasSinceFull = len(chain.deltas)
+	return chain, true, nil
 }
 
-// restoreCheckpoint replaces the graph's in-run state with the snapshot:
-// per-worker partitions, aggregator values, and the run counters inside
-// stats. It charges the recovery read to the clock — which, like real time,
-// only moves forward — and returns the superstep to resume at plus the
-// pending-message count at that barrier.
-func (g *Graph[V, M]) restoreCheckpoint(file *ckptFile, stats *Stats) (step int, pending int64, err error) {
-	if len(file.Workers) != g.cfg.Workers {
-		return 0, 0, fmt.Errorf("pregel: checkpoint has %d workers, graph has %d", len(file.Workers), g.cfg.Workers)
+// restoreCheckpoint replaces the graph's in-run state with the chain's
+// state: the full snapshot with every delta folded in, aggregator values,
+// and the run counters inside stats (all run-level state comes from the
+// chain tip). It charges the recovery read to the clock — which, like real
+// time, only moves forward — and returns the superstep to resume at plus
+// the pending-message count at that barrier.
+func (g *Graph[V, M]) restoreCheckpoint(chain *ckptChain, stats *Stats) (step int, pending int64, err error) {
+	full, tip := chain.full, chain.tip()
+	if len(full.Workers) != g.cfg.Workers {
+		return 0, 0, fmt.Errorf("pregel: checkpoint has %d workers, graph has %d", len(full.Workers), g.cfg.Workers)
+	}
+	for _, d := range chain.deltas {
+		if len(d.Workers) != g.cfg.Workers {
+			return 0, 0, fmt.Errorf("pregel: delta checkpoint at step %d has %d workers, graph has %d", d.Step, len(d.Workers), g.cfg.Workers)
+		}
 	}
 	wall0 := nowNs()
 	if g.cfg.Tracer != nil {
 		g.emit(telemetry.KindBegin, "checkpoint.restore", "checkpoint", wall0, g.clock.Ns(),
-			telemetry.I("step", int64(file.Step)))
+			telemetry.I("step", int64(tip.Step)))
 	}
 	errs := make([]error, g.cfg.Workers)
+	// Per-worker read cost spans the whole chain: each worker replays its
+	// own full section plus its slice of every delta.
 	maxBytes, totalBytes := 0.0, int64(0)
-	for _, b := range file.Workers {
-		totalBytes += int64(len(b))
-		if n := float64(len(b)); n > maxBytes {
-			maxBytes = n
+	for wi := range full.Workers {
+		n := int64(len(full.Workers[wi]))
+		for _, d := range chain.deltas {
+			n += int64(len(d.Workers[wi]))
+		}
+		totalBytes += n
+		if b := float64(n); b > maxBytes {
+			maxBytes = b
 		}
 	}
 	forEachWorkerProf(g.cfg.Workers, g.cfg.Parallel, g.runName, "checkpoint", func(wi int) {
-		var cw ckptWorker[V, M]
-		if err := gob.NewDecoder(bytes.NewReader(file.Workers[wi])).Decode(&cw); err != nil {
+		cw, err := decodeWorkerSection[V, M](full.Workers[wi])
+		if err != nil {
 			errs[wi] = err
 			return
+		}
+		for _, d := range chain.deltas {
+			if err := applyWorkerDelta(cw, d.Workers[wi]); err != nil {
+				errs[wi] = fmt.Errorf("delta at step %d: %w", d.Step, err)
+				return
+			}
 		}
 		w := g.workers[wi]
 		n := len(cw.IDs)
@@ -515,7 +841,7 @@ func (g *Graph[V, M]) restoreCheckpoint(file *ckptFile, stats *Stats) (step int,
 		w.dead = cw.Dead
 		w.nDead = cw.NDead
 		w.inArena = cw.InArena
-		// Gob decodes empty slices as nil; the delivery path needs the
+		// Empty slices may decode as nil; the delivery path needs the
 		// offset index to exist even for an empty partition.
 		w.inOff = growInt32(cw.InOff, n+1)
 		w.inCur = growInt32(w.inCur, n)
@@ -528,20 +854,25 @@ func (g *Graph[V, M]) restoreCheckpoint(file *ckptFile, stats *Stats) (step int,
 		for i := range w.outbox {
 			w.outbox[i] = w.outbox[i][:0]
 		}
+		// Dirty tracking restarts from the restored barrier.
+		if w.dirty != nil {
+			w.dirty = growBool(w.dirty, n)
+			clear(w.dirty)
+		}
 	})
 	for wi, err := range errs {
 		if err != nil {
 			return 0, 0, fmt.Errorf("pregel: decoding checkpoint (worker %d): %w", wi, err)
 		}
 	}
-	g.agg.restore(file.Agg)
-	stats.Supersteps = file.Supersteps
-	stats.Messages = file.Messages
-	stats.LocalMessages = file.LocalMessages
-	stats.RemoteMessages = file.RemoteMessages
-	stats.Bytes = file.Bytes
-	stats.DroppedMessages = file.DroppedMessages
-	g.clock.advanceTo(file.ClockNs)
+	g.agg.restore(tip.Agg)
+	stats.Supersteps = tip.Supersteps
+	stats.Messages = tip.Messages
+	stats.LocalMessages = tip.LocalMessages
+	stats.RemoteMessages = tip.RemoteMessages
+	stats.Bytes = tip.Bytes
+	stats.DroppedMessages = tip.DroppedMessages
+	g.clock.advanceTo(tip.ClockNs)
 	g.clock.ChargeRecovery(maxBytes)
 	stats.CheckpointRestores++
 	stats.CheckpointBytesRestored += totalBytes
@@ -552,7 +883,7 @@ func (g *Graph[V, M]) restoreCheckpoint(file *ckptFile, stats *Stats) (step int,
 	}
 	if g.cfg.Tracer != nil {
 		g.emit(telemetry.KindEnd, "checkpoint.restore", "checkpoint", nowNs(), g.clock.Ns(),
-			telemetry.I("step", int64(file.Step)), telemetry.I("bytes", totalBytes))
+			telemetry.I("step", int64(tip.Step)), telemetry.I("bytes", totalBytes))
 	}
-	return file.Step, file.Pending, nil
+	return tip.Step, tip.Pending, nil
 }

@@ -1,0 +1,67 @@
+// Package ckpttest is the differential test harness for checkpoint codec
+// implementations: every type that opts into the engine's v2 binary
+// checkpoint format (pregel.CheckpointAppender / pregel.CheckpointDecoder)
+// is checked against the gob baseline the v1 format used, so the two
+// serializations can never silently disagree about a vertex state shape.
+package ckpttest
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+)
+
+// Codec is the pointer-receiver pair every checkpointable type implements.
+type Codec[T any] interface {
+	*T
+	AppendCheckpoint(buf []byte) []byte
+	DecodeCheckpoint(data []byte) ([]byte, error)
+}
+
+// RoundTrip runs the differential contract on one value:
+//
+//  1. the binary encoding is self-delimiting — decoding consumes exactly
+//     the appended bytes and returns any trailing data untouched;
+//  2. re-encoding the decoded value reproduces the original bytes
+//     (byte-identical round trip, the property delta checkpoints rely on);
+//  3. the binary-decoded value equals the value a gob round trip (the v1
+//     checkpoint baseline) produces, field for field.
+func RoundTrip[T any, P Codec[T]](t testing.TB, v *T) {
+	t.Helper()
+	enc := P(v).AppendCheckpoint(nil)
+
+	sentinel := []byte{0xA5, 0x5A, 0x00, 0xFF}
+	framed := append(append(make([]byte, 0, len(enc)+len(sentinel)), enc...), sentinel...)
+	var bin T
+	rest, err := P(&bin).DecodeCheckpoint(framed)
+	if err != nil {
+		t.Fatalf("DecodeCheckpoint(%T): %v", v, err)
+	}
+	if !bytes.Equal(rest, sentinel) {
+		t.Fatalf("%T codec is not self-delimiting: %d bytes left after decode, want the %d-byte sentinel", v, len(rest), len(sentinel))
+	}
+	if re := P(&bin).AppendCheckpoint(nil); !bytes.Equal(re, enc) {
+		t.Fatalf("%T re-encode after decode differs from the original encoding (%d vs %d bytes)", v, len(re), len(enc))
+	}
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		t.Fatalf("gob baseline encode of %T: %v", v, err)
+	}
+	var viaGob T
+	if err := gob.NewDecoder(&buf).Decode(&viaGob); err != nil {
+		t.Fatalf("gob baseline decode of %T: %v", v, err)
+	}
+	if !reflect.DeepEqual(bin, viaGob) {
+		t.Fatalf("%T: binary codec and gob baseline disagree:\n binary %+v\n    gob %+v", v, bin, viaGob)
+	}
+}
+
+// NoPanic feeds arbitrary bytes to the decoder: corrupt input must surface
+// as an error, never a panic or an unbounded allocation.
+func NoPanic[T any, P Codec[T]](t testing.TB, data []byte) {
+	t.Helper()
+	var junk T
+	_, _ = P(&junk).DecodeCheckpoint(data)
+}

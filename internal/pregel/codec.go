@@ -1,0 +1,741 @@
+package pregel
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Checkpoint format v2: a versioned binary container replacing the gob
+// snapshots of earlier versions. Layout (all integers varint/uvarint unless
+// noted):
+//
+//	magic "PPCK" | version | kind (full/delta) | step | prevStep | pending
+//	| partitioner name | numWorkers | run counters | clockNs (fixed 8 LE)
+//	| fingerprint (fixed 8 LE) | aggregator snapshot (sorted keys)
+//	| worker count | per-worker length-prefixed sections
+//
+// Each worker section starts with one flag byte: wsecBinary sections encode
+// the partition with the zero-copy value codec below; wsecGob sections are
+// a gob-encoded ckptWorker, the universal fallback for vertex value or
+// message types that neither are codec primitives nor implement
+// CheckpointAppender/CheckpointDecoder. Delta containers (kindDelta) hold
+// only the vertices dirtied since the checkpoint at prevStep; a restore
+// replays the newest full container plus its delta chain.
+
+const (
+	ckptMagic   = "PPCK"
+	ckptVersion = 2
+
+	ckptKindFull  byte = 0
+	ckptKindDelta byte = 1
+
+	wsecBinary byte = 0
+	wsecGob    byte = 1
+
+	// maxDeltaChain bounds how many delta checkpoints may follow a full
+	// snapshot before the next save is forced full again, bounding both
+	// recovery replay work and the disk footprint of a chain.
+	maxDeltaChain = 8
+)
+
+// CheckpointAppender is implemented by vertex-value and message types that
+// opt into the engine's binary checkpoint codec (checkpoint format v2):
+// AppendCheckpoint appends a self-delimiting encoding of the receiver to
+// buf and returns the extended slice, in the style of dna.Seq's binary
+// marshalling. Types implementing it (together with CheckpointDecoder)
+// checkpoint without gob's reflection and type-dictionary overhead, and
+// become eligible for delta checkpoints (Config.DeltaCheckpoints).
+// Primitive value/message types (integers, floats, bool, string, VertexID,
+// struct{}) are handled by the codec directly and need no methods.
+type CheckpointAppender interface {
+	AppendCheckpoint(buf []byte) []byte
+}
+
+// CheckpointDecoder is the inverse of CheckpointAppender: DecodeCheckpoint
+// replaces the receiver with the value encoded at the front of data and
+// returns the remaining bytes.
+type CheckpointDecoder interface {
+	DecodeCheckpoint(data []byte) (rest []byte, err error)
+}
+
+// AppendUvarint / AppendVarint / AppendUint64 and their Consume inverses
+// are the primitive wire helpers of the checkpoint codec, exported so
+// packages implementing CheckpointAppender/CheckpointDecoder on their
+// vertex types compose encodings from the same vocabulary.
+
+// AppendUvarint appends v as a uvarint.
+func AppendUvarint(buf []byte, v uint64) []byte { return binary.AppendUvarint(buf, v) }
+
+// AppendVarint appends v as a zig-zag varint.
+func AppendVarint(buf []byte, v int64) []byte { return binary.AppendVarint(buf, v) }
+
+// AppendUint64 appends v as 8 little-endian bytes (used for floats via
+// math.Float64bits, and for hashes where varint packing buys nothing).
+func AppendUint64(buf []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(buf, v) }
+
+// AppendBool appends v as one byte.
+func AppendBool(buf []byte, v bool) []byte {
+	if v {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
+}
+
+// ConsumeUvarint decodes a uvarint from the front of data.
+func ConsumeUvarint(data []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("pregel: corrupt checkpoint encoding: bad uvarint")
+	}
+	return v, data[n:], nil
+}
+
+// ConsumeVarint decodes a zig-zag varint from the front of data.
+func ConsumeVarint(data []byte) (int64, []byte, error) {
+	v, n := binary.Varint(data)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("pregel: corrupt checkpoint encoding: bad varint")
+	}
+	return v, data[n:], nil
+}
+
+// ConsumeUint64 decodes 8 little-endian bytes from the front of data.
+func ConsumeUint64(data []byte) (uint64, []byte, error) {
+	if len(data) < 8 {
+		return 0, nil, fmt.Errorf("pregel: corrupt checkpoint encoding: truncated uint64")
+	}
+	return binary.LittleEndian.Uint64(data), data[8:], nil
+}
+
+// ConsumeBool decodes one byte from the front of data.
+func ConsumeBool(data []byte) (bool, []byte, error) {
+	if len(data) < 1 {
+		return false, nil, fmt.Errorf("pregel: corrupt checkpoint encoding: truncated bool")
+	}
+	return data[0] != 0, data[1:], nil
+}
+
+func appendCkptString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func consumeCkptString(data []byte) (string, []byte, error) {
+	n, rest, err := ConsumeUvarint(data)
+	if err != nil {
+		return "", nil, err
+	}
+	if uint64(len(rest)) < n {
+		return "", nil, fmt.Errorf("pregel: corrupt checkpoint encoding: truncated string")
+	}
+	return string(rest[:n]), rest[n:], nil
+}
+
+// appendBits packs a bool slice 8-per-byte (length known to the decoder).
+func appendBits(buf []byte, bits []bool) []byte {
+	var b byte
+	for i, v := range bits {
+		if v {
+			b |= 1 << (i & 7)
+		}
+		if i&7 == 7 {
+			buf = append(buf, b)
+			b = 0
+		}
+	}
+	if len(bits)&7 != 0 {
+		buf = append(buf, b)
+	}
+	return buf
+}
+
+// consumeBits unpacks n bools packed by appendBits.
+func consumeBits(data []byte, n int) ([]bool, []byte, error) {
+	nb := (n + 7) / 8
+	if len(data) < nb {
+		return nil, nil, fmt.Errorf("pregel: corrupt checkpoint encoding: truncated bitset")
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = data[i/8]&(1<<(i&7)) != 0
+	}
+	return out, data[nb:], nil
+}
+
+// binaryCodecFor reports whether T round-trips through the binary value
+// codec: either a codec primitive, or an implementation of both
+// CheckpointAppender and CheckpointDecoder (on the pointer receiver).
+func binaryCodecFor[T any]() bool {
+	var z T
+	switch any(z).(type) {
+	case int64, uint64, int, int32, uint32, float64, bool, string, VertexID, struct{}:
+		return true
+	}
+	if _, ok := any(&z).(CheckpointAppender); !ok {
+		return false
+	}
+	_, ok := any(&z).(CheckpointDecoder)
+	return ok
+}
+
+// appendVal appends one value with the binary codec. Only called for types
+// binaryCodecFor admits; the pointer-shaped type switch keeps primitive
+// fast paths allocation-free (no per-element boxing).
+func appendVal[T any](buf []byte, v *T) []byte {
+	switch x := any(v).(type) {
+	case *int64:
+		return binary.AppendVarint(buf, *x)
+	case *uint64:
+		return binary.AppendUvarint(buf, *x)
+	case *int:
+		return binary.AppendVarint(buf, int64(*x))
+	case *int32:
+		return binary.AppendVarint(buf, int64(*x))
+	case *uint32:
+		return binary.AppendUvarint(buf, uint64(*x))
+	case *float64:
+		return AppendUint64(buf, math.Float64bits(*x))
+	case *bool:
+		return AppendBool(buf, *x)
+	case *string:
+		return appendCkptString(buf, *x)
+	case *VertexID:
+		return binary.AppendUvarint(buf, uint64(*x))
+	case *struct{}:
+		return buf
+	case CheckpointAppender:
+		return x.AppendCheckpoint(buf)
+	}
+	panic("pregel: appendVal on a type without a binary codec")
+}
+
+// consumeVal decodes one value encoded by appendVal into *v.
+func consumeVal[T any](data []byte, v *T) ([]byte, error) {
+	switch x := any(v).(type) {
+	case *int64:
+		val, rest, err := ConsumeVarint(data)
+		*x = val
+		return rest, err
+	case *uint64:
+		val, rest, err := ConsumeUvarint(data)
+		*x = val
+		return rest, err
+	case *int:
+		val, rest, err := ConsumeVarint(data)
+		*x = int(val)
+		return rest, err
+	case *int32:
+		val, rest, err := ConsumeVarint(data)
+		*x = int32(val)
+		return rest, err
+	case *uint32:
+		val, rest, err := ConsumeUvarint(data)
+		*x = uint32(val)
+		return rest, err
+	case *float64:
+		bits, rest, err := ConsumeUint64(data)
+		*x = math.Float64frombits(bits)
+		return rest, err
+	case *bool:
+		val, rest, err := ConsumeBool(data)
+		*x = val
+		return rest, err
+	case *string:
+		val, rest, err := consumeCkptString(data)
+		*x = val
+		return rest, err
+	case *VertexID:
+		val, rest, err := ConsumeUvarint(data)
+		*x = VertexID(val)
+		return rest, err
+	case *struct{}:
+		return data, nil
+	case CheckpointDecoder:
+		return x.DecodeCheckpoint(data)
+	}
+	panic("pregel: consumeVal on a type without a binary codec")
+}
+
+// encodeWorkerFull serializes one worker partition as a full section. With
+// bin set it uses the binary value codec; otherwise it falls back to gob,
+// preserving checkpointability for arbitrary V/M.
+func encodeWorkerFull[V, M any](w *worker[V, M], bin bool) ([]byte, error) {
+	if !bin {
+		var buf bytes.Buffer
+		buf.WriteByte(wsecGob)
+		err := gob.NewEncoder(&buf).Encode(ckptWorker[V, M]{
+			IDs:     w.ids,
+			Vals:    w.vals,
+			Active:  w.active,
+			Dead:    w.dead,
+			NDead:   w.nDead,
+			InArena: w.inArena,
+			InOff:   w.inOff,
+		})
+		return buf.Bytes(), err
+	}
+	n := len(w.ids)
+	buf := make([]byte, 0, 16+10*n)
+	buf = append(buf, wsecBinary)
+	buf = binary.AppendUvarint(buf, uint64(n))
+	// IDs delta-encoded: sorted runs cost ~1 byte per vertex, and uint64
+	// wraparound keeps arbitrary orders correct.
+	prev := uint64(0)
+	for _, id := range w.ids {
+		buf = binary.AppendUvarint(buf, uint64(id)-prev)
+		prev = uint64(id)
+	}
+	for i := range w.vals {
+		buf = appendVal(buf, &w.vals[i])
+	}
+	buf = appendBits(buf, w.active)
+	buf = appendBits(buf, w.dead)
+	// Pending inbox: per-vertex counts, then the arena in order.
+	for i := 0; i < n; i++ {
+		buf = binary.AppendUvarint(buf, uint64(w.inOff[i+1]-w.inOff[i]))
+	}
+	for i := range w.inArena {
+		buf = appendVal(buf, &w.inArena[i])
+	}
+	return buf, nil
+}
+
+// decodeWorkerSection inverts encodeWorkerFull (either flavor).
+func decodeWorkerSection[V, M any](data []byte) (*ckptWorker[V, M], error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("pregel: corrupt checkpoint: empty worker section")
+	}
+	flag, data := data[0], data[1:]
+	switch flag {
+	case wsecGob:
+		var cw ckptWorker[V, M]
+		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&cw); err != nil {
+			return nil, err
+		}
+		return &cw, nil
+	case wsecBinary:
+		// handled below
+	default:
+		return nil, fmt.Errorf("pregel: corrupt checkpoint: unknown worker section flag %d", flag)
+	}
+	un, data, err := ConsumeUvarint(data)
+	if err != nil {
+		return nil, err
+	}
+	n := int(un)
+	cw := &ckptWorker[V, M]{
+		IDs:  make([]VertexID, n),
+		Vals: make([]V, n),
+	}
+	prev := uint64(0)
+	for i := 0; i < n; i++ {
+		d, rest, err := ConsumeUvarint(data)
+		if err != nil {
+			return nil, err
+		}
+		prev += d
+		cw.IDs[i] = VertexID(prev)
+		data = rest
+	}
+	for i := 0; i < n; i++ {
+		if data, err = consumeVal(data, &cw.Vals[i]); err != nil {
+			return nil, err
+		}
+	}
+	if cw.Active, data, err = consumeBits(data, n); err != nil {
+		return nil, err
+	}
+	if cw.Dead, data, err = consumeBits(data, n); err != nil {
+		return nil, err
+	}
+	for _, d := range cw.Dead {
+		if d {
+			cw.NDead++
+		}
+	}
+	cw.InOff = make([]int32, n+1)
+	off := int32(0)
+	for i := 0; i < n; i++ {
+		c, rest, err := ConsumeUvarint(data)
+		if err != nil {
+			return nil, err
+		}
+		cw.InOff[i] = off
+		off += int32(c)
+		data = rest
+	}
+	cw.InOff[n] = off
+	cw.InArena = make([]M, off)
+	for i := range cw.InArena {
+		if data, err = consumeVal(data, &cw.InArena[i]); err != nil {
+			return nil, err
+		}
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("pregel: corrupt checkpoint: %d trailing bytes in worker section", len(data))
+	}
+	return cw, nil
+}
+
+// encodeWorkerDelta serializes only the vertices dirtied since the last
+// save: ascending vertex index (delta-encoded), a flags byte
+// (active/dead), the value, and the vertex's pending inbox. Clean vertices
+// are guaranteed unchanged with an empty inbox at both barriers (see
+// worker.dirty), so the previous snapshot's entry remains valid for them.
+func encodeWorkerDelta[V, M any](w *worker[V, M]) []byte {
+	n := len(w.ids)
+	dirtyN := 0
+	for _, d := range w.dirty {
+		if d {
+			dirtyN++
+		}
+	}
+	buf := make([]byte, 0, 16+8*dirtyN)
+	buf = append(buf, wsecBinary)
+	buf = binary.AppendUvarint(buf, uint64(n))
+	buf = binary.AppendUvarint(buf, uint64(dirtyN))
+	prev := 0
+	for i, d := range w.dirty {
+		if !d {
+			continue
+		}
+		buf = binary.AppendUvarint(buf, uint64(i-prev))
+		prev = i
+		var flags byte
+		if w.active[i] {
+			flags |= 1
+		}
+		if w.dead[i] {
+			flags |= 2
+		}
+		buf = append(buf, flags)
+		buf = appendVal(buf, &w.vals[i])
+		buf = binary.AppendUvarint(buf, uint64(w.inOff[i+1]-w.inOff[i]))
+		for j := w.inOff[i]; j < w.inOff[i+1]; j++ {
+			buf = appendVal(buf, &w.inArena[j])
+		}
+	}
+	return buf
+}
+
+// applyWorkerDelta folds a delta section into a decoded full snapshot,
+// rebuilding the inbox arena with the dirty vertices' entries replaced.
+func applyWorkerDelta[V, M any](cw *ckptWorker[V, M], data []byte) error {
+	if len(data) == 0 {
+		return fmt.Errorf("pregel: corrupt delta checkpoint: empty worker section")
+	}
+	flag, data := data[0], data[1:]
+	if flag != wsecBinary {
+		return fmt.Errorf("pregel: corrupt delta checkpoint: section flag %d", flag)
+	}
+	un, data, err := ConsumeUvarint(data)
+	if err != nil {
+		return err
+	}
+	n := int(un)
+	if n != len(cw.IDs) {
+		return fmt.Errorf("pregel: delta checkpoint has %d vertices, snapshot has %d", n, len(cw.IDs))
+	}
+	ud, data, err := ConsumeUvarint(data)
+	if err != nil {
+		return err
+	}
+	dirtyN := int(ud)
+
+	newArena := make([]M, 0, len(cw.InArena))
+	newOff := make([]int32, n+1)
+	nextIdx := -1
+	prev := 0
+	readIdx := func() error {
+		if dirtyN == 0 {
+			nextIdx = n // past the end
+			return nil
+		}
+		d, rest, err := ConsumeUvarint(data)
+		if err != nil {
+			return err
+		}
+		data = rest
+		nextIdx = prev + int(d)
+		prev = nextIdx
+		dirtyN--
+		return nil
+	}
+	if err := readIdx(); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		newOff[i] = int32(len(newArena))
+		if i != nextIdx {
+			// Clean vertex: previous snapshot entry stands.
+			newArena = append(newArena, cw.InArena[cw.InOff[i]:cw.InOff[i+1]]...)
+			continue
+		}
+		if len(data) < 1 {
+			return fmt.Errorf("pregel: corrupt delta checkpoint: truncated entry")
+		}
+		flags := data[0]
+		data = data[1:]
+		cw.Active[i] = flags&1 != 0
+		cw.Dead[i] = flags&2 != 0
+		if data, err = consumeVal(data, &cw.Vals[i]); err != nil {
+			return err
+		}
+		cnt, rest, err := ConsumeUvarint(data)
+		if err != nil {
+			return err
+		}
+		data = rest
+		for j := uint64(0); j < cnt; j++ {
+			var m M
+			if data, err = consumeVal(data, &m); err != nil {
+				return err
+			}
+			newArena = append(newArena, m)
+		}
+		if err := readIdx(); err != nil {
+			return err
+		}
+	}
+	newOff[n] = int32(len(newArena))
+	if len(data) != 0 {
+		return fmt.Errorf("pregel: corrupt delta checkpoint: %d trailing bytes", len(data))
+	}
+	cw.InArena = newArena
+	cw.InOff = newOff
+	cw.NDead = 0
+	for _, d := range cw.Dead {
+		if d {
+			cw.NDead++
+		}
+	}
+	return nil
+}
+
+// encodeCkptFile assembles the v2 container around already-encoded worker
+// sections.
+func encodeCkptFile(f *ckptFile) []byte {
+	size := 64 + len(f.PartitionerName)
+	for _, b := range f.Workers {
+		size += len(b) + binary.MaxVarintLen64
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, ckptMagic...)
+	buf = binary.AppendUvarint(buf, ckptVersion)
+	buf = append(buf, f.Kind)
+	buf = binary.AppendUvarint(buf, uint64(f.Step))
+	buf = binary.AppendUvarint(buf, uint64(f.PrevStep))
+	buf = binary.AppendVarint(buf, f.Pending)
+	buf = appendCkptString(buf, f.PartitionerName)
+	buf = binary.AppendUvarint(buf, uint64(f.NumWorkers))
+	buf = binary.AppendUvarint(buf, uint64(f.Supersteps))
+	buf = binary.AppendVarint(buf, f.Messages)
+	buf = binary.AppendVarint(buf, f.LocalMessages)
+	buf = binary.AppendVarint(buf, f.RemoteMessages)
+	buf = binary.AppendVarint(buf, f.Bytes)
+	buf = binary.AppendVarint(buf, f.DroppedMessages)
+	buf = AppendUint64(buf, math.Float64bits(f.ClockNs))
+	buf = AppendUint64(buf, f.Fingerprint)
+	buf = appendAggSnapshot(buf, f.Agg)
+	buf = binary.AppendUvarint(buf, uint64(len(f.Workers)))
+	for _, b := range f.Workers {
+		buf = binary.AppendUvarint(buf, uint64(len(b)))
+		buf = append(buf, b...)
+	}
+	return buf
+}
+
+// decodeCkptFile parses a v2 container. Blobs not starting with the v2
+// magic — in practice, gob streams written by a pre-v2 binary — fail with
+// an error naming both formats instead of a generic decode failure.
+func decodeCkptFile(job string, data []byte) (*ckptFile, error) {
+	if len(data) < len(ckptMagic) || string(data[:len(ckptMagic)]) != ckptMagic {
+		return nil, fmt.Errorf("pregel: checkpoint for job %q is not in the v2 binary checkpoint format (missing %q magic): it was most likely written by an older binary using the v1 gob format, which this version cannot restore — rerun with the binary that wrote it, or delete the checkpoint directory to start fresh", job, ckptMagic)
+	}
+	data = data[len(ckptMagic):]
+	ver, data, err := ConsumeUvarint(data)
+	if err != nil {
+		return nil, err
+	}
+	if ver != ckptVersion {
+		return nil, fmt.Errorf("pregel: checkpoint for job %q uses format v%d, but this binary reads v%d — rerun with a matching binary or delete the checkpoint directory to start fresh", job, ver, ckptVersion)
+	}
+	var f ckptFile
+	fail := func(err error) (*ckptFile, error) {
+		return nil, fmt.Errorf("pregel: decoding checkpoint (job %q): %w", job, err)
+	}
+	if len(data) < 1 {
+		return fail(fmt.Errorf("truncated header"))
+	}
+	f.Kind, data = data[0], data[1:]
+	var u uint64
+	if u, data, err = ConsumeUvarint(data); err != nil {
+		return fail(err)
+	}
+	f.Step = int(u)
+	if u, data, err = ConsumeUvarint(data); err != nil {
+		return fail(err)
+	}
+	f.PrevStep = int(u)
+	if f.Pending, data, err = ConsumeVarint(data); err != nil {
+		return fail(err)
+	}
+	if f.PartitionerName, data, err = consumeCkptString(data); err != nil {
+		return fail(err)
+	}
+	if u, data, err = ConsumeUvarint(data); err != nil {
+		return fail(err)
+	}
+	f.NumWorkers = int(u)
+	if u, data, err = ConsumeUvarint(data); err != nil {
+		return fail(err)
+	}
+	f.Supersteps = int(u)
+	if f.Messages, data, err = ConsumeVarint(data); err != nil {
+		return fail(err)
+	}
+	if f.LocalMessages, data, err = ConsumeVarint(data); err != nil {
+		return fail(err)
+	}
+	if f.RemoteMessages, data, err = ConsumeVarint(data); err != nil {
+		return fail(err)
+	}
+	if f.Bytes, data, err = ConsumeVarint(data); err != nil {
+		return fail(err)
+	}
+	if f.DroppedMessages, data, err = ConsumeVarint(data); err != nil {
+		return fail(err)
+	}
+	if u, data, err = ConsumeUint64(data); err != nil {
+		return fail(err)
+	}
+	f.ClockNs = math.Float64frombits(u)
+	if f.Fingerprint, data, err = ConsumeUint64(data); err != nil {
+		return fail(err)
+	}
+	if f.Agg, data, err = consumeAggSnapshot(data); err != nil {
+		return fail(err)
+	}
+	if u, data, err = ConsumeUvarint(data); err != nil {
+		return fail(err)
+	}
+	f.Workers = make([][]byte, int(u))
+	for i := range f.Workers {
+		var l uint64
+		if l, data, err = ConsumeUvarint(data); err != nil {
+			return fail(err)
+		}
+		if uint64(len(data)) < l {
+			return fail(fmt.Errorf("truncated worker section %d", i))
+		}
+		f.Workers[i] = data[:l:l]
+		data = data[l:]
+	}
+	if len(data) != 0 {
+		return fail(fmt.Errorf("%d trailing bytes", len(data)))
+	}
+	return &f, nil
+}
+
+// appendAggSnapshot encodes the three aggregator maps with sorted keys, so
+// equal states encode to equal bytes.
+func appendAggSnapshot(buf []byte, a aggSnapshot) []byte {
+	sortedKeys := func(n int, collect func(app func(string))) []string {
+		ks := make([]string, 0, n)
+		collect(func(k string) { ks = append(ks, k) })
+		sort.Strings(ks)
+		return ks
+	}
+	ks := sortedKeys(len(a.Sum), func(app func(string)) {
+		for k := range a.Sum {
+			app(k)
+		}
+	})
+	buf = binary.AppendUvarint(buf, uint64(len(ks)))
+	for _, k := range ks {
+		buf = appendCkptString(buf, k)
+		buf = binary.AppendVarint(buf, a.Sum[k])
+	}
+	ks = sortedKeys(len(a.Min), func(app func(string)) {
+		for k := range a.Min {
+			app(k)
+		}
+	})
+	buf = binary.AppendUvarint(buf, uint64(len(ks)))
+	for _, k := range ks {
+		buf = appendCkptString(buf, k)
+		buf = binary.AppendVarint(buf, a.Min[k])
+	}
+	ks = sortedKeys(len(a.Or), func(app func(string)) {
+		for k := range a.Or {
+			app(k)
+		}
+	})
+	buf = binary.AppendUvarint(buf, uint64(len(ks)))
+	for _, k := range ks {
+		buf = appendCkptString(buf, k)
+		buf = AppendBool(buf, a.Or[k])
+	}
+	return buf
+}
+
+func consumeAggSnapshot(data []byte) (aggSnapshot, []byte, error) {
+	var a aggSnapshot
+	n, data, err := ConsumeUvarint(data)
+	if err != nil {
+		return a, nil, err
+	}
+	if n > 0 {
+		a.Sum = make(map[string]int64, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		var k string
+		var v int64
+		if k, data, err = consumeCkptString(data); err != nil {
+			return a, nil, err
+		}
+		if v, data, err = ConsumeVarint(data); err != nil {
+			return a, nil, err
+		}
+		a.Sum[k] = v
+	}
+	if n, data, err = ConsumeUvarint(data); err != nil {
+		return a, nil, err
+	}
+	if n > 0 {
+		a.Min = make(map[string]int64, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		var k string
+		var v int64
+		if k, data, err = consumeCkptString(data); err != nil {
+			return a, nil, err
+		}
+		if v, data, err = ConsumeVarint(data); err != nil {
+			return a, nil, err
+		}
+		a.Min[k] = v
+	}
+	if n, data, err = ConsumeUvarint(data); err != nil {
+		return a, nil, err
+	}
+	if n > 0 {
+		a.Or = make(map[string]bool, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		var k string
+		var v bool
+		if k, data, err = consumeCkptString(data); err != nil {
+			return a, nil, err
+		}
+		if v, data, err = ConsumeBool(data); err != nil {
+			return a, nil, err
+		}
+		a.Or[k] = v
+	}
+	return a, data, nil
+}

@@ -1,0 +1,246 @@
+package pregel
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// roundTrip pushes a value through appendVal/consumeVal and requires the
+// decoded copy to match and the cursor to land exactly past the encoding.
+func roundTrip[T any](t *testing.T, v T) {
+	t.Helper()
+	buf := appendVal(nil, &v)
+	var got T
+	rest, err := consumeVal(buf, &got)
+	if err != nil {
+		t.Fatalf("consumeVal(%T %v): %v", v, v, err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("consumeVal(%T %v): %d trailing bytes", v, v, len(rest))
+	}
+	if !reflect.DeepEqual(got, v) {
+		t.Fatalf("round trip of %T: got %v, want %v", v, got, v)
+	}
+}
+
+func TestValueCodecPrimitives(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 63, -64, 1<<62 - 1, -(1 << 62)} {
+		roundTrip(t, v)
+	}
+	for _, v := range []uint64{0, 1, 127, 128, 1<<64 - 1} {
+		roundTrip(t, v)
+	}
+	roundTrip(t, int(-123456))
+	roundTrip(t, int32(-7))
+	roundTrip(t, uint32(1<<32-1))
+	for _, v := range []float64{0, -0.5, 3.14159, 1e300} {
+		roundTrip(t, v)
+	}
+	roundTrip(t, true)
+	roundTrip(t, false)
+	for _, v := range []string{"", "a", "checkpoint v2", strings.Repeat("x", 300)} {
+		roundTrip(t, v)
+	}
+	roundTrip(t, VertexID(1<<63))
+	roundTrip(t, struct{}{})
+}
+
+func TestBinaryCodecAdmission(t *testing.T) {
+	if !binaryCodecFor[int64]() || !binaryCodecFor[VertexID]() || !binaryCodecFor[string]() {
+		t.Error("primitive types must admit the binary codec")
+	}
+	if binaryCodecFor[prVal]() {
+		t.Error("a struct without codec methods must not admit the binary codec")
+	}
+	if binaryCodecFor[[]int64]() {
+		t.Error("a slice type must not admit the binary codec")
+	}
+}
+
+// buildCodecWorker assembles a worker partition with dead vertices, halted
+// vertices, a ragged pending inbox and an empty-inbox tail — every shape
+// the section codec must carry.
+func buildCodecWorker() *worker[int64, int64] {
+	w := &worker[int64, int64]{
+		ids:     []VertexID{3, 5, 100, 1 << 40, 1<<40 + 1},
+		vals:    []int64{-7, 0, 42, 1 << 50, -(1 << 50)},
+		active:  []bool{true, false, true, true, false},
+		dead:    []bool{false, false, true, false, false},
+		nDead:   1,
+		inArena: []int64{10, 11, 12, -13},
+		inOff:   []int32{0, 2, 2, 3, 4, 4},
+		inCur:   make([]int32, 5),
+	}
+	return w
+}
+
+func sectionEqual(t *testing.T, label string, got, want *ckptWorker[int64, int64]) {
+	t.Helper()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("%s: decoded section = %+v, want %+v", label, got, want)
+	}
+}
+
+func TestWorkerSectionRoundTrip(t *testing.T) {
+	w := buildCodecWorker()
+	want := &ckptWorker[int64, int64]{
+		IDs: w.ids, Vals: w.vals, Active: w.active, Dead: w.dead,
+		NDead: 1, InArena: w.inArena, InOff: w.inOff,
+	}
+	for _, bin := range []bool{true, false} {
+		blob, err := encodeWorkerFull(w, bin)
+		if err != nil {
+			t.Fatalf("bin=%v: %v", bin, err)
+		}
+		got, err := decodeWorkerSection[int64, int64](blob)
+		if err != nil {
+			t.Fatalf("bin=%v: %v", bin, err)
+		}
+		label := "binary"
+		if !bin {
+			label = "gob"
+		}
+		sectionEqual(t, label, got, want)
+	}
+}
+
+func TestWorkerSectionBinarySmallerThanGob(t *testing.T) {
+	w := buildCodecWorker()
+	binBlob, err := encodeWorkerFull(w, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gobBlob, err := encodeWorkerFull(w, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(binBlob) >= len(gobBlob) {
+		t.Errorf("binary section is %d bytes, gob is %d; the zero-copy codec should be denser", len(binBlob), len(gobBlob))
+	}
+}
+
+// TestWorkerDeltaMergesToFull: mutate a worker, mark the touched vertices
+// dirty, and the delta applied to the old snapshot must equal a fresh full
+// snapshot of the mutated worker.
+func TestWorkerDeltaMergesToFull(t *testing.T) {
+	w := buildCodecWorker()
+	before, err := encodeWorkerFull(w, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := decodeWorkerSection[int64, int64](before)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mutate vertices 0 and 3: new values, flipped flags, a rewritten
+	// inbox for 0 (2 msgs -> 1 msg) and a new message for 3.
+	w.dirty = []bool{true, false, false, true, false}
+	w.vals[0], w.active[0] = 999, false
+	w.vals[3], w.active[3] = -999, true
+	w.inArena = []int64{77, 12, 88}
+	w.inOff = []int32{0, 1, 1, 2, 3, 3}
+
+	delta := encodeWorkerDelta(w)
+	if err := applyWorkerDelta(snap, delta); err != nil {
+		t.Fatal(err)
+	}
+	after, err := encodeWorkerFull(w, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := decodeWorkerSection[int64, int64](after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sectionEqual(t, "delta-merged", snap, want)
+}
+
+func TestWorkerDeltaRejectsMismatchedSize(t *testing.T) {
+	w := buildCodecWorker()
+	w.dirty = make([]bool, len(w.ids))
+	delta := encodeWorkerDelta(w)
+	snap := &ckptWorker[int64, int64]{
+		IDs: []VertexID{1}, Vals: []int64{0}, Active: []bool{true}, Dead: []bool{false},
+		InOff: []int32{0, 0},
+	}
+	if err := applyWorkerDelta(snap, delta); err == nil {
+		t.Error("applying a 5-vertex delta to a 1-vertex snapshot succeeded")
+	}
+}
+
+func makeCodecCkptFile() *ckptFile {
+	return &ckptFile{
+		Step: 6, Pending: 17, Kind: ckptKindDelta, PrevStep: 4,
+		PartitionerName: "hash", NumWorkers: 3,
+		Supersteps: 7, Messages: 1234, LocalMessages: 1000, RemoteMessages: 234,
+		Bytes: 99999, DroppedMessages: 2, ClockNs: 1.5e9, Fingerprint: 0xdeadbeefcafe,
+		Agg: aggSnapshot{
+			Sum: map[string]int64{"rank": 42, "acc": -7},
+			Min: map[string]int64{"lo": -1},
+			Or:  map[string]bool{"done": true},
+		},
+		Workers: [][]byte{{1, 2, 3}, {}, {9}},
+	}
+}
+
+func TestCkptFileRoundTrip(t *testing.T) {
+	f := makeCodecCkptFile()
+	got, err := decodeCkptFile("job@000", encodeCkptFile(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, f) {
+		t.Errorf("container round trip:\n got %+v\nwant %+v", got, f)
+	}
+}
+
+func TestCkptFileRoundTripEmptyAgg(t *testing.T) {
+	f := &ckptFile{Kind: ckptKindFull, PartitionerName: "range", NumWorkers: 1, Workers: [][]byte{{0}}}
+	got, err := decodeCkptFile("job@000", encodeCkptFile(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty aggregator maps may decode as nil; compare through a fresh
+	// encode instead of DeepEqual on the maps.
+	if !reflect.DeepEqual(encodeCkptFile(got), encodeCkptFile(f)) {
+		t.Errorf("empty-agg container did not round trip")
+	}
+}
+
+func TestDecodeCkptFileRejectsV1Gob(t *testing.T) {
+	_, err := decodeCkptFile("job@000", []byte{0x20, 0xff, 0x81, 0x03})
+	if err == nil {
+		t.Fatal("decoding gob-shaped bytes succeeded")
+	}
+	if !strings.Contains(err.Error(), "v1 gob format") {
+		t.Errorf("error does not name the v1 gob format: %v", err)
+	}
+}
+
+func TestDecodeCkptFileRejectsFutureVersion(t *testing.T) {
+	blob := encodeCkptFile(makeCodecCkptFile())
+	// The version uvarint sits right after the 4-byte magic; v2 encodes as
+	// the single byte 2.
+	if blob[4] != ckptVersion {
+		t.Fatalf("test assumption broken: blob[4] = %d, want the version byte", blob[4])
+	}
+	blob[4] = ckptVersion + 1
+	_, err := decodeCkptFile("job@000", blob)
+	if err == nil {
+		t.Fatal("decoding a future-version container succeeded")
+	}
+	if !strings.Contains(err.Error(), "format v3") {
+		t.Errorf("error does not name the version mismatch: %v", err)
+	}
+}
+
+func TestDecodeCkptFileRejectsTruncation(t *testing.T) {
+	blob := encodeCkptFile(makeCodecCkptFile())
+	for _, cut := range []int{5, len(blob) / 2, len(blob) - 1} {
+		if _, err := decodeCkptFile("job@000", blob[:cut]); err == nil {
+			t.Errorf("decoding a container truncated to %d/%d bytes succeeded", cut, len(blob))
+		}
+	}
+}

@@ -1,0 +1,463 @@
+package pregel
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestOverlapMatchesBarrieredDelivery is the determinism contract for the
+// overlapped shuffle: the PageRank-style job must produce bit-identical
+// vertex values, aggregates and run counters across worker counts with
+// overlap on and off, all matching the sequential baseline.
+func TestOverlapMatchesBarrieredDelivery(t *testing.T) {
+	const n, iters = 96, 11
+	base := buildPRGraph(Config{Workers: 1}, n)
+	baseStats, err := base.Run(pageRankish(n, iters), WithName("ov-base"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := collectPR(base)
+
+	for _, workers := range []int{1, 4, 7} {
+		for _, overlap := range []bool{false, true} {
+			name := fmt.Sprintf("w%d-overlap%v", workers, overlap)
+			t.Run(name, func(t *testing.T) {
+				g := buildPRGraph(Config{Workers: workers, Parallel: true, Overlap: overlap}, n)
+				stats, err := g.Run(pageRankish(n, iters), WithName("ov"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := collectPR(g); !reflect.DeepEqual(got, want) {
+					t.Errorf("values/aggregates differ from sequential baseline")
+				}
+				sameRunStats(t, name, baseStats, stats)
+			})
+		}
+	}
+}
+
+// TestOverlapWithCombiner repeats the contract with a message combiner in
+// play: the per-lane fold happens on the sending side, so overlapped
+// draining must see exactly the same combined envelopes.
+func TestOverlapWithCombiner(t *testing.T) {
+	const n, iters = 96, 9
+	run := func(workers int, parallel, overlap bool) (*Stats, map[VertexID]prVal) {
+		g := buildPRGraph(Config{Workers: workers, Parallel: parallel, Overlap: overlap}, n)
+		g.SetCombiner(func(a, b int64) int64 { return a + b })
+		stats, err := g.Run(pageRankish(n, iters), WithName("ov-comb"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats, collectPR(g)
+	}
+	_, want := run(1, false, false)
+	for _, workers := range []int{1, 4, 7} {
+		// The combined message count legitimately depends on the worker
+		// count (the fold is per-worker), so stats compare barriered vs
+		// overlapped at the same worker count, not against the sequential
+		// baseline — values must match everywhere.
+		barrierStats, barrierVals := run(workers, true, false)
+		overlapStats, overlapVals := run(workers, true, true)
+		name := fmt.Sprintf("w%d", workers)
+		if !reflect.DeepEqual(barrierVals, want) {
+			t.Errorf("%s: barriered combined values differ from sequential baseline", name)
+		}
+		if !reflect.DeepEqual(overlapVals, want) {
+			t.Errorf("%s: overlapped combined values differ from sequential baseline", name)
+		}
+		sameRunStats(t, name, barrierStats, overlapStats)
+	}
+}
+
+// TestCrashMatrixOverlap crashes the overlapped shuffle at every BSP round
+// and requires recovery to reproduce the barriered, unfailed run exactly.
+// This pins down the interaction between per-source completion signals,
+// checkpoint restore (which rebuilds the inbox arenas) and fault replay.
+func TestCrashMatrixOverlap(t *testing.T) {
+	const n, iters = 96, 11
+	for _, workers := range []int{4, 7} {
+		t.Run(fmt.Sprintf("w%d", workers), func(t *testing.T) {
+			probe := NewFaultPlan()
+			base := buildPRGraph(Config{Workers: workers, Parallel: true, Faults: probe}, n)
+			baseStats, err := base.Run(pageRankish(n, iters), WithName("ov-crash"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := collectPR(base)
+
+			for failAt := 0; failAt < probe.Rounds(); failAt++ {
+				g := buildPRGraph(Config{
+					Workers:         workers,
+					Parallel:        true,
+					Overlap:         true,
+					CheckpointEvery: 3,
+					Faults:          NewFaultPlan(Fault{Round: failAt, Worker: failAt}),
+				}, n)
+				stats, err := g.Run(pageRankish(n, iters), WithName("ov-crash"))
+				if err != nil {
+					t.Fatalf("fail@%d: %v", failAt, err)
+				}
+				if stats.Recoveries != 1 {
+					t.Fatalf("fail@%d: %d recoveries, want 1", failAt, stats.Recoveries)
+				}
+				if got := collectPR(g); !reflect.DeepEqual(got, want) {
+					t.Errorf("fail@%d: recovered overlapped run differs from barriered baseline", failAt)
+				}
+				sameRunStats(t, fmt.Sprintf("fail@%d", failAt), baseStats, stats)
+			}
+		})
+	}
+}
+
+// fuseVal is the vertex value of the fusion test: the running sum of
+// received messages plus the largest inbox the vertex has ever seen in a
+// single compute call.
+type fuseVal struct {
+	Sum   int64
+	MaxIn int64
+}
+
+// fanInCompute is a hub fan-in job: every superstep each vertex sends a
+// distinct value to hub id%4, so each hub's inbox holds n/4 combinable
+// messages per superstep.
+func fanInCompute(n, iters int) Compute[fuseVal, int64] {
+	return func(ctx *Context[int64], id VertexID, v *fuseVal, msgs []int64) {
+		if int64(len(msgs)) > v.MaxIn {
+			v.MaxIn = int64(len(msgs))
+		}
+		for _, m := range msgs {
+			v.Sum += m
+		}
+		if ctx.Superstep() >= iters {
+			ctx.VoteToHalt()
+			return
+		}
+		ctx.Send(id%4, int64(id)*1000+int64(ctx.Superstep()))
+	}
+}
+
+// TestTotalCombinerFusion: SetTotalCombiner promises the combiner folds the
+// entire cross-worker fan-in, so compute must observe at most one message
+// per vertex per superstep while producing the same sums as an ordinary
+// per-worker combiner — in both barriered and overlapped mode.
+func TestTotalCombinerFusion(t *testing.T) {
+	const n, iters = 64, 6
+	run := func(total bool, workers int, parallel, overlap bool) map[VertexID]fuseVal {
+		g := NewGraph[fuseVal, int64](Config{Workers: workers, Parallel: parallel, Overlap: overlap})
+		if total {
+			g.SetTotalCombiner(func(a, b int64) int64 { return a + b })
+		} else {
+			g.SetCombiner(func(a, b int64) int64 { return a + b })
+		}
+		for i := 0; i < n; i++ {
+			g.AddVertex(VertexID(i), fuseVal{})
+		}
+		if _, err := g.Run(fanInCompute(n, iters), WithName("fusion")); err != nil {
+			t.Fatal(err)
+		}
+		out := map[VertexID]fuseVal{}
+		g.ForEach(func(id VertexID, v *fuseVal) { out[id] = *v })
+		return out
+	}
+
+	want := run(false, 1, false, false) // ordinary combiner, sequential
+	for _, workers := range []int{1, 4, 7} {
+		for _, overlap := range []bool{false, true} {
+			name := fmt.Sprintf("w%d-overlap%v", workers, overlap)
+			got := run(true, workers, true, overlap)
+			for id, v := range got {
+				if v.MaxIn > 1 {
+					t.Errorf("%s: vertex %d saw %d messages in one superstep; total combiner should fuse to <= 1", name, id, v.MaxIn)
+				}
+				if v.Sum != want[id].Sum {
+					t.Errorf("%s: vertex %d sum = %d, want %d", name, id, v.Sum, want[id].Sum)
+				}
+			}
+		}
+	}
+}
+
+// TestSetCombinerLockedAtRunStart: installing a combiner from inside
+// compute (mid-run) must not affect the running job — the engine snapshots
+// the combiner when Run starts. A graph that installs the same combiner
+// before Run demonstrates what taking effect would have looked like.
+func TestSetCombinerLockedAtRunStart(t *testing.T) {
+	const n = 100
+	job := func(ctx *Context[int], id VertexID, val *int, msgs []int) {
+		for _, m := range msgs {
+			*val += m
+		}
+		if ctx.Superstep() >= 2 {
+			ctx.VoteToHalt()
+			return
+		}
+		ctx.Send(0, 1)
+	}
+	build := func() *Graph[int, int] {
+		g := NewGraph[int, int](Config{Workers: 4})
+		for i := 0; i < n; i++ {
+			g.AddVertex(VertexID(i), 0)
+		}
+		return g
+	}
+
+	plain := build()
+	plainStats, err := plain.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainHub, _ := plain.Value(0)
+
+	// Same job, but superstep 1 sneaks a combiner in mid-run.
+	sneaky := build()
+	sneakyStats, err := sneaky.Run(func(ctx *Context[int], id VertexID, val *int, msgs []int) {
+		if ctx.Superstep() == 1 {
+			sneaky.SetCombiner(func(a, b int) int { return a + b })
+		}
+		job(ctx, id, val, msgs)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sneakyHub, _ := sneaky.Value(0)
+	if sneakyHub != plainHub {
+		t.Errorf("mid-run SetCombiner changed the result: hub = %d, want %d", sneakyHub, plainHub)
+	}
+	if sneakyStats.Messages != plainStats.Messages {
+		t.Errorf("mid-run SetCombiner took effect during the run: %d messages, want the uncombined %d",
+			sneakyStats.Messages, plainStats.Messages)
+	}
+
+	// Installed before Run, the combiner does take effect — proving the
+	// sneaky run's equality above is meaningful, not a no-op combiner.
+	upfront := build()
+	upfront.SetCombiner(func(a, b int) int { return a + b })
+	upfrontStats, err := upfront.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upfrontHub, _ := upfront.Value(0)
+	if upfrontHub != plainHub {
+		t.Errorf("combined run hub = %d, want %d", upfrontHub, plainHub)
+	}
+	if upfrontStats.Messages >= plainStats.Messages {
+		t.Errorf("up-front combiner did not reduce messages: %d vs %d", upfrontStats.Messages, plainStats.Messages)
+	}
+}
+
+// chainCompute is a pointer-chasing job designed for delta checkpoints:
+// exactly one vertex computes per superstep (vertex 0 starts a token that
+// hops down the chain), so the dirty fraction per checkpoint is tiny and
+// the engine's delta-vs-full heuristic picks deltas.
+func chainCompute(n int) Compute[int64, int64] {
+	return func(ctx *Context[int64], id VertexID, v *int64, msgs []int64) {
+		if ctx.Superstep() == 0 {
+			if id == 0 {
+				ctx.Send(1, 7)
+			}
+			ctx.VoteToHalt()
+			return
+		}
+		for _, m := range msgs {
+			*v += m + int64(ctx.Superstep())
+		}
+		if next := uint64(id) + 1; len(msgs) > 0 && next < uint64(n) {
+			ctx.Send(VertexID(next), *v)
+		}
+		ctx.VoteToHalt()
+	}
+}
+
+func buildChainGraph(cfg Config, n int) *Graph[int64, int64] {
+	g := NewGraph[int64, int64](cfg)
+	for i := 0; i < n; i++ {
+		g.AddVertex(VertexID(i), int64(i))
+	}
+	return g
+}
+
+func collectChain(g *Graph[int64, int64]) map[VertexID]int64 {
+	out := map[VertexID]int64{}
+	g.ForEach(func(id VertexID, v *int64) { out[id] = *v })
+	return out
+}
+
+// TestDeltaCheckpointCrashMatrix crashes a delta-checkpointed run at every
+// BSP round: recovery replays the full+delta chain and must reproduce the
+// unfailed run exactly. The chain job keeps the dirty fraction low so the
+// heuristic genuinely picks incremental saves (asserted via stats).
+func TestDeltaCheckpointCrashMatrix(t *testing.T) {
+	const n = 40
+	for _, workers := range []int{1, 4, 7} {
+		t.Run(fmt.Sprintf("w%d", workers), func(t *testing.T) {
+			probe := NewFaultPlan()
+			base := buildChainGraph(Config{Workers: workers, Parallel: workers > 1, Faults: probe}, n)
+			baseStats, err := base.Run(chainCompute(n), WithName("delta"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := collectChain(base)
+
+			// Unfailed delta-checkpointed run: same answer, and the delta
+			// path must actually be exercised.
+			clean := buildChainGraph(Config{
+				Workers: workers, Parallel: workers > 1,
+				CheckpointEvery: 2, DeltaCheckpoints: true,
+			}, n)
+			cleanStats, err := clean.Run(chainCompute(n), WithName("delta"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(collectChain(clean), want) {
+				t.Fatal("delta-checkpointed run diverged from plain run")
+			}
+			if cleanStats.CheckpointDeltaSaves == 0 {
+				t.Fatalf("no delta saves recorded in %d checkpoint saves; the delta path was never exercised",
+					cleanStats.CheckpointSaves)
+			}
+			if cleanStats.CheckpointDeltaSaves >= cleanStats.CheckpointSaves {
+				t.Fatalf("%d delta saves out of %d total; expected periodic full snapshots in between",
+					cleanStats.CheckpointDeltaSaves, cleanStats.CheckpointSaves)
+			}
+
+			for failAt := 0; failAt < probe.Rounds(); failAt++ {
+				g := buildChainGraph(Config{
+					Workers: workers, Parallel: workers > 1,
+					CheckpointEvery: 2, DeltaCheckpoints: true,
+					Faults: NewFaultPlan(Fault{Round: failAt, Worker: failAt}),
+				}, n)
+				stats, err := g.Run(chainCompute(n), WithName("delta"))
+				if err != nil {
+					t.Fatalf("fail@%d: %v", failAt, err)
+				}
+				if stats.Recoveries != 1 {
+					t.Fatalf("fail@%d: %d recoveries, want 1", failAt, stats.Recoveries)
+				}
+				if got := collectChain(g); !reflect.DeepEqual(got, want) {
+					t.Errorf("fail@%d: recovery from delta chain diverged from unfailed run", failAt)
+				}
+				sameRunStats(t, fmt.Sprintf("fail@%d", failAt), baseStats, stats)
+			}
+		})
+	}
+}
+
+// TestDeltaDirCheckpointerResume: delta checkpoints round-trip through the
+// directory store — .dckpt files land on disk next to the full .ckpt
+// snapshots, and a restarted process resumes from the chain tip.
+func TestDeltaDirCheckpointerResume(t *testing.T) {
+	const n = 40
+	dir := t.TempDir()
+	store1, err := NewDirCheckpointer(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := buildChainGraph(Config{
+		Workers: 4, Parallel: true,
+		CheckpointEvery: 2, DeltaCheckpoints: true, Checkpointer: store1,
+	}, n)
+	var calls1 int64
+	stats1, err := g1.Run(func(ctx *Context[int64], id VertexID, v *int64, msgs []int64) {
+		calls1++
+		chainCompute(n)(ctx, id, v, msgs)
+	}, WithName("dresume"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats1.CheckpointDeltaSaves == 0 {
+		t.Fatal("no delta saves in the original run")
+	}
+	want := collectChain(g1)
+
+	fulls, _ := filepath.Glob(filepath.Join(dir, "dresume@*.ckpt"))
+	deltas, _ := filepath.Glob(filepath.Join(dir, "dresume@*.dckpt"))
+	if len(fulls) == 0 || len(deltas) == 0 {
+		t.Fatalf("expected both full and delta checkpoint files on disk, got %d .ckpt / %d .dckpt", len(fulls), len(deltas))
+	}
+
+	store2, err := NewDirCheckpointer(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := buildChainGraph(Config{
+		Workers: 4, Parallel: true,
+		CheckpointEvery: 2, DeltaCheckpoints: true, Checkpointer: store2, Resume: true,
+	}, n)
+	var calls2 int64
+	stats2, err := g2.Run(func(ctx *Context[int64], id VertexID, v *int64, msgs []int64) {
+		calls2++
+		chainCompute(n)(ctx, id, v, msgs)
+	}, WithName("dresume"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(collectChain(g2), want) {
+		t.Error("resume from a delta chain produced different vertex values")
+	}
+	if calls2 >= calls1 {
+		t.Errorf("resume did not fast-forward: %d compute calls on resume, %d originally", calls2, calls1)
+	}
+	if stats2.Supersteps != stats1.Supersteps {
+		t.Errorf("resumed run reported %d supersteps, want %d", stats2.Supersteps, stats1.Supersteps)
+	}
+}
+
+// TestResumeRejectsV1GobCheckpoint: a checkpoint file written by an older
+// binary in the v1 gob format must fail the resume loudly, naming the
+// format mismatch — not silently recompute or crash with a decode panic.
+func TestResumeRejectsV1GobCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(struct{ Step int }{Step: 4}); err != nil {
+		t.Fatal(err)
+	}
+	// The key a fresh store reserves for WithName("v1") is v1@000.
+	if err := os.WriteFile(filepath.Join(dir, "v1@000.00000004.ckpt"), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := NewDirCheckpointer(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := buildChainGraph(Config{Workers: 2, CheckpointEvery: 2, Checkpointer: store, Resume: true}, 16)
+	_, err = g.Run(chainCompute(16), WithName("v1"))
+	if err == nil {
+		t.Fatal("resume over a v1 gob checkpoint succeeded")
+	}
+	if !strings.Contains(err.Error(), "v1 gob format") {
+		t.Errorf("error does not name the v1 gob format: %v", err)
+	}
+}
+
+// TestResumeRejectsLegacyJobKey: checkpoints stored under the pre-workflow
+// key format (bare name@seq, no plan prefix) can never match a prefixed
+// job key; Resume must fail naming both formats instead of silently
+// recomputing from scratch.
+func TestResumeRejectsLegacyJobKey(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "legacy@000.00000004.ckpt"), []byte("stale"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	store, err := NewDirCheckpointer(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := buildChainGraph(Config{
+		Workers: 2, CheckpointEvery: 2, Checkpointer: store,
+		Resume: true, JobPrefix: "plan0.",
+	}, 16)
+	_, err = g.Run(chainCompute(16), WithName("legacy"))
+	if err == nil {
+		t.Fatal("resume over legacy-format checkpoint keys succeeded (would have silently recomputed)")
+	}
+	if !strings.Contains(err.Error(), "legacy job-key format") {
+		t.Errorf("error does not name the legacy key format: %v", err)
+	}
+}

@@ -17,6 +17,7 @@ package pregel
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"ppaassembler/internal/telemetry"
 )
@@ -47,6 +48,17 @@ type Config struct {
 	// the least-noisy per-worker compute timings for the simulated clock
 	// and is just as fast on a single-core host.
 	Parallel bool
+	// Overlap lets delivery overlap with compute under Parallel: instead of
+	// one global barrier between the compute and shuffle phases, each
+	// worker signals a per-source completion counter when its outbox lanes
+	// are sealed, and destination workers begin draining a source's lanes
+	// the moment that source has signalled — while other sources are still
+	// computing. Lanes are single-writer/single-reader and are drained in
+	// source-worker order with the same count/place passes as barriered
+	// delivery, so results stay bit-identical for any worker count; only
+	// wall-clock time changes. Ignored (no-op) unless Parallel is set and
+	// Workers > 1.
+	Overlap bool
 	// MessageBytes is the charged wire size of one message for the cost
 	// model and byte metrics. Zero means DefaultMessageBytes.
 	MessageBytes int
@@ -76,6 +88,16 @@ type Config struct {
 	// installs a fresh MemCheckpointer; pass a DirCheckpointer (shared by
 	// every stage of a pipeline) to survive process death.
 	Checkpointer Checkpointer
+	// DeltaCheckpoints makes cadence checkpoints incremental: after a full
+	// snapshot, subsequent saves record only the vertices dirtied (computed
+	// on, or delivered a message) since the previous save, bounded by a
+	// short chain before the next full snapshot. Requires the binary
+	// checkpoint codec (vertex value and message types that are primitives
+	// or implement CheckpointAppender/CheckpointDecoder) and a store
+	// implementing DeltaCheckpointer; otherwise every save silently stays a
+	// full snapshot. Recovery replays the newest full snapshot plus its
+	// delta chain and is bit-identical to recovering from a full save.
+	DeltaCheckpoints bool
 	// Faults, when non-nil, is a worker-crash schedule for fault-injection
 	// testing; see FaultPlan. Graphs created from this Config (including
 	// via Convert) share the plan, so one schedule spans a whole pipeline.
@@ -129,6 +151,9 @@ func (c Config) Validate() error {
 	}
 	if c.Resume && c.CheckpointEvery <= 0 {
 		return fmt.Errorf("pregel: Resume requires CheckpointEvery > 0 (there are no checkpoints to resume from)")
+	}
+	if c.DeltaCheckpoints && c.CheckpointEvery <= 0 {
+		return fmt.Errorf("pregel: DeltaCheckpoints requires CheckpointEvery > 0 (there are no checkpoints to make incremental)")
 	}
 	return nil
 }
@@ -211,6 +236,13 @@ type worker[V, M any] struct {
 	delivered  int64
 	dropped    int64
 	deliverErr error
+
+	// dirty marks vertices touched since the last checkpoint save (compute
+	// invoked, or a message delivered); nil unless the current run takes
+	// delta checkpoints. A clean vertex is guaranteed to have an unchanged
+	// value and flags and an empty inbox at both barriers, because a
+	// non-empty inbox forces reactivation and therefore compute.
+	dirty []bool
 }
 
 func (w *worker[V, M]) vertexCount() int { return len(w.ids) - w.nDead }
@@ -224,6 +256,24 @@ type Graph[V, M any] struct {
 	clock    *SimClock
 	agg      *aggState
 	combiner func(a, b M) M
+	// combTotal declares the installed combiner total (SetTotalCombiner):
+	// delivery may then fold across source workers too, so compute sees at
+	// most one combined message per vertex (superstep fusion).
+	combTotal bool
+	// runComb/runTotal are the combiner as locked at Run start. Send and
+	// delivery read only these, never g.combiner, so installing a combiner
+	// mid-run can never split one superstep between combined and
+	// uncombined semantics — it takes effect at the next Run.
+	runComb  func(a, b M) M
+	runTotal bool
+
+	// srcDone is the per-source completion counter array of overlapped
+	// delivery (Config.Overlap): srcDone[s] is signalled when worker s has
+	// sealed its outbox lanes for the current superstep, and destination
+	// workers wait on exactly the source they need next instead of on a
+	// global barrier. Reused across supersteps so the steady state
+	// allocates nothing.
+	srcDone []sync.WaitGroup
 
 	// Per-superstep scratch, reused across supersteps and runs.
 	computeNs      []float64
@@ -339,6 +389,14 @@ func growInt32(s []int32, n int) []int32 {
 	return s[:n]
 }
 
+// growBool is growInt32 for bool slices.
+func growBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
 // VertexCount returns the number of live vertices.
 func (g *Graph[V, M]) VertexCount() int {
 	n := 0
@@ -421,7 +479,24 @@ func WithName(name string) RunOption { return func(o *runOpts) { o.name = name }
 // traffic exactly as Google's Pregel combiners do. Pass nil to remove.
 // The combiner must be commutative and associative; compute functions then
 // receive at most one combined message per (worker, destination) pair.
-func (g *Graph[V, M]) SetCombiner(fn func(a, b M) M) { g.combiner = fn }
+//
+// The combiner is captured once at Run start: a SetCombiner while a run is
+// in flight (e.g. from a compute function) never changes the semantics of
+// the run already executing — messages queued before the call and messages
+// queued after it are treated identically — and takes effect at the next
+// Run. SetCombiner must not be called concurrently with a Parallel run.
+func (g *Graph[V, M]) SetCombiner(fn func(a, b M) M) { g.combiner, g.combTotal = fn, false }
+
+// SetTotalCombiner installs fn exactly like SetCombiner and additionally
+// declares the job combiner-total: the folded value of ALL messages to a
+// vertex is what compute needs, never the per-source pieces. Delivery then
+// completes the fold across source workers while placing messages
+// (superstep fusion — the combine work of the next superstep's compute is
+// fused into the shuffle), so compute receives at most ONE combined message
+// per vertex. Folding happens in source-worker order, so results are
+// identical to running SetCombiner and folding the per-worker pieces in
+// compute. The same Run-start capture rule as SetCombiner applies.
+func (g *Graph[V, M]) SetTotalCombiner(fn func(a, b M) M) { g.combiner, g.combTotal = fn, fn != nil }
 
 // Run executes compute over the graph in supersteps until every vertex has
 // voted to halt and no messages are in flight, or the superstep limit is
@@ -444,6 +519,10 @@ func (g *Graph[V, M]) Run(compute Compute[V, M], opts ...RunOption) (*Stats, err
 	g.agg.reset()
 	stats := &Stats{Name: o.name, Workers: g.cfg.Workers}
 	g.runName = o.name
+	// Lock the combiner for the whole run (see SetCombiner): send and
+	// delivery read the run-scoped copy only.
+	g.runComb, g.runTotal = g.combiner, g.combTotal
+	overlap := g.cfg.Overlap && g.cfg.Parallel && g.cfg.Workers > 1
 	tr := g.cfg.Tracer
 	rm := newRunMetrics(g.cfg.Metrics)
 	if tr != nil {
@@ -460,6 +539,15 @@ func (g *Graph[V, M]) Run(compute Compute[V, M], opts ...RunOption) (*Stats, err
 	if err != nil {
 		return stats, err
 	}
+	// Dirty tracking exists only when this run takes delta checkpoints.
+	for _, w := range g.workers {
+		if ck != nil && ck.delta {
+			w.dirty = growBool(w.dirty, len(w.ids))
+			clear(w.dirty)
+		} else {
+			w.dirty = nil
+		}
+	}
 	step := 0
 	pending := int64(0) // messages delivered at the last barrier
 	if ck != nil {
@@ -468,6 +556,14 @@ func (g *Graph[V, M]) Run(compute Compute[V, M], opts ...RunOption) (*Stats, err
 			file, ok, err := ck.loadCheckpoint()
 			if err != nil {
 				return stats, err
+			}
+			if !ok {
+				// Nothing under our key: make sure that is "no previous
+				// process", not "a previous binary wrote checkpoints under
+				// the legacy key format" (which would silently recompute).
+				if err := ck.checkLegacyKeys(); err != nil {
+					return stats, err
+				}
 			}
 			if ok {
 				if step, pending, err = g.restoreCheckpoint(file, stats); err != nil {
@@ -552,20 +648,33 @@ func (g *Graph[V, M]) Run(compute Compute[V, M], opts ...RunOption) (*Stats, err
 			sim0 = g.clock.Ns()
 		}
 		computeNs := g.computeNs
-		forEachWorkerProf(g.cfg.Workers, g.cfg.Parallel, o.name, "compute", func(wi int) {
-			computeNs[wi] = g.runWorker(wi, step, compute)
-		})
-		if tr != nil {
-			wall1 = nowNs()
+		var delivered, dropped int64
+		var stepErr error
+		if overlap {
+			// Fused phase: compute and delivery share one goroutine per
+			// worker; delivery of a source's lanes starts as soon as that
+			// source signals, not at a global barrier.
+			g.overlapStep(step, compute, computeNs)
+			delivered, dropped, stepErr = g.collectDelivery()
+			if tr != nil {
+				wall1 = nowNs()
+				wall2 = wall1
+			}
+		} else {
+			forEachWorkerProf(g.cfg.Workers, g.cfg.Parallel, o.name, "compute", func(wi int) {
+				computeNs[wi] = g.runWorker(wi, step, compute)
+			})
+			if tr != nil {
+				wall1 = nowNs()
+			}
+			// Barrier: deliver messages, apply aggregator values, record stats.
+			delivered, dropped, stepErr = g.deliver()
+			if tr != nil {
+				wall2 = nowNs()
+			}
 		}
-
-		// Barrier: deliver messages, apply aggregator values, record stats.
-		delivered, dropped, err := g.deliver()
-		if err != nil {
-			return stats, err
-		}
-		if tr != nil {
-			wall2 = nowNs()
+		if stepErr != nil {
+			return stats, stepErr
 		}
 		msgs, local := int64(0), int64(0)
 		for _, w := range g.workers {
@@ -611,11 +720,21 @@ func (g *Graph[V, M]) Run(compute Compute[V, M], opts ...RunOption) (*Stats, err
 			sim1 := g.clock.Ns()
 			g.emit(telemetry.KindBegin, "superstep", "pregel", wall0, sim0,
 				telemetry.I("step", int64(step)), telemetry.I("active", activeVerts))
+			if overlap {
+				// The fused compute+delivery wall window; the compute and
+				// shuffle spans inside it keep their synthesized sim-timeline
+				// boundaries, so sim traces stay comparable across modes.
+				g.emit(telemetry.KindBegin, "overlap", "phase", wall0, sim0,
+					telemetry.I("step", int64(step)))
+			}
 			g.emit(telemetry.KindBegin, "compute", "phase", wall0, sim0)
 			g.emit(telemetry.KindEnd, "compute", "phase", wall1, sim0+simComp)
 			g.emit(telemetry.KindBegin, "shuffle", "phase", wall1, sim0+simComp)
 			g.emit(telemetry.KindEnd, "shuffle", "phase", wall2, sim0+simComp+simNet,
 				telemetry.I("delivered", delivered), telemetry.I("dropped", dropped))
+			if overlap {
+				g.emit(telemetry.KindEnd, "overlap", "phase", wall2, sim0+simComp+simNet)
+			}
 			g.emit(telemetry.KindBegin, "barrier", "phase", wall2, sim0+simComp+simNet)
 			g.emit(telemetry.KindEnd, "barrier", "phase", wall3, sim1)
 			g.emit(telemetry.KindEnd, "superstep", "pregel", wall3, sim1,
@@ -644,7 +763,7 @@ func (g *Graph[V, M]) runWorker(wi, step int, compute Compute[V, M]) float64 {
 	for i := range w.outbox {
 		w.outbox[i] = w.outbox[i][:0]
 	}
-	if g.combiner != nil {
+	if g.runComb != nil {
 		if w.fold == nil {
 			w.fold = make([]map[VertexID]int32, g.cfg.Workers)
 			for i := range w.fold {
@@ -669,6 +788,9 @@ func (g *Graph[V, M]) runWorker(wi, step int, compute Compute[V, M]) float64 {
 		}
 		if !w.active[i] {
 			continue
+		}
+		if w.dirty != nil {
+			w.dirty[i] = true
 		}
 		ctx.halt = false
 		ctx.remove = false
@@ -714,6 +836,12 @@ func combineEnvelopes[M any](envs []envelope[M], fn func(a, b M) M) []envelope[M
 // which are fixed at the compute barrier.
 func (g *Graph[V, M]) deliver() (delivered, dropped int64, err error) {
 	forEachWorkerProf(g.cfg.Workers, g.cfg.Parallel, g.runName, "deliver", g.deliverTo)
+	return g.collectDelivery()
+}
+
+// collectDelivery folds the per-destination delivery results into run
+// totals; called after the join of the deliver (or fused overlap) phase.
+func (g *Graph[V, M]) collectDelivery() (delivered, dropped int64, err error) {
 	for _, w := range g.workers {
 		delivered += w.delivered
 		dropped += w.dropped
@@ -725,42 +853,100 @@ func (g *Graph[V, M]) deliver() (delivered, dropped int64, err error) {
 }
 
 // deliverTo rebuilds destination worker dwi's inbox arena from the lanes
-// addressed to it: a counting pass resolves each envelope's vertex index and
-// tallies per-vertex counts, a prefix sum lays out the offset index, and a
-// placement pass copies messages into their group. Iterating lanes in source-
-// worker order in both passes preserves the engine's historical delivery
-// order (source worker, then emission order) within each vertex's messages.
+// addressed to it: a counting pass (countLane, per source lane) resolves
+// each envelope's vertex index and tallies per-vertex counts, then
+// placeInbox lays out the offset index with a prefix sum and copies
+// messages into their group. Iterating lanes in source-worker order in both
+// passes preserves the engine's historical delivery order (source worker,
+// then emission order) within each vertex's messages.
 func (g *Graph[V, M]) deliverTo(dwi int) {
 	dst := g.workers[dwi]
-	dst.delivered, dst.dropped, dst.deliverErr = 0, 0, nil
-	n := len(dst.ids)
-	total := 0
+	g.resetInbox(dst)
 	for _, src := range g.workers {
-		total += len(src.outbox[dwi])
+		g.countLane(dst, src.outbox[dwi])
 	}
-	dst.rIdx = growInt32(dst.rIdx, total)
-	counts := dst.inCur[:n]
+	g.placeInbox(dst, dwi)
+}
+
+// overlapStep runs one superstep's compute and delivery as a single fused
+// parallel phase (Config.Overlap): each worker computes its partition,
+// signals its per-source completion counter — its outbox lanes are sealed —
+// and then switches role to destination, draining one source lane at a time
+// and blocking only on the specific source it needs next. Lane s→d is
+// written only by s during compute and read by d only after s's signal, and
+// d touches its own arena only after its own compute, so the fused phase
+// needs no locks; and because lanes are consumed in source-worker order
+// with the same count/place passes as deliverTo, the resulting arenas — and
+// therefore the whole run — are bit-identical to barriered delivery.
+func (g *Graph[V, M]) overlapStep(step int, compute Compute[V, M], computeNs []float64) {
+	if g.srcDone == nil {
+		g.srcDone = make([]sync.WaitGroup, g.cfg.Workers)
+	}
+	srcDone := g.srcDone
+	for i := range srcDone {
+		srcDone[i].Add(1)
+	}
+	forEachWorkerProf(g.cfg.Workers, true, g.runName, "overlap", func(wi int) {
+		computeNs[wi] = g.runWorker(wi, step, compute)
+		srcDone[wi].Done()
+		dst := g.workers[wi]
+		g.resetInbox(dst)
+		for s := range g.workers {
+			srcDone[s].Wait()
+			g.countLane(dst, g.workers[s].outbox[wi])
+		}
+		g.placeInbox(dst, wi)
+	})
+}
+
+// resetInbox clears destination-side delivery state for a new superstep.
+func (g *Graph[V, M]) resetInbox(dst *worker[V, M]) {
+	dst.delivered, dst.dropped, dst.deliverErr = 0, 0, nil
+	counts := dst.inCur[:len(dst.ids)]
 	for i := range counts {
 		counts[i] = 0
 	}
-	m := 0
-	for _, src := range g.workers {
-		for _, e := range src.outbox[dwi] {
-			i, ok := dst.idx[e.dst]
-			if !ok || dst.dead[i] {
-				dst.rIdx[m] = -1
-				dst.dropped++
-				if g.cfg.Strict && dst.deliverErr == nil {
-					dst.deliverErr = fmt.Errorf("pregel: message to nonexistent vertex %d", e.dst)
-				}
-			} else {
-				dst.rIdx[m] = int32(i)
-				counts[i]++
-				dst.delivered++
+	dst.rIdx = dst.rIdx[:0]
+}
+
+// countLane is the resolve-and-count half of delivery for one source lane:
+// each envelope's destination vertex index is resolved (and remembered in
+// rIdx for the placement pass), per-vertex counts accumulate, and dropped
+// and strict-mode accounting happens here. With a total combiner installed
+// the per-vertex count is capped at one — placeInbox folds further messages
+// into that single slot instead of appending.
+func (g *Graph[V, M]) countLane(dst *worker[V, M], lane []envelope[M]) {
+	counts := dst.inCur[:len(dst.ids)]
+	fused := g.runTotal && g.runComb != nil
+	for _, e := range lane {
+		i, ok := dst.idx[e.dst]
+		if !ok || dst.dead[i] {
+			dst.rIdx = append(dst.rIdx, -1)
+			dst.dropped++
+			if g.cfg.Strict && dst.deliverErr == nil {
+				dst.deliverErr = fmt.Errorf("pregel: message to nonexistent vertex %d", e.dst)
 			}
-			m++
+			continue
+		}
+		dst.rIdx = append(dst.rIdx, int32(i))
+		dst.delivered++
+		if dst.dirty != nil {
+			dst.dirty[i] = true
+		}
+		if !fused || counts[i] == 0 {
+			counts[i]++
 		}
 	}
+}
+
+// placeInbox is the layout-and-place half of delivery: a prefix sum over
+// the per-vertex counts becomes the offset index, then messages are copied
+// into their group in lane order. With a total combiner, messages beyond a
+// vertex's first fold into its single slot in the same order, completing
+// the cross-source combine during the shuffle (superstep fusion).
+func (g *Graph[V, M]) placeInbox(dst *worker[V, M], dwi int) {
+	n := len(dst.ids)
+	counts := dst.inCur[:n]
 	off := int32(0)
 	for i := 0; i < n; i++ {
 		c := counts[i]
@@ -774,14 +960,22 @@ func (g *Graph[V, M]) deliverTo(dwi int) {
 	} else {
 		dst.inArena = dst.inArena[:off]
 	}
-	m = 0
+	fused := g.runTotal && g.runComb != nil
+	m := 0
 	for _, src := range g.workers {
 		for _, e := range src.outbox[dwi] {
-			if i := dst.rIdx[m]; i >= 0 {
-				dst.inArena[counts[i]] = e.msg
-				counts[i]++
-			}
+			i := dst.rIdx[m]
 			m++
+			if i < 0 {
+				continue
+			}
+			if fused && counts[i] > dst.inOff[i] {
+				slot := &dst.inArena[dst.inOff[i]]
+				*slot = g.runComb(*slot, e.msg)
+				continue
+			}
+			dst.inArena[counts[i]] = e.msg
+			counts[i]++
 		}
 	}
 }
@@ -799,11 +993,11 @@ func (a gAdapter[V, M]) send(from int, dst VertexID, m M) {
 	g := a.g
 	w := g.workers[from]
 	dwi := g.WorkerOf(dst)
-	if g.combiner != nil {
+	if g.runComb != nil {
 		fm := w.fold[dwi]
 		if i, ok := fm[dst]; ok {
 			lane := w.outbox[dwi]
-			lane[i].msg = g.combiner(lane[i].msg, m)
+			lane[i].msg = g.runComb(lane[i].msg, m)
 			return
 		}
 		fm[dst] = int32(len(w.outbox[dwi]))

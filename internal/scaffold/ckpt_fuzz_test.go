@@ -1,0 +1,109 @@
+package scaffold
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"ppaassembler/internal/pregel"
+	"ppaassembler/internal/pregel/ckpttest"
+)
+
+// fuzzGen derives struct fields deterministically from raw fuzz input.
+type fuzzGen struct {
+	data []byte
+	i    int
+}
+
+func (g *fuzzGen) b() byte {
+	if g.i >= len(g.data) {
+		return 0
+	}
+	v := g.data[g.i]
+	g.i++
+	return v
+}
+
+func (g *fuzzGen) flag() bool { return g.b()&1 == 1 }
+
+func (g *fuzzGen) u64() uint64 {
+	var raw [8]byte
+	for i := range raw {
+		raw[i] = g.b()
+	}
+	return binary.LittleEndian.Uint64(raw[:])
+}
+
+func (g *fuzzGen) id() pregel.VertexID { return pregel.VertexID(g.u64()) }
+
+// gap returns a comparable float64 (no NaN: NaN != NaN would trip the
+// DeepEqual differential even though both codecs carry the bits faithfully).
+func (g *fuzzGen) gap() float64 {
+	f := math.Float64frombits(g.u64())
+	if math.IsNaN(f) {
+		return 0.25
+	}
+	return f
+}
+
+func (g *fuzzGen) link() Link {
+	return Link{
+		Nbr:     g.id(),
+		SelfEnd: End(g.b()),
+		NbrEnd:  End(g.b()),
+		Weight:  int32(g.u64()),
+		Gap:     g.gap(),
+	}
+}
+
+func FuzzSVertexCodecDifferential(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{2, 1, 0, 0xff, 0xfe, 0xfd, 0xfc, 0xfb, 0xfa, 0xf9, 0xf8, 9, 8, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := &fuzzGen{data: data}
+		l := g.link()
+		ckpttest.RoundTrip[Link](t, &l)
+
+		v := SVertex{
+			Len:      int32(g.u64()),
+			Chain:    g.id(),
+			Assigned: g.flag(),
+			Flip:     g.flag(),
+			Wave:     g.id(),
+			Pred:     g.id(),
+			PredGap:  g.gap(),
+			EndSum:   int64(g.u64()),
+		}
+		if nc := int(g.b()) % 5; nc > 0 {
+			v.Cand = make([]Link, nc)
+			for i := range v.Cand {
+				v.Cand[i] = g.link()
+			}
+		}
+		for i := 0; i < 2; i++ {
+			v.Keep[i] = g.link()
+			v.Has[i] = g.flag()
+		}
+		ckpttest.RoundTrip[SVertex](t, &v)
+		ckpttest.NoPanic[Link](t, data)
+		ckpttest.NoPanic[SVertex](t, data)
+	})
+}
+
+func FuzzSMsgCodecDifferential(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{5, 0, 1, 0x10, 0x20, 0x30, 0x40, 0x50, 0x60, 0x70, 0x80})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := &fuzzGen{data: data}
+		m := SMsg{
+			Kind:    g.b(),
+			FromEnd: End(g.b()),
+			ToEnd:   End(g.b()),
+			From:    g.id(),
+			Wave:    g.id(),
+			Gap:     g.gap(),
+		}
+		ckpttest.RoundTrip[SMsg](t, &m)
+		ckpttest.NoPanic[SMsg](t, data)
+	})
+}

@@ -81,6 +81,10 @@ type Env struct {
 	// traffic the paper's cluster would carry.
 	MessageBytes int
 
+	// Overlap enables the engine's overlapped compute/delivery mode
+	// (pregel.Config.Overlap) for every op.
+	Overlap bool
+
 	// CheckpointEvery, Checkpointer, Faults and Resume configure Pregel-
 	// style fault tolerance exactly as on pregel.Config; the plan passes
 	// them to every op so one store and one crash schedule span the run.
@@ -88,6 +92,9 @@ type Env struct {
 	Checkpointer    pregel.Checkpointer
 	Faults          *pregel.FaultPlan
 	Resume          bool
+	// DeltaCheckpoints enables incremental checkpoints
+	// (pregel.Config.DeltaCheckpoints) for every op.
+	DeltaCheckpoints bool
 
 	// Clock is the simulated-cluster clock every op charges. Plan.Run
 	// installs a fresh one when nil.
@@ -129,10 +136,11 @@ func (e *Env) normalize() error {
 // current op, including its deterministic job-key prefix.
 func (e *Env) Config() pregel.Config {
 	return pregel.Config{
-		Workers: e.Workers, Parallel: e.Parallel, Cost: e.Cost,
+		Workers: e.Workers, Parallel: e.Parallel, Overlap: e.Overlap, Cost: e.Cost,
 		Partitioner: e.Partitioner, MessageBytes: e.MessageBytes,
 		CheckpointEvery: e.CheckpointEvery, Checkpointer: e.Checkpointer,
-		Faults: e.Faults, Resume: e.Resume,
+		DeltaCheckpoints: e.DeltaCheckpoints,
+		Faults:           e.Faults, Resume: e.Resume,
 		JobPrefix: e.prefix,
 		Tracer:    e.Tracer, Metrics: e.Metrics,
 	}
