@@ -94,19 +94,23 @@ func (r *report) notef(format string, args ...any) {
 	r.notes = append(r.notes, fmt.Sprintf(format, args...))
 }
 
-// worseRatio reports by how much current exceeds baseline, as a fraction
-// (0.10 = 10% worse). Non-positive baselines compare as "not worse".
-func worseRatio(baseline, current float64) float64 {
-	if baseline <= 0 {
-		return 0
-	}
-	return current/baseline - 1
-}
-
 // checkGrowth flags current > baseline*(1+threshold) for a
-// smaller-is-better metric.
+// smaller-is-better metric. The degenerate ends never pass silently: a
+// zero baseline cannot gate anything, so the comparison is recorded as
+// skipped; a zero current for a metric the baseline has means the section
+// was dropped or the emitter broke — a ratio check would read that as a
+// perfect score, so it fails instead.
 func checkGrowth(r *report, name string, baseline, current, threshold float64) {
-	if w := worseRatio(baseline, current); w > threshold {
+	if baseline <= 0 {
+		r.notef("skipped: %s has no baseline value (baseline %.4g, current %.4g)", name, baseline, current)
+		return
+	}
+	if current <= 0 {
+		r.failf("%s vanished from the current artifact (baseline %.4g, current %.4g) — section dropped or emitter broken",
+			name, baseline, current)
+		return
+	}
+	if w := current/baseline - 1; w > threshold {
 		r.failf("%s regressed %.1f%% (baseline %.4g, current %.4g, threshold %.0f%%)",
 			name, 100*w, baseline, current, 100*threshold)
 	}
@@ -168,7 +172,9 @@ func compare(baseline, current artifact, threshold float64) report {
 	for _, row := range baseline.Pipeline {
 		basePipe[row.Name] = row
 	}
+	curPipe := map[string]bool{}
 	for _, row := range current.Pipeline {
+		curPipe[row.Name] = true
 		b, ok := basePipe[row.Name]
 		if !ok {
 			r.notef("pipeline partitioner %q has no baseline row; skipping", row.Name)
@@ -176,6 +182,13 @@ func compare(baseline, current artifact, threshold float64) report {
 		}
 		checkGrowth(&r, "pipeline "+row.Name+" remote_fraction", b.RemoteFraction, row.RemoteFraction, threshold)
 		checkGrowth(&r, "pipeline "+row.Name+" net_sim_seconds", b.NetSimSeconds, row.NetSimSeconds, threshold)
+	}
+	// A row the baseline gates on must not silently disappear — an emitter
+	// that stops measuring a partitioner would otherwise weaken the fence.
+	for _, row := range baseline.Pipeline {
+		if !curPipe[row.Name] {
+			r.failf("pipeline partitioner %q present in the baseline but missing from the current artifact", row.Name)
+		}
 	}
 
 	// --- Time-based metrics: only on a comparable host. ---

@@ -163,3 +163,27 @@ func TestMissingBaselinePipelineRowIsNoted(t *testing.T) {
 	wantClean(t, r)
 	wantNote(t, r, "no baseline row")
 }
+
+func TestZeroBaselineMetricIsNotedNotSilentlyPassed(t *testing.T) {
+	base := healthyArtifact()
+	base.CheckpointThroughput.DeltaRatio = 0 // baseline predates this metric
+	cur := healthyArtifact()
+	cur.CheckpointThroughput.DeltaRatio = 100 // would regress if gated
+	r := compare(base, cur, 0.25)
+	wantClean(t, r)
+	wantNote(t, r, "skipped: checkpoint delta_ratio")
+}
+
+func TestDroppedMetricFailsInsteadOfReadingAsImprovement(t *testing.T) {
+	base := healthyArtifact()
+	cur := healthyArtifact()
+	cur.Sequential.AllocsPerOp = 0 // emitter stopped measuring: not a perfect score
+	wantRegression(t, compare(base, cur, 0.25), "sequential allocs/op vanished")
+}
+
+func TestDroppedPipelineRowFails(t *testing.T) {
+	base := healthyArtifact()
+	cur := healthyArtifact()
+	cur.Pipeline = cur.Pipeline[:1] // current stopped measuring the minimizer leg
+	wantRegression(t, compare(base, cur, 0.25), `"minimizer" present in the baseline but missing`)
+}

@@ -56,6 +56,8 @@ type cliOpts struct {
 	checkpoint string
 	ckptEvery  int
 	ckptDelta  bool
+	ckptFsync  bool
+	ckptVerify bool
 	faultPlan  string
 	resume     bool
 	overlap    bool
@@ -95,6 +97,8 @@ func main() {
 	flag.StringVar(&o.checkpoint, "checkpoint", "", "checkpoint directory for fault tolerance (empty with -ckpt-every set = in-memory checkpoints)")
 	flag.IntVar(&o.ckptEvery, "ckpt-every", 0, "checkpoint every N supersteps (0 = no checkpointing; implied 5 when -checkpoint or -faultplan is set)")
 	flag.BoolVar(&o.ckptDelta, "ckpt-delta", false, "with checkpointing on, save incremental (dirty-vertex-only) checkpoints between full snapshots")
+	flag.BoolVar(&o.ckptFsync, "ckpt-fsync", true, "fsync checkpoint files and their directory on every save (disable only for throwaway runs; a machine crash may then corrupt or lose checkpoints)")
+	flag.BoolVar(&o.ckptVerify, "ckpt-verify", false, "verify the integrity of every artifact in -checkpoint (frame structure, v3 checksums), print a per-file report, and exit; no assembly is run")
 	flag.StringVar(&o.faultPlan, "faultplan", "", "inject simulated worker crashes: comma-separated ROUND:WORKER pairs counted over all BSP rounds, e.g. \"12:0,57:3\"")
 	flag.BoolVar(&o.resume, "resume", false, "resume a killed run from the checkpoints in -checkpoint")
 	flag.StringVar(&o.workflow, "workflow", "", "compose the assembly as an explicit op workflow instead of the canned pipeline, e.g. \"build,label,merge,bubble,rebuild,link,tiptrim:minlen=40,label,merge,fasta\" (unset op parameters inherit the global flags)")
@@ -105,6 +109,21 @@ func main() {
 	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 	o.theta = uint32(theta)
+	if o.ckptVerify {
+		if o.checkpoint == "" {
+			fmt.Fprintln(os.Stderr, "ppa-assembler: -ckpt-verify requires -checkpoint")
+			os.Exit(2)
+		}
+		corrupt, err := runCkptVerify(o.checkpoint, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ppa-assembler:", err)
+			os.Exit(1)
+		}
+		if corrupt > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 	if o.in == "" {
 		fmt.Fprintln(os.Stderr, "ppa-assembler: -in is required")
 		flag.Usage()

@@ -33,7 +33,12 @@ func faultTolerance(o cliOpts) (every int, store pregel.Checkpointer, faults *pr
 		every = 5
 	}
 	if o.checkpoint != "" {
-		if store, err = pregel.NewDirCheckpointer(o.checkpoint); err != nil {
+		durability := pregel.DurabilityFull
+		if !o.ckptFsync {
+			durability = pregel.DurabilityNone
+		}
+		store, err = pregel.NewDirCheckpointerOpts(o.checkpoint, pregel.DirStoreOptions{Durability: durability})
+		if err != nil {
 			return 0, nil, nil, err
 		}
 	}

@@ -104,6 +104,7 @@ func FuzzVDataCodecDifferential(f *testing.F) {
 		}
 		ckpttest.RoundTrip[VData](t, &v)
 		ckpttest.NoPanic[VData](t, data)
+		ckpttest.Corrupt[VData](t, &v, data)
 	})
 }
 
@@ -127,5 +128,6 @@ func FuzzMsgCodecDifferential(f *testing.F) {
 		}
 		ckpttest.RoundTrip[Msg](t, &m)
 		ckpttest.NoPanic[Msg](t, data)
+		ckpttest.Corrupt[Msg](t, &m, data)
 	})
 }

@@ -512,6 +512,9 @@ func (o ScaffoldOp) Run(env *workflow.Env, st *State) error {
 	if opt.Metrics == nil {
 		opt.Metrics = env.Metrics
 	}
+	if opt.Warn == nil {
+		opt.Warn = env.Warn
+	}
 	sres, err := scaffold.Build(contigs, st.Pairs, opt)
 	if err != nil {
 		return err

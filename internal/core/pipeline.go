@@ -80,6 +80,11 @@ type Options struct {
 	// Metrics, when non-nil, collects engine and workflow counters for a
 	// Prometheus-text dump (telemetry.Registry.WritePrometheus).
 	Metrics *telemetry.Registry
+	// Warn, when non-nil, receives the engine's non-fatal diagnostics from
+	// every stage — delta-checkpoint downgrades, corrupt checkpoint
+	// artifacts skipped during recovery (see pregel.Config.Warn). Nil
+	// routes each distinct message to stderr once per process.
+	Warn func(msg string)
 
 	// Optional extension operations (§V names both as user
 	// customizations; zero disables them):
@@ -190,7 +195,7 @@ func (o Options) Env(clock *pregel.SimClock) *workflow.Env {
 		DeltaCheckpoints: o.DeltaCheckpoints,
 		Faults:           o.Faults, Resume: o.Resume,
 		Clock:  clock,
-		Tracer: o.Tracer, Metrics: o.Metrics,
+		Tracer: o.Tracer, Metrics: o.Metrics, Warn: o.Warn,
 	}
 }
 

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"ppaassembler/internal/pregel"
+	"ppaassembler/internal/testfs"
+)
+
+// TestPipelineResumeTornCheckpoint is the end-to-end torn-write leg: a full
+// assembly+scaffold pipeline checkpoints into a fault-injecting filesystem,
+// the newest checkpoint artifact is torn at a section boundary (the exact
+// state a crashed write leaves), and a resumed pipeline must walk back to
+// the previous intact snapshot and still emit byte-identical FASTA.
+func TestPipelineResumeTornCheckpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline torn-write test is slow")
+	}
+	reads, pairs := recoveryGenomeReads(t)
+	fs := testfs.New()
+	const dir = "/ckpt"
+
+	store1, err := pregel.NewDirCheckpointerOpts(dir, pregel.DirStoreOptions{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, s1, _, _ := runPipeline(t, reads, pairs, 4, false, func(o *Options) {
+		o.CheckpointEvery = 3
+		o.Checkpointer = store1
+	})
+
+	rep, err := pregel.VerifyCheckpointDirFS(dir, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Files) == 0 {
+		t.Fatal("pipeline run left no checkpoint artifacts")
+	}
+	if bad := rep.Corrupt(); len(bad) != 0 {
+		t.Fatalf("clean pipeline run left corrupt artifacts: %+v", bad)
+	}
+	// Tear the newest artifact of a job that kept an older generation —
+	// tearing a job's only checkpoint tests the loud-refusal path, which
+	// durability_test covers; here the resume must walk back and succeed.
+	perJob := map[string]int{}
+	for _, f := range rep.Files {
+		if !f.Temp {
+			perJob[f.Job]++
+		}
+	}
+	var victim pregel.CkptFileInfo
+	for _, f := range rep.Files {
+		if !f.Temp && perJob[f.Job] > 1 &&
+			(victim.Name == "" || f.Job == victim.Job && f.Step > victim.Step) {
+			if victim.Name == "" || f.Job == victim.Job {
+				victim = f
+			}
+		}
+	}
+	if victim.Name == "" {
+		t.Fatal("no job kept two checkpoint generations; cannot exercise walk-back")
+	}
+	cut := victim.SectionEnds[len(victim.SectionEnds)-1] - 3
+	if err := fs.Truncate(dir+"/"+victim.Name, int(cut)); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := pregel.NewDirCheckpointerOpts(dir, pregel.DirStoreOptions{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var warns []string
+	c2, s2, _, _ := runPipeline(t, reads, pairs, 4, false, func(o *Options) {
+		o.CheckpointEvery = 3
+		o.Checkpointer = store2
+		o.Resume = true
+		o.Warn = func(msg string) { warns = append(warns, msg) }
+	})
+	if !bytes.Equal(c1, c2) {
+		t.Error("pipeline resumed over a torn checkpoint produced different contig FASTA")
+	}
+	if !bytes.Equal(s1, s2) {
+		t.Error("pipeline resumed over a torn checkpoint produced different scaffold FASTA")
+	}
+	found := false
+	for _, w := range warns {
+		if bytes.Contains([]byte(w), []byte(victim.Name)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no warning names the torn artifact %s: %q", victim.Name, warns)
+	}
+}

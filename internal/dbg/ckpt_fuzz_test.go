@@ -81,6 +81,8 @@ func FuzzNodeCodecDifferential(f *testing.F) {
 		ckpttest.RoundTrip[Node](t, &n)
 		ckpttest.NoPanic[Adj](t, data)
 		ckpttest.NoPanic[Node](t, data)
+		ckpttest.Corrupt[Adj](t, &a, data)
+		ckpttest.Corrupt[Node](t, &n, data)
 	})
 }
 
@@ -98,5 +100,6 @@ func FuzzKmerVertexCodecDifferential(f *testing.F) {
 		}
 		ckpttest.RoundTrip[KmerVertex](t, &v)
 		ckpttest.NoPanic[KmerVertex](t, data)
+		ckpttest.Corrupt[KmerVertex](t, &v, data)
 	})
 }

@@ -44,6 +44,8 @@ func FuzzLRCodecDifferential(f *testing.F) {
 		ckpttest.RoundTrip[LRMsg](t, &m)
 		ckpttest.NoPanic[LRVertex](t, data)
 		ckpttest.NoPanic[LRMsg](t, data)
+		ckpttest.Corrupt[LRVertex](t, &v, data)
+		ckpttest.Corrupt[LRMsg](t, &m, data)
 	})
 }
 
@@ -64,5 +66,7 @@ func FuzzSVCodecDifferential(f *testing.F) {
 		ckpttest.RoundTrip[SVMsg](t, &m)
 		ckpttest.NoPanic[SVVertex](t, data)
 		ckpttest.NoPanic[SVMsg](t, data)
+		ckpttest.Corrupt[SVVertex](t, &v, data)
+		ckpttest.Corrupt[SVMsg](t, &m, data)
 	})
 }

@@ -1,8 +1,9 @@
 package pregel
 
 import (
+	"errors"
 	"fmt"
-	"os"
+	"math"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -40,8 +41,10 @@ type Checkpointer interface {
 // DeltaCheckpointer is an optional Checkpointer extension for incremental
 // checkpoints (Config.DeltaCheckpoints): a delta records only the vertices
 // dirtied since the preceding save and is only restorable together with the
-// full snapshot it chains from. Stores that don't implement it silently get
-// full snapshots on every save. Both built-in stores implement it.
+// full snapshot it chains from. Stores that don't implement it get full
+// snapshots on every save; the engine reports that downgrade through
+// Config.Warn and the pregel_checkpoint_delta_downgrades_total counter.
+// Both built-in stores implement it.
 type DeltaCheckpointer interface {
 	Checkpointer
 	// SaveDelta records an incremental checkpoint for job at step without
@@ -93,6 +96,27 @@ func (s *jobSet) trackJob(job string) error {
 	}
 	s.reserved[job] = true
 	return nil
+}
+
+// ckptBlobRef is one stored artifact handed to the corruption-aware
+// restore path: the raw bytes (or the read error), plus enough identity to
+// report the artifact in a warning.
+type ckptBlobRef struct {
+	step  int
+	delta bool
+	data  []byte
+	src   string // artifact name for diagnostics (file base name, or a mem: key)
+	err   error  // read failure, resolved by loadCheckpoint like corrupt bytes
+}
+
+// chainSource is the store hook behind corruption-aware recovery: instead
+// of only the newest restorable chain (Latest/Chain), it exposes every
+// candidate chain the store still holds, newest first, so a restore can
+// walk back past a corrupt artifact to the last intact snapshot. Both
+// built-in stores implement it; custom stores without it keep the strict
+// behavior (any decode failure aborts the run).
+type chainSource interface {
+	ckptChains(job string) ([][]ckptBlobRef, error)
 }
 
 // MemCheckpointer keeps checkpoints in process memory: the natural store
@@ -181,30 +205,98 @@ func (m *MemCheckpointer) Chain(job string) ([]int, [][]byte, bool, error) {
 	return steps, blobs, true, nil
 }
 
+// ckptChains implements chainSource. The in-memory store keeps a single
+// generation, so there is exactly one candidate (or none).
+func (m *MemCheckpointer) ckptChains(job string) ([][]ckptBlobRef, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.data[job]
+	if !ok {
+		return nil, nil
+	}
+	chain := []ckptBlobRef{{step: c.step, data: c.blob, src: fmt.Sprintf("mem:%s@%08d", job, c.step)}}
+	for _, d := range m.deltas[job] {
+		if d.step > c.step {
+			chain = append(chain, ckptBlobRef{step: d.step, delta: true, data: d.blob,
+				src: fmt.Sprintf("mem:%s@%08d(delta)", job, d.step)})
+		}
+	}
+	return [][]ckptBlobRef{chain}, nil
+}
+
 // DirCheckpointer persists checkpoints as files under one directory
 // (standing in for the distributed file system of the paper's cluster), so
 // a killed pipeline process can be restarted with Config.Resume and fast-
-// forward each job from its last completed checkpoint. Files are written to
-// a temporary name and renamed, so a crash mid-write never corrupts the
-// previous checkpoint.
+// forward each job from its last completed checkpoint.
+//
+// Commit protocol: each blob goes to a uniquely named temp file (safe when
+// several processes share the directory), is fsynced, renamed into place,
+// and the directory is fsynced — so under DurabilityFull (the default) a
+// checkpoint reported saved is on stable storage, surviving a machine
+// crash, not just a process crash. The store retains the newest
+// KeepGenerations full snapshots per job (plus the delta files between
+// them), giving corruption-aware recovery an older generation to walk back
+// to when the newest file fails its checksums.
 type DirCheckpointer struct {
 	jobSet
-	dir  string
-	mu   sync.Mutex
-	seq  int
-	last map[string]int // step of the newest full file written per job this process
-	// deltasOf tracks the delta steps written since the last full save per
-	// job this process, so a full save can delete the superseded chain
-	// without a directory scan.
-	deltasOf map[string][]int
+	dir        string
+	fsys       FS
+	durability Durability
+	keep       int
+	mu         sync.Mutex
+	seq        int
+	// scanned marks jobs whose on-disk files (left by a previous process)
+	// have been folded into fulls/deltasOf, so only a job's first save pays
+	// for a directory scan.
+	scanned  map[string]bool
+	fulls    map[string][]int // ascending steps of the retained full files per job
+	deltasOf map[string][]int // ascending steps of the retained delta files per job
 }
 
-// NewDirCheckpointer creates (if needed) and opens a checkpoint directory.
+// DirStoreOptions configures NewDirCheckpointerOpts. The zero value gives
+// the production defaults: the real filesystem, DurabilityFull, two
+// retained generations.
+type DirStoreOptions struct {
+	// FS is the filesystem the store runs against; nil means the real one
+	// (OSFS). Tests inject internal/testfs here to exercise crash faults.
+	FS FS
+	// Durability selects the fsync discipline; see the Durability doc.
+	Durability Durability
+	// KeepGenerations is how many full snapshots per job to retain. Older
+	// generations exist purely as recovery fallbacks for when the newest
+	// file is corrupt. Zero means the default of 2; 1 keeps only the
+	// newest snapshot (the pre-v3 behavior).
+	KeepGenerations int
+}
+
+// NewDirCheckpointer creates (if needed) and opens a checkpoint directory
+// with the default options.
 func NewDirCheckpointer(dir string) (*DirCheckpointer, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return NewDirCheckpointerOpts(dir, DirStoreOptions{})
+}
+
+// NewDirCheckpointerOpts is NewDirCheckpointer with explicit store options.
+func NewDirCheckpointerOpts(dir string, opts DirStoreOptions) (*DirCheckpointer, error) {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = OSFS()
+	}
+	keep := opts.KeepGenerations
+	if keep <= 0 {
+		keep = 2
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("pregel: checkpoint dir: %w", err)
 	}
-	return &DirCheckpointer{dir: dir, last: map[string]int{}, deltasOf: map[string][]int{}}, nil
+	return &DirCheckpointer{
+		dir:        dir,
+		fsys:       fsys,
+		durability: opts.Durability,
+		keep:       keep,
+		scanned:    map[string]bool{},
+		fulls:      map[string][]int{},
+		deltasOf:   map[string][]int{},
+	}, nil
 }
 
 // NextJob implements Checkpointer. The sequence restarts at zero in every
@@ -229,52 +321,112 @@ func (d *DirCheckpointer) dpath(job string, step int) string {
 	return filepath.Join(d.dir, fmt.Sprintf("%s.%08d.dckpt", job, step))
 }
 
+// write commits one blob: unique temp file, optional fsync, rename,
+// optional directory fsync. The unique temp name (os.CreateTemp-style
+// random suffix) is what makes a shared checkpoint directory safe — a
+// fixed name would let two processes interleave writes into the same file.
+// Temp names never end in .ckpt/.dckpt, so the scanners ignore strays left
+// by a crash mid-write.
 func (d *DirCheckpointer) write(final string, data []byte) error {
-	tmp := final + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	f, err := d.fsys.CreateTemp(d.dir, filepath.Base(final)+".tmp-*")
+	if err != nil {
 		return fmt.Errorf("pregel: writing checkpoint: %w", err)
 	}
-	if err := os.Rename(tmp, final); err != nil {
+	tmp := f.Name()
+	abort := func(step string, err error) error {
+		f.Close()
+		d.fsys.Remove(tmp)
+		return fmt.Errorf("pregel: %s checkpoint: %w", step, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		return abort("writing", err)
+	}
+	if d.durability == DurabilityFull {
+		if err := f.Sync(); err != nil {
+			return abort("syncing", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		d.fsys.Remove(tmp)
+		return fmt.Errorf("pregel: writing checkpoint: %w", err)
+	}
+	if err := d.fsys.Rename(tmp, final); err != nil {
+		d.fsys.Remove(tmp)
 		return fmt.Errorf("pregel: committing checkpoint: %w", err)
 	}
+	if d.durability == DurabilityFull {
+		if err := d.fsys.SyncDir(d.dir); err != nil {
+			return fmt.Errorf("pregel: syncing checkpoint dir: %w", err)
+		}
+	}
 	return nil
+}
+
+// ensureScanned folds the directory's existing files for job (left by a
+// previous process) into the in-memory retention state, once per job.
+func (d *DirCheckpointer) ensureScanned(job string) error {
+	if d.scanned[job] {
+		return nil
+	}
+	steps, dsteps, err := d.scan(job)
+	if err != nil {
+		return err
+	}
+	for _, s := range steps {
+		d.fulls[job] = insertStep(d.fulls[job], s)
+	}
+	for _, s := range dsteps {
+		d.deltasOf[job] = insertStep(d.deltasOf[job], s)
+	}
+	d.scanned[job] = true
+	return nil
+}
+
+// insertStep adds s to an ascending step list, keeping it sorted and
+// duplicate-free.
+func insertStep(steps []int, s int) []int {
+	for _, v := range steps {
+		if v == s {
+			return steps
+		}
+	}
+	steps = append(steps, s)
+	sort.Ints(steps)
+	return steps
 }
 
 // Save implements Checkpointer.
 func (d *DirCheckpointer) Save(job string, step int, data []byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if err := d.ensureScanned(job); err != nil {
+		return err
+	}
 	if err := d.write(d.path(job, step), data); err != nil {
 		return err
 	}
-	// Drop superseded checkpoints of the same job — the previous full file
-	// and any delta chain hanging off it. After the first save of a job
-	// the newest step is tracked in memory, so only that first save (which
-	// may find files a previous process left behind) pays for a directory
-	// scan.
-	if prev, ok := d.last[job]; ok {
-		if prev != step {
-			os.Remove(d.path(job, prev))
+	// Drop superseded generations: full files beyond the newest keep, and
+	// delta files older than the oldest retained full. The new file is
+	// durable before anything is deleted (write fsyncs the directory), so
+	// a crash at any point here leaves a restorable store.
+	fulls := insertStep(d.fulls[job], step)
+	if len(fulls) > d.keep {
+		for _, s := range fulls[:len(fulls)-d.keep] {
+			d.fsys.Remove(d.path(job, s))
 		}
-		for _, s := range d.deltasOf[job] {
-			os.Remove(d.dpath(job, s))
-		}
-	} else {
-		steps, dsteps, err := d.scan(job)
-		if err != nil {
-			return err
-		}
-		for _, s := range steps {
-			if s != step {
-				os.Remove(d.path(job, s))
-			}
-		}
-		for _, s := range dsteps {
-			os.Remove(d.dpath(job, s))
+		fulls = append([]int(nil), fulls[len(fulls)-d.keep:]...)
+	}
+	d.fulls[job] = fulls
+	oldest := fulls[0]
+	kept := d.deltasOf[job][:0]
+	for _, s := range d.deltasOf[job] {
+		if s < oldest {
+			d.fsys.Remove(d.dpath(job, s))
+		} else {
+			kept = append(kept, s)
 		}
 	}
-	d.last[job] = step
-	delete(d.deltasOf, job)
+	d.deltasOf[job] = kept
 	return nil
 }
 
@@ -282,23 +434,25 @@ func (d *DirCheckpointer) Save(job string, step int, data []byte) error {
 func (d *DirCheckpointer) SaveDelta(job string, step int, data []byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if err := d.ensureScanned(job); err != nil {
+		return err
+	}
 	if err := d.write(d.dpath(job, step), data); err != nil {
 		return err
 	}
-	d.deltasOf[job] = append(d.deltasOf[job], step)
+	d.deltasOf[job] = insertStep(d.deltasOf[job], step)
 	return nil
 }
 
 // scan lists the checkpointed superstep numbers present for job: full
 // snapshots and deltas, each ascending.
 func (d *DirCheckpointer) scan(job string) (steps, dsteps []int, err error) {
-	entries, err := os.ReadDir(d.dir)
+	names, err := d.fsys.ReadDir(d.dir)
 	if err != nil {
 		return nil, nil, fmt.Errorf("pregel: scanning checkpoints: %w", err)
 	}
 	prefix := job + "."
-	for _, e := range entries {
-		name := e.Name()
+	for _, name := range names {
 		if !strings.HasPrefix(name, prefix) {
 			continue
 		}
@@ -339,7 +493,7 @@ func (d *DirCheckpointer) Latest(job string) (int, []byte, bool, error) {
 		return 0, nil, false, nil
 	}
 	step := steps[len(steps)-1]
-	data, err := os.ReadFile(d.path(job, step))
+	data, err := d.fsys.ReadFile(d.path(job, step))
 	if err != nil {
 		return 0, nil, false, fmt.Errorf("pregel: reading checkpoint: %w", err)
 	}
@@ -370,11 +524,49 @@ func (d *DirCheckpointer) Chain(job string) ([]int, [][]byte, bool, error) {
 		if i > 0 {
 			p = d.dpath(job, s)
 		}
-		if blobs[i], err = os.ReadFile(p); err != nil {
+		if blobs[i], err = d.fsys.ReadFile(p); err != nil {
 			return nil, nil, false, fmt.Errorf("pregel: reading checkpoint: %w", err)
 		}
 	}
 	return outSteps, blobs, true, nil
+}
+
+// ckptChains implements chainSource: every candidate restore chain still
+// in the directory, newest generation first. Candidate i is the i-th
+// newest full snapshot plus the delta files saved between it and the next
+// newer full. Blobs are handed up with any read error attached;
+// loadCheckpoint decides whether a bad artifact truncates its chain or
+// walks recovery back a generation.
+func (d *DirCheckpointer) ckptChains(job string) ([][]ckptBlobRef, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	steps, dsteps, err := d.scan(job)
+	if err != nil {
+		return nil, err
+	}
+	readRef := func(step int, delta bool) ckptBlobRef {
+		p := d.path(job, step)
+		if delta {
+			p = d.dpath(job, step)
+		}
+		data, err := d.fsys.ReadFile(p)
+		return ckptBlobRef{step: step, delta: delta, data: data, src: filepath.Base(p), err: err}
+	}
+	chains := make([][]ckptBlobRef, 0, len(steps))
+	for i := len(steps) - 1; i >= 0; i-- {
+		full, next := steps[i], math.MaxInt
+		if i+1 < len(steps) {
+			next = steps[i+1]
+		}
+		chain := []ckptBlobRef{readRef(full, false)}
+		for _, s := range dsteps {
+			if s > full && s < next {
+				chain = append(chain, readRef(s, true))
+			}
+		}
+		chains = append(chains, chain)
+	}
+	return chains, nil
 }
 
 // findLegacyJob implements legacyProber: it scans the directory for any
@@ -385,13 +577,12 @@ func (d *DirCheckpointer) Chain(job string) ([]int, [][]byte, bool, error) {
 func (d *DirCheckpointer) findLegacyJob(base string) (string, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	entries, err := os.ReadDir(d.dir)
+	names, err := d.fsys.ReadDir(d.dir)
 	if err != nil {
 		return "", false
 	}
 	prefix := base + "@"
-	for _, e := range entries {
-		name := e.Name()
+	for _, name := range names {
 		if strings.HasPrefix(name, prefix) &&
 			(strings.HasSuffix(name, ".ckpt") || strings.HasSuffix(name, ".dckpt")) {
 			return name, true
@@ -455,8 +646,9 @@ type aggSnapshot struct {
 // ckptFile is one whole checkpoint: run-level progress plus the per-worker
 // partition blobs (each encoded separately, since on a real cluster every
 // worker persists its own partition in parallel). On disk it is serialized
-// by the v2 binary container codec (see codec.go); the worker blobs use
-// either the binary value codec or a per-section gob fallback.
+// by the v3 checksummed binary container codec (see codec.go; v2 remains
+// readable); the worker blobs use either the binary value codec or a
+// per-section gob fallback.
 type ckptFile struct {
 	Step    int
 	Pending int64
@@ -518,6 +710,23 @@ type ckptRun struct {
 	haveFull        bool
 	lastStep        int
 	deltasSinceFull int
+
+	// warn and metrics carry the run's diagnostics sinks (Config.Warn and
+	// Config.Metrics) into the load path, which runs without a *Graph.
+	warn    func(format string, args ...any)
+	metrics *telemetry.Registry
+}
+
+func (ck *ckptRun) warnf(format string, args ...any) {
+	if ck.warn != nil {
+		ck.warn(format, args...)
+	}
+}
+
+func (ck *ckptRun) count(name string, v int64) {
+	if ck.metrics != nil {
+		ck.metrics.Counter(name).Add(v)
+	}
 }
 
 // newCkptRun reserves a job key when checkpointing is enabled for g, and
@@ -543,8 +752,29 @@ func (g *Graph[V, M]) newCkptRun(name string) (*ckptRun, error) {
 	}
 	bin := binaryCodecFor[V]() && binaryCodecFor[M]()
 	delta := false
-	if g.cfg.DeltaCheckpoints && bin {
-		_, delta = store.(DeltaCheckpointer)
+	if g.cfg.DeltaCheckpoints {
+		// A requested delta-checkpoint mode that cannot be honored must not
+		// degrade silently: the run keeps working (full snapshots restore
+		// identically) but writes more bytes per save than the caller asked
+		// for, so say why, once per cause under the default Warn sink.
+		switch {
+		case !bin:
+			var v V
+			var m M
+			g.warnf("pregel: DeltaCheckpoints requested, but vertex/message types %T/%T lack the binary checkpoint codec; every save falls back to a full snapshot", v, m)
+			if g.cfg.Metrics != nil {
+				g.cfg.Metrics.Counter("pregel_checkpoint_delta_downgrades_total").Add(1)
+			}
+		default:
+			if _, ok := store.(DeltaCheckpointer); ok {
+				delta = true
+			} else {
+				g.warnf("pregel: DeltaCheckpoints requested, but checkpoint store %T does not implement DeltaCheckpointer; every save falls back to a full snapshot", store)
+				if g.cfg.Metrics != nil {
+					g.cfg.Metrics.Counter("pregel_checkpoint_delta_downgrades_total").Add(1)
+				}
+			}
+		}
 	}
 	return &ckptRun{
 		store:   store,
@@ -557,6 +787,8 @@ func (g *Graph[V, M]) newCkptRun(name string) (*ckptRun, error) {
 		workers: g.cfg.Workers,
 		bin:     bin,
 		delta:   delta,
+		warn:    g.warnf,
+		metrics: g.cfg.Metrics,
 	}, nil
 }
 
@@ -731,10 +963,36 @@ func (c *ckptChain) tip() *ckptFile {
 	return c.full
 }
 
+// validateIdentity rejects a checkpoint written by a different placement or
+// run. Placement guards run before the generic fingerprint check so a
+// partitioner or worker-count change is reported as exactly that. These are
+// hard errors, never walked back from: an older generation was written by
+// the same run and would be just as mismatched.
+func (ck *ckptRun) validateIdentity(file *ckptFile) error {
+	if file.PartitionerName != ck.part {
+		return fmt.Errorf("pregel: checkpoint for job %q was written under partitioner %q, but this run places vertices with %q; restoring would scatter partition-local state — rerun with the original partitioner or delete the checkpoint directory to start fresh", ck.job, file.PartitionerName, ck.part)
+	}
+	if file.NumWorkers != ck.workers {
+		return fmt.Errorf("pregel: checkpoint for job %q was written with %d workers, but this run has %d; rerun with the original worker count or delete the checkpoint directory to start fresh", ck.job, file.NumWorkers, ck.workers)
+	}
+	if file.Fingerprint != ck.fp {
+		return fmt.Errorf("pregel: checkpoint for job %q was written by a different run (input or configuration changed); delete the checkpoint directory to start fresh", ck.job)
+	}
+	return nil
+}
+
 // loadCheckpoint fetches and decodes the latest checkpoint (chain) for the
 // run, verifying that it was written by a run with the same identity and
-// that the delta chain is unbroken.
+// that the delta chain is unbroken. With the built-in stores (chainSource)
+// the load is corruption-aware: an artifact failing its CRC or decode is
+// reported through Config.Warn and recovery walks back to the last intact
+// snapshot; only when no intact snapshot remains does the load fail.
 func (ck *ckptRun) loadCheckpoint() (*ckptChain, bool, error) {
+	if cs, ok := ck.store.(chainSource); ok {
+		return ck.loadFromChains(cs)
+	}
+	// Custom stores expose only the newest chain; any decode failure is
+	// fatal since there is nothing to walk back to.
 	var blobs [][]byte
 	var ok bool
 	var err error
@@ -754,16 +1012,8 @@ func (ck *ckptRun) loadCheckpoint() (*ckptChain, bool, error) {
 		if err != nil {
 			return nil, false, err
 		}
-		// Placement guards run before the generic fingerprint check so a
-		// partitioner or worker-count change is reported as exactly that.
-		if file.PartitionerName != ck.part {
-			return nil, false, fmt.Errorf("pregel: checkpoint for job %q was written under partitioner %q, but this run places vertices with %q; restoring would scatter partition-local state — rerun with the original partitioner or delete the checkpoint directory to start fresh", ck.job, file.PartitionerName, ck.part)
-		}
-		if file.NumWorkers != ck.workers {
-			return nil, false, fmt.Errorf("pregel: checkpoint for job %q was written with %d workers, but this run has %d; rerun with the original worker count or delete the checkpoint directory to start fresh", ck.job, file.NumWorkers, ck.workers)
-		}
-		if file.Fingerprint != ck.fp {
-			return nil, false, fmt.Errorf("pregel: checkpoint for job %q was written by a different run (input or configuration changed); delete the checkpoint directory to start fresh", ck.job)
+		if err := ck.validateIdentity(file); err != nil {
+			return nil, false, err
 		}
 		if i == 0 {
 			if file.Kind != ckptKindFull {
@@ -784,6 +1034,77 @@ func (ck *ckptRun) loadCheckpoint() (*ckptChain, bool, error) {
 	ck.lastStep = chain.tip().Step
 	ck.deltasSinceFull = len(chain.deltas)
 	return chain, true, nil
+}
+
+// loadFromChains is the corruption-aware restore path. Candidate chains
+// are tried newest first: a corrupt delta truncates its chain at the last
+// intact save, a corrupt full snapshot abandons the whole candidate for
+// the previous generation. Every rejected artifact is warned about and
+// counted (pregel_checkpoint_corrupt_skipped_total). If corruption was
+// seen and no intact snapshot remains, the load fails — silently
+// recomputing from scratch would mask data loss.
+func (ck *ckptRun) loadFromChains(cs chainSource) (*ckptChain, bool, error) {
+	cands, err := cs.ckptChains(ck.job)
+	if err != nil {
+		return nil, false, err
+	}
+	sawCorrupt := false
+	reject := func(ref ckptBlobRef, err error) {
+		sawCorrupt = true
+		ck.warnf("pregel: skipping corrupt checkpoint artifact %s (job %q): %v", ref.src, ck.job, err)
+		ck.count("pregel_checkpoint_corrupt_skipped_total", 1)
+	}
+	for _, cand := range cands {
+		chain := &ckptChain{}
+		for _, ref := range cand {
+			if ref.delta && !ck.delta {
+				// This run doesn't take delta checkpoints; delta files are
+				// leftovers from an earlier configuration, and the chain
+				// restores fine without them (just from an older barrier).
+				continue
+			}
+			file, derr := (*ckptFile)(nil), ref.err
+			if derr == nil {
+				file, derr = decodeCkptFile(ck.job, ref.data)
+			}
+			if derr != nil {
+				if ref.err != nil || errors.Is(derr, ErrCheckpointCorrupt) {
+					reject(ref, derr)
+					break // keep what decoded so far, or fall back a generation
+				}
+				return nil, false, derr
+			}
+			if err := ck.validateIdentity(file); err != nil {
+				return nil, false, err
+			}
+			if chain.full == nil {
+				if file.Kind != ckptKindFull {
+					return nil, false, fmt.Errorf("pregel: checkpoint chain for job %q starts with a delta at step %d; the full snapshot it chains from is missing — delete the checkpoint directory to start fresh", ck.job, file.Step)
+				}
+				chain.full = file
+				continue
+			}
+			prev := chain.tip()
+			if file.Kind != ckptKindDelta || file.PrevStep != prev.Step || file.Step <= prev.Step {
+				return nil, false, fmt.Errorf("pregel: delta checkpoint at step %d for job %q chains from step %d, but the preceding save in the chain is step %d; the chain is broken — delete the checkpoint directory to start fresh", file.Step, ck.job, file.PrevStep, prev.Step)
+			}
+			chain.deltas = append(chain.deltas, file)
+		}
+		if chain.full == nil {
+			continue
+		}
+		if sawCorrupt {
+			ck.warnf("pregel: job %q recovering from checkpoint at step %d after skipping corrupt artifacts", ck.job, chain.tip().Step)
+		}
+		ck.haveFull = true
+		ck.lastStep = chain.tip().Step
+		ck.deltasSinceFull = len(chain.deltas)
+		return chain, true, nil
+	}
+	if sawCorrupt {
+		return nil, false, fmt.Errorf("pregel: every checkpoint for job %q failed integrity verification; refusing to silently recompute from scratch — inspect the directory (ppa-assembler -ckpt-verify), restore the files, or delete the checkpoint directory to accept a full recompute", ck.job)
+	}
+	return nil, false, nil
 }
 
 // restoreCheckpoint replaces the graph's in-run state with the chain's

@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 )
@@ -241,8 +242,9 @@ func TestResumeRejectsMismatchedRun(t *testing.T) {
 	}
 }
 
-// TestDirCheckpointerSupersedes: saving a later checkpoint removes the
-// earlier file, and Latest returns the newest.
+// TestDirCheckpointerSupersedes: the store retains KeepGenerations full
+// snapshots (default 2) as recovery fallbacks, deletes anything older, and
+// Latest returns the newest.
 func TestDirCheckpointerSupersedes(t *testing.T) {
 	dir := t.TempDir()
 	store, err := NewDirCheckpointer(dir)
@@ -256,13 +258,46 @@ func TestDirCheckpointerSupersedes(t *testing.T) {
 	if err := store.Save(job, 6, []byte("bbbb")); err != nil {
 		t.Fatal(err)
 	}
+	if err := store.Save(job, 9, []byte("ccccc")); err != nil {
+		t.Fatal(err)
+	}
 	step, data, ok, err := store.Latest(job)
-	if err != nil || !ok || step != 6 || string(data) != "bbbb" {
-		t.Fatalf("Latest = (%d, %q, %v, %v), want (6, bbbb, true, nil)", step, data, ok, err)
+	if err != nil || !ok || step != 9 || string(data) != "ccccc" {
+		t.Fatalf("Latest = (%d, %q, %v, %v), want (9, ccccc, true, nil)", step, data, ok, err)
+	}
+	entries, _ := os.ReadDir(dir)
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	if len(entries) != 2 {
+		t.Errorf("expected the two newest generations after supersede, found %d: %v", len(entries), names)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".00000003.") {
+			t.Errorf("superseded generation at step 3 not deleted: %v", names)
+		}
+	}
+}
+
+// TestDirCheckpointerKeepOne: KeepGenerations=1 restores the
+// keep-only-newest behavior.
+func TestDirCheckpointerKeepOne(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewDirCheckpointerOpts(dir, DirStoreOptions{KeepGenerations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := store.NextJob("x")
+	if err := store.Save(job, 3, []byte("aaa")); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save(job, 6, []byte("bbbb")); err != nil {
+		t.Fatal(err)
 	}
 	entries, _ := os.ReadDir(dir)
 	if len(entries) != 1 {
-		t.Errorf("expected exactly one checkpoint file after supersede, found %d", len(entries))
+		t.Errorf("expected exactly one checkpoint file with KeepGenerations=1, found %d", len(entries))
 	}
 }
 

@@ -1,8 +1,10 @@
 // Package ckpttest is the differential test harness for checkpoint codec
-// implementations: every type that opts into the engine's v2 binary
+// implementations: every type that opts into the engine's binary
 // checkpoint format (pregel.CheckpointAppender / pregel.CheckpointDecoder)
 // is checked against the gob baseline the v1 format used, so the two
-// serializations can never silently disagree about a vertex state shape.
+// serializations can never silently disagree about a vertex state shape —
+// and, via Corrupt, against truncated and bit-flipped encodings, so
+// damaged state can never crash a decoder.
 package ckpttest
 
 import (
@@ -64,4 +66,28 @@ func NoPanic[T any, P Codec[T]](t testing.TB, data []byte) {
 	t.Helper()
 	var junk T
 	_, _ = P(&junk).DecodeCheckpoint(data)
+}
+
+// Corrupt exercises the decoder against damaged encodings of v — the
+// adversarial counterpart to RoundTrip's happy path. It decodes every
+// truncation of the valid encoding, then applies byte flips at positions
+// drawn from the fuzz input. Damage must surface as a decode error or a
+// differing value — never a panic, hang, or unbounded allocation (the
+// properties the checkpoint walk-back recovery depends on).
+func Corrupt[T any, P Codec[T]](t testing.TB, v *T, fuzz []byte) {
+	t.Helper()
+	enc := P(v).AppendCheckpoint(nil)
+	for n := 0; n < len(enc); n++ {
+		var junk T
+		_, _ = P(&junk).DecodeCheckpoint(enc[:n])
+	}
+	if len(enc) == 0 {
+		return
+	}
+	for i := 0; i+1 < len(fuzz) && i < 64; i += 2 {
+		mut := append([]byte(nil), enc...)
+		mut[int(fuzz[i])%len(mut)] ^= fuzz[i+1] | 1 // |1 keeps the flip nonzero
+		var junk T
+		_, _ = P(&junk).DecodeCheckpoint(mut)
+	}
 }

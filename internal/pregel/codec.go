@@ -4,19 +4,27 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"math"
 	"sort"
 )
 
-// Checkpoint format v2: a versioned binary container replacing the gob
-// snapshots of earlier versions. Layout (all integers varint/uvarint unless
-// noted):
+// Checkpoint format v3: a versioned, checksummed binary container. Layout
+// (all integers varint/uvarint unless noted):
 //
 //	magic "PPCK" | version | kind (full/delta) | step | prevStep | pending
 //	| partitioner name | numWorkers | run counters | clockNs (fixed 8 LE)
 //	| fingerprint (fixed 8 LE) | aggregator snapshot (sorted keys)
-//	| worker count | per-worker length-prefixed sections
+//	| worker count | header CRC32C (fixed 4 LE, over every prior byte)
+//	| per-worker: length | section bytes | section CRC32C (fixed 4 LE)
+//
+// The CRCs (Castagnoli polynomial) are what v3 adds over v2: a torn or
+// bit-flipped file is detected at load time and reported as
+// ErrCheckpointCorrupt, letting recovery walk back to an older intact
+// snapshot instead of restoring garbage. v2 containers (identical layout
+// minus both CRC fields) remain readable; writes always emit v3.
 //
 // Each worker section starts with one flag byte: wsecBinary sections encode
 // the partition with the zero-copy value codec below; wsecGob sections are
@@ -27,8 +35,9 @@ import (
 // replays the newest full container plus its delta chain.
 
 const (
-	ckptMagic   = "PPCK"
-	ckptVersion = 2
+	ckptMagic     = "PPCK"
+	ckptVersion   = 3
+	ckptVersionV2 = 2
 
 	ckptKindFull  byte = 0
 	ckptKindDelta byte = 1
@@ -41,6 +50,22 @@ const (
 	// recovery replay work and the disk footprint of a chain.
 	maxDeltaChain = 8
 )
+
+// castagnoli is the CRC32C table used by every v3 checksum.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCheckpointCorrupt marks decode failures caused by damaged bytes — a
+// failed CRC, a truncated frame, garbage where the magic should be. Errors
+// wrapping it mean "this artifact is broken, an older one may not be":
+// recovery responds by walking back to the previous intact snapshot
+// (loudly), whereas any other load error — version/identity mismatch, I/O —
+// aborts the run. Test with errors.Is.
+var ErrCheckpointCorrupt = errors.New("checkpoint data corrupt")
+
+// corruptf builds an error wrapping ErrCheckpointCorrupt.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, ErrCheckpointCorrupt)...)
+}
 
 // CheckpointAppender is implemented by vertex-value and message types that
 // opt into the engine's binary checkpoint codec (checkpoint format v2):
@@ -89,7 +114,7 @@ func AppendBool(buf []byte, v bool) []byte {
 func ConsumeUvarint(data []byte) (uint64, []byte, error) {
 	v, n := binary.Uvarint(data)
 	if n <= 0 {
-		return 0, nil, fmt.Errorf("pregel: corrupt checkpoint encoding: bad uvarint")
+		return 0, nil, corruptf("pregel: corrupt checkpoint encoding: bad uvarint")
 	}
 	return v, data[n:], nil
 }
@@ -98,7 +123,7 @@ func ConsumeUvarint(data []byte) (uint64, []byte, error) {
 func ConsumeVarint(data []byte) (int64, []byte, error) {
 	v, n := binary.Varint(data)
 	if n <= 0 {
-		return 0, nil, fmt.Errorf("pregel: corrupt checkpoint encoding: bad varint")
+		return 0, nil, corruptf("pregel: corrupt checkpoint encoding: bad varint")
 	}
 	return v, data[n:], nil
 }
@@ -106,7 +131,7 @@ func ConsumeVarint(data []byte) (int64, []byte, error) {
 // ConsumeUint64 decodes 8 little-endian bytes from the front of data.
 func ConsumeUint64(data []byte) (uint64, []byte, error) {
 	if len(data) < 8 {
-		return 0, nil, fmt.Errorf("pregel: corrupt checkpoint encoding: truncated uint64")
+		return 0, nil, corruptf("pregel: corrupt checkpoint encoding: truncated uint64")
 	}
 	return binary.LittleEndian.Uint64(data), data[8:], nil
 }
@@ -114,7 +139,7 @@ func ConsumeUint64(data []byte) (uint64, []byte, error) {
 // ConsumeBool decodes one byte from the front of data.
 func ConsumeBool(data []byte) (bool, []byte, error) {
 	if len(data) < 1 {
-		return false, nil, fmt.Errorf("pregel: corrupt checkpoint encoding: truncated bool")
+		return false, nil, corruptf("pregel: corrupt checkpoint encoding: truncated bool")
 	}
 	return data[0] != 0, data[1:], nil
 }
@@ -130,7 +155,7 @@ func consumeCkptString(data []byte) (string, []byte, error) {
 		return "", nil, err
 	}
 	if uint64(len(rest)) < n {
-		return "", nil, fmt.Errorf("pregel: corrupt checkpoint encoding: truncated string")
+		return "", nil, corruptf("pregel: corrupt checkpoint encoding: truncated string")
 	}
 	return string(rest[:n]), rest[n:], nil
 }
@@ -157,7 +182,7 @@ func appendBits(buf []byte, bits []bool) []byte {
 func consumeBits(data []byte, n int) ([]bool, []byte, error) {
 	nb := (n + 7) / 8
 	if len(data) < nb {
-		return nil, nil, fmt.Errorf("pregel: corrupt checkpoint encoding: truncated bitset")
+		return nil, nil, corruptf("pregel: corrupt checkpoint encoding: truncated bitset")
 	}
 	out := make([]bool, n)
 	for i := range out {
@@ -226,16 +251,34 @@ func consumeVal[T any](data []byte, v *T) ([]byte, error) {
 		return rest, err
 	case *int:
 		val, rest, err := ConsumeVarint(data)
+		if err != nil {
+			return rest, err
+		}
+		if int64(int(val)) != val {
+			return nil, corruptf("pregel: corrupt checkpoint encoding: varint %d overflows int", val)
+		}
 		*x = int(val)
-		return rest, err
+		return rest, nil
 	case *int32:
 		val, rest, err := ConsumeVarint(data)
+		if err != nil {
+			return rest, err
+		}
+		if val < math.MinInt32 || val > math.MaxInt32 {
+			return nil, corruptf("pregel: corrupt checkpoint encoding: varint %d overflows int32", val)
+		}
 		*x = int32(val)
-		return rest, err
+		return rest, nil
 	case *uint32:
 		val, rest, err := ConsumeUvarint(data)
+		if err != nil {
+			return rest, err
+		}
+		if val > math.MaxUint32 {
+			return nil, corruptf("pregel: corrupt checkpoint encoding: uvarint %d overflows uint32", val)
+		}
 		*x = uint32(val)
-		return rest, err
+		return rest, nil
 	case *float64:
 		bits, rest, err := ConsumeUint64(data)
 		*x = math.Float64frombits(bits)
@@ -307,24 +350,29 @@ func encodeWorkerFull[V, M any](w *worker[V, M], bin bool) ([]byte, error) {
 // decodeWorkerSection inverts encodeWorkerFull (either flavor).
 func decodeWorkerSection[V, M any](data []byte) (*ckptWorker[V, M], error) {
 	if len(data) == 0 {
-		return nil, fmt.Errorf("pregel: corrupt checkpoint: empty worker section")
+		return nil, corruptf("pregel: corrupt checkpoint: empty worker section")
 	}
 	flag, data := data[0], data[1:]
 	switch flag {
 	case wsecGob:
 		var cw ckptWorker[V, M]
 		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&cw); err != nil {
-			return nil, err
+			return nil, corruptf("pregel: corrupt checkpoint: gob worker section: %v", err)
 		}
 		return &cw, nil
 	case wsecBinary:
 		// handled below
 	default:
-		return nil, fmt.Errorf("pregel: corrupt checkpoint: unknown worker section flag %d", flag)
+		return nil, corruptf("pregel: corrupt checkpoint: unknown worker section flag %d", flag)
 	}
 	un, data, err := ConsumeUvarint(data)
 	if err != nil {
 		return nil, err
+	}
+	// Every vertex costs at least one ID byte, so a count beyond the bytes
+	// on hand is corruption — reject before the allocations below trust it.
+	if un > uint64(len(data)) {
+		return nil, corruptf("pregel: corrupt checkpoint: worker section claims %d vertices in %d bytes", un, len(data))
 	}
 	n := int(un)
 	cw := &ckptWorker[V, M]{
@@ -358,17 +406,27 @@ func decodeWorkerSection[V, M any](data []byte) (*ckptWorker[V, M], error) {
 		}
 	}
 	cw.InOff = make([]int32, n+1)
-	off := int32(0)
+	off := int64(0)
 	for i := 0; i < n; i++ {
 		c, rest, err := ConsumeUvarint(data)
 		if err != nil {
 			return nil, err
 		}
-		cw.InOff[i] = off
-		off += int32(c)
+		cw.InOff[i] = int32(off)
+		off += int64(c)
+		if off > math.MaxInt32 {
+			return nil, corruptf("pregel: corrupt checkpoint: inbox arena of %d messages overflows the offset table", off)
+		}
 		data = rest
 	}
-	cw.InOff[n] = off
+	cw.InOff[n] = int32(off)
+	// Bound the arena allocation by the bytes left: every message costs at
+	// least one byte unless the message type encodes to nothing (struct{},
+	// for which the allocation below is free regardless).
+	var probe M
+	if off > int64(len(data)) && len(appendVal(nil, &probe)) > 0 {
+		return nil, corruptf("pregel: corrupt checkpoint: worker section claims %d messages in %d bytes", off, len(data))
+	}
 	cw.InArena = make([]M, off)
 	for i := range cw.InArena {
 		if data, err = consumeVal(data, &cw.InArena[i]); err != nil {
@@ -376,7 +434,7 @@ func decodeWorkerSection[V, M any](data []byte) (*ckptWorker[V, M], error) {
 		}
 	}
 	if len(data) != 0 {
-		return nil, fmt.Errorf("pregel: corrupt checkpoint: %d trailing bytes in worker section", len(data))
+		return nil, corruptf("pregel: corrupt checkpoint: %d trailing bytes in worker section", len(data))
 	}
 	return cw, nil
 }
@@ -426,23 +484,30 @@ func encodeWorkerDelta[V, M any](w *worker[V, M]) []byte {
 // rebuilding the inbox arena with the dirty vertices' entries replaced.
 func applyWorkerDelta[V, M any](cw *ckptWorker[V, M], data []byte) error {
 	if len(data) == 0 {
-		return fmt.Errorf("pregel: corrupt delta checkpoint: empty worker section")
+		return corruptf("pregel: corrupt delta checkpoint: empty worker section")
 	}
 	flag, data := data[0], data[1:]
 	if flag != wsecBinary {
-		return fmt.Errorf("pregel: corrupt delta checkpoint: section flag %d", flag)
+		return corruptf("pregel: corrupt delta checkpoint: section flag %d", flag)
 	}
 	un, data, err := ConsumeUvarint(data)
 	if err != nil {
 		return err
 	}
+	if un > uint64(len(cw.IDs)) {
+		return corruptf("pregel: delta checkpoint has %d vertices, snapshot has %d", un, len(cw.IDs))
+	}
 	n := int(un)
 	if n != len(cw.IDs) {
-		return fmt.Errorf("pregel: delta checkpoint has %d vertices, snapshot has %d", n, len(cw.IDs))
+		return corruptf("pregel: delta checkpoint has %d vertices, snapshot has %d", n, len(cw.IDs))
 	}
 	ud, data, err := ConsumeUvarint(data)
 	if err != nil {
 		return err
+	}
+	// Each dirty entry costs at least its index delta and flags byte.
+	if ud > uint64(len(data)) {
+		return corruptf("pregel: corrupt delta checkpoint: %d dirty entries in %d bytes", ud, len(data))
 	}
 	dirtyN := int(ud)
 
@@ -476,7 +541,7 @@ func applyWorkerDelta[V, M any](cw *ckptWorker[V, M], data []byte) error {
 			continue
 		}
 		if len(data) < 1 {
-			return fmt.Errorf("pregel: corrupt delta checkpoint: truncated entry")
+			return corruptf("pregel: corrupt delta checkpoint: truncated entry")
 		}
 		flags := data[0]
 		data = data[1:]
@@ -489,6 +554,12 @@ func applyWorkerDelta[V, M any](cw *ckptWorker[V, M], data []byte) error {
 		if err != nil {
 			return err
 		}
+		// Zero-size message types carry no payload bytes to run out of, so
+		// the count itself must be bounded; sized types fail fast below
+		// when the bytes run dry.
+		if cnt > uint64(math.MaxInt32) {
+			return corruptf("pregel: corrupt delta checkpoint: vertex inbox claims %d messages", cnt)
+		}
 		data = rest
 		for j := uint64(0); j < cnt; j++ {
 			var m M
@@ -497,13 +568,16 @@ func applyWorkerDelta[V, M any](cw *ckptWorker[V, M], data []byte) error {
 			}
 			newArena = append(newArena, m)
 		}
+		if int64(len(newArena)) > math.MaxInt32 {
+			return corruptf("pregel: corrupt delta checkpoint: merged inbox arena overflows the offset table")
+		}
 		if err := readIdx(); err != nil {
 			return err
 		}
 	}
 	newOff[n] = int32(len(newArena))
 	if len(data) != 0 {
-		return fmt.Errorf("pregel: corrupt delta checkpoint: %d trailing bytes", len(data))
+		return corruptf("pregel: corrupt delta checkpoint: %d trailing bytes", len(data))
 	}
 	cw.InArena = newArena
 	cw.InOff = newOff
@@ -516,16 +590,12 @@ func applyWorkerDelta[V, M any](cw *ckptWorker[V, M], data []byte) error {
 	return nil
 }
 
-// encodeCkptFile assembles the v2 container around already-encoded worker
-// sections.
-func encodeCkptFile(f *ckptFile) []byte {
-	size := 64 + len(f.PartitionerName)
-	for _, b := range f.Workers {
-		size += len(b) + binary.MaxVarintLen64
-	}
-	buf := make([]byte, 0, size)
+// appendCkptHeader writes the container header — everything up to and
+// including the worker count, which is the v3 header-CRC coverage — shared
+// by the v3 writer and the v2 compatibility encoder.
+func appendCkptHeader(buf []byte, f *ckptFile, version uint64) []byte {
 	buf = append(buf, ckptMagic...)
-	buf = binary.AppendUvarint(buf, ckptVersion)
+	buf = binary.AppendUvarint(buf, version)
 	buf = append(buf, f.Kind)
 	buf = binary.AppendUvarint(buf, uint64(f.Step))
 	buf = binary.AppendUvarint(buf, uint64(f.PrevStep))
@@ -542,6 +612,32 @@ func encodeCkptFile(f *ckptFile) []byte {
 	buf = AppendUint64(buf, f.Fingerprint)
 	buf = appendAggSnapshot(buf, f.Agg)
 	buf = binary.AppendUvarint(buf, uint64(len(f.Workers)))
+	return buf
+}
+
+// encodeCkptFile assembles a v3 container around already-encoded worker
+// sections: checksummed header, then length-prefixed sections each followed
+// by its own CRC32C.
+func encodeCkptFile(f *ckptFile) []byte {
+	size := 72 + len(f.PartitionerName)
+	for _, b := range f.Workers {
+		size += len(b) + binary.MaxVarintLen64 + crc32.Size
+	}
+	buf := make([]byte, 0, size)
+	buf = appendCkptHeader(buf, f, ckptVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+	for _, b := range f.Workers {
+		buf = binary.AppendUvarint(buf, uint64(len(b)))
+		buf = append(buf, b...)
+		buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(b, castagnoli))
+	}
+	return buf
+}
+
+// encodeCkptFileV2 emits the legacy v2 container (no CRCs), kept so the
+// v2-read compatibility path stays covered by tests.
+func encodeCkptFileV2(f *ckptFile) []byte {
+	buf := appendCkptHeader(nil, f, ckptVersionV2)
 	for _, b := range f.Workers {
 		buf = binary.AppendUvarint(buf, uint64(len(b)))
 		buf = append(buf, b...)
@@ -549,27 +645,46 @@ func encodeCkptFile(f *ckptFile) []byte {
 	return buf
 }
 
-// decodeCkptFile parses a v2 container. Blobs not starting with the v2
-// magic — in practice, gob streams written by a pre-v2 binary — fail with
-// an error naming both formats instead of a generic decode failure.
+// decodeCkptFile parses a v3 or v2 container. Blobs not starting with the
+// PPCK magic — in practice, gob streams written by a pre-v2 binary, or a
+// file torn down to garbage — fail with an error naming both formats.
 func decodeCkptFile(job string, data []byte) (*ckptFile, error) {
+	f, _, err := decodeCkptFileBounds(job, data)
+	return f, err
+}
+
+// decodeCkptFileBounds is decodeCkptFile plus the container's internal
+// boundaries: bounds[0] is the byte offset where the header (including its
+// CRC in v3) ends, bounds[i+1] where worker section i (including its CRC)
+// ends. The torn-write tests truncate at exactly these offsets, and
+// VerifyCheckpointDir reports them.
+func decodeCkptFileBounds(job string, data []byte) (*ckptFile, []int64, error) {
+	full := data
+	if len(data) == 0 {
+		// An empty file is what a dropped fsync leaves behind — corruption,
+		// eligible for walk-back, unlike the wrong-format case below.
+		return nil, nil, corruptf("pregel: checkpoint for job %q is an empty file", job)
+	}
 	if len(data) < len(ckptMagic) || string(data[:len(ckptMagic)]) != ckptMagic {
-		return nil, fmt.Errorf("pregel: checkpoint for job %q is not in the v2 binary checkpoint format (missing %q magic): it was most likely written by an older binary using the v1 gob format, which this version cannot restore — rerun with the binary that wrote it, or delete the checkpoint directory to start fresh", job, ckptMagic)
+		// Deliberately NOT ErrCheckpointCorrupt: bytes in a different format
+		// mean the wrong binary wrote them, and walking back to an older
+		// generation of the same format would not help.
+		return nil, nil, fmt.Errorf("pregel: checkpoint for job %q is not in the binary checkpoint format (missing %q magic): it was most likely written by an older binary using the v1 gob format, which this version cannot restore — rerun with the binary that wrote it, or delete the checkpoint directory to start fresh", job, ckptMagic)
 	}
 	data = data[len(ckptMagic):]
 	ver, data, err := ConsumeUvarint(data)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	if ver != ckptVersion {
-		return nil, fmt.Errorf("pregel: checkpoint for job %q uses format v%d, but this binary reads v%d — rerun with a matching binary or delete the checkpoint directory to start fresh", job, ver, ckptVersion)
+	if ver != ckptVersion && ver != ckptVersionV2 {
+		return nil, nil, fmt.Errorf("pregel: checkpoint for job %q uses format v%d, but this binary reads v%d and v%d — rerun with a matching binary or delete the checkpoint directory to start fresh", job, ver, ckptVersionV2, ckptVersion)
 	}
 	var f ckptFile
-	fail := func(err error) (*ckptFile, error) {
-		return nil, fmt.Errorf("pregel: decoding checkpoint (job %q): %w", job, err)
+	fail := func(err error) (*ckptFile, []int64, error) {
+		return nil, nil, fmt.Errorf("pregel: decoding checkpoint (job %q): %w", job, err)
 	}
 	if len(data) < 1 {
-		return fail(fmt.Errorf("truncated header"))
+		return fail(corruptf("truncated header"))
 	}
 	f.Kind, data = data[0], data[1:]
 	var u uint64
@@ -623,6 +738,23 @@ func decodeCkptFile(job string, data []byte) (*ckptFile, error) {
 	if u, data, err = ConsumeUvarint(data); err != nil {
 		return fail(err)
 	}
+	// Each worker section costs at least its length prefix.
+	if u > uint64(len(data)) {
+		return fail(corruptf("container claims %d worker sections in %d bytes", u, len(data)))
+	}
+	if ver == ckptVersion {
+		hdrLen := len(full) - len(data)
+		if len(data) < crc32.Size {
+			return fail(corruptf("truncated header CRC"))
+		}
+		want := binary.LittleEndian.Uint32(data[:crc32.Size])
+		data = data[crc32.Size:]
+		if got := crc32.Checksum(full[:hdrLen], castagnoli); got != want {
+			return fail(corruptf("header CRC mismatch (stored %08x, computed %08x)", want, got))
+		}
+	}
+	bounds := make([]int64, 0, int(u)+1)
+	bounds = append(bounds, int64(len(full)-len(data)))
 	f.Workers = make([][]byte, int(u))
 	for i := range f.Workers {
 		var l uint64
@@ -630,15 +762,27 @@ func decodeCkptFile(job string, data []byte) (*ckptFile, error) {
 			return fail(err)
 		}
 		if uint64(len(data)) < l {
-			return fail(fmt.Errorf("truncated worker section %d", i))
+			return fail(corruptf("truncated worker section %d", i))
 		}
-		f.Workers[i] = data[:l:l]
+		sec := data[:l:l]
 		data = data[l:]
+		if ver == ckptVersion {
+			if len(data) < crc32.Size {
+				return fail(corruptf("truncated CRC of worker section %d", i))
+			}
+			want := binary.LittleEndian.Uint32(data[:crc32.Size])
+			data = data[crc32.Size:]
+			if got := crc32.Checksum(sec, castagnoli); got != want {
+				return fail(corruptf("worker section %d CRC mismatch (stored %08x, computed %08x)", i, want, got))
+			}
+		}
+		f.Workers[i] = sec
+		bounds = append(bounds, int64(len(full)-len(data)))
 	}
 	if len(data) != 0 {
-		return fail(fmt.Errorf("%d trailing bytes", len(data)))
+		return fail(corruptf("%d trailing bytes", len(data)))
 	}
-	return &f, nil
+	return &f, bounds, nil
 }
 
 // appendAggSnapshot encodes the three aggregator maps with sorted keys, so
@@ -685,8 +829,20 @@ func appendAggSnapshot(buf []byte, a aggSnapshot) []byte {
 
 func consumeAggSnapshot(data []byte) (aggSnapshot, []byte, error) {
 	var a aggSnapshot
+	// Each map entry costs at least two bytes (key length + value), so an
+	// entry count beyond the remaining bytes is corruption; checked before
+	// the sized make calls below.
+	guard := func(n uint64, data []byte) error {
+		if n > uint64(len(data)) {
+			return corruptf("pregel: corrupt checkpoint: aggregator snapshot claims %d entries in %d bytes", n, len(data))
+		}
+		return nil
+	}
 	n, data, err := ConsumeUvarint(data)
 	if err != nil {
+		return a, nil, err
+	}
+	if err := guard(n, data); err != nil {
 		return a, nil, err
 	}
 	if n > 0 {
@@ -706,6 +862,9 @@ func consumeAggSnapshot(data []byte) (aggSnapshot, []byte, error) {
 	if n, data, err = ConsumeUvarint(data); err != nil {
 		return a, nil, err
 	}
+	if err := guard(n, data); err != nil {
+		return a, nil, err
+	}
 	if n > 0 {
 		a.Min = make(map[string]int64, n)
 	}
@@ -721,6 +880,9 @@ func consumeAggSnapshot(data []byte) (aggSnapshot, []byte, error) {
 		a.Min[k] = v
 	}
 	if n, data, err = ConsumeUvarint(data); err != nil {
+		return a, nil, err
+	}
+	if err := guard(n, data); err != nil {
 		return a, nil, err
 	}
 	if n > 0 {

@@ -1,6 +1,8 @@
 package pregel
 
 import (
+	"errors"
+	"math"
 	"reflect"
 	"strings"
 	"testing"
@@ -221,8 +223,8 @@ func TestDecodeCkptFileRejectsV1Gob(t *testing.T) {
 
 func TestDecodeCkptFileRejectsFutureVersion(t *testing.T) {
 	blob := encodeCkptFile(makeCodecCkptFile())
-	// The version uvarint sits right after the 4-byte magic; v2 encodes as
-	// the single byte 2.
+	// The version uvarint sits right after the 4-byte magic; v3 encodes as
+	// the single byte 3.
 	if blob[4] != ckptVersion {
 		t.Fatalf("test assumption broken: blob[4] = %d, want the version byte", blob[4])
 	}
@@ -231,10 +233,111 @@ func TestDecodeCkptFileRejectsFutureVersion(t *testing.T) {
 	if err == nil {
 		t.Fatal("decoding a future-version container succeeded")
 	}
-	if !strings.Contains(err.Error(), "format v3") {
+	if !strings.Contains(err.Error(), "format v4") {
 		t.Errorf("error does not name the version mismatch: %v", err)
 	}
+	if errors.Is(err, ErrCheckpointCorrupt) {
+		t.Errorf("a version mismatch must not look like corruption (walk-back would not help): %v", err)
+	}
 }
+
+// TestDecodeCkptFileReadsV2: containers written by the previous (CRC-less)
+// format version stay readable.
+func TestDecodeCkptFileReadsV2(t *testing.T) {
+	f := makeCodecCkptFile()
+	blob := encodeCkptFileV2(f)
+	if blob[4] != ckptVersionV2 {
+		t.Fatalf("test assumption broken: blob[4] = %d, want version byte %d", blob[4], ckptVersionV2)
+	}
+	got, err := decodeCkptFile("job@000", blob)
+	if err != nil {
+		t.Fatalf("decoding a v2 container: %v", err)
+	}
+	if !reflect.DeepEqual(got, f) {
+		t.Errorf("v2 container round trip:\n got %+v\nwant %+v", got, f)
+	}
+}
+
+// TestDecodeCkptFileDetectsBitFlips: flipping any single byte of a v3
+// container must fail decode, and — past the magic/version prefix — fail
+// it with ErrCheckpointCorrupt; that is the CRC's whole job. A flipped
+// magic byte is indistinguishable from a v1 gob file and a flipped
+// version byte from a future format, so those two report hard
+// identification errors instead.
+func TestDecodeCkptFileDetectsBitFlips(t *testing.T) {
+	clean := encodeCkptFile(makeCodecCkptFile())
+	if _, err := decodeCkptFile("job@000", clean); err != nil {
+		t.Fatal(err)
+	}
+	for i := range clean {
+		blob := append([]byte(nil), clean...)
+		blob[i] ^= 0x40
+		_, err := decodeCkptFile("job@000", blob)
+		if err == nil {
+			t.Fatalf("flipping byte %d of %d went undetected", i, len(blob))
+		}
+		if i > len(ckptMagic) && !errors.Is(err, ErrCheckpointCorrupt) {
+			t.Fatalf("flipping byte %d: error is not ErrCheckpointCorrupt: %v", i, err)
+		}
+	}
+}
+
+// TestDecodeCkptFileBounds: the reported section boundaries tile the
+// container — header end, then each worker section end, with the last
+// bound at the container's end.
+func TestDecodeCkptFileBounds(t *testing.T) {
+	f := makeCodecCkptFile()
+	blob := encodeCkptFile(f)
+	_, bounds, err := decodeCkptFileBounds("job@000", blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bounds) != len(f.Workers)+1 {
+		t.Fatalf("got %d bounds for %d workers", len(bounds), len(f.Workers))
+	}
+	if bounds[len(bounds)-1] != int64(len(blob)) {
+		t.Errorf("last bound %d != container size %d", bounds[len(bounds)-1], len(blob))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			t.Errorf("bounds not strictly increasing: %v", bounds)
+		}
+		// A container truncated at any section boundary (except the full
+		// length) must fail decode as corrupt.
+		if bounds[i] < int64(len(blob)) {
+			if _, err := decodeCkptFile("job@000", blob[:bounds[i]]); !errors.Is(err, ErrCheckpointCorrupt) {
+				t.Errorf("truncation at bound %d not detected as corruption: %v", bounds[i], err)
+			}
+		}
+	}
+}
+
+// TestConsumeValRangeChecks: varints that overflow the destination type
+// must error instead of silently truncating.
+func TestConsumeValRangeChecks(t *testing.T) {
+	overflow64 := appendVal(nil, ptr(int64(math.MaxInt32+1)))
+	var i32 int32
+	if _, err := consumeVal(overflow64, &i32); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Errorf("int32 overflow not rejected: %v (decoded %d)", err, i32)
+	}
+	underflow64 := appendVal(nil, ptr(int64(math.MinInt32-1)))
+	if _, err := consumeVal(underflow64, &i32); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Errorf("int32 underflow not rejected: %v", err)
+	}
+	var u32 uint32
+	big := appendVal(nil, ptr(uint64(math.MaxUint32+1)))
+	if _, err := consumeVal(big, &u32); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Errorf("uint32 overflow not rejected: %v", err)
+	}
+	// Boundary values still round-trip.
+	roundTrip(t, int32(math.MaxInt32))
+	roundTrip(t, int32(math.MinInt32))
+	roundTrip(t, uint32(math.MaxUint32))
+	roundTrip(t, int(math.MaxInt64))
+	roundTrip(t, int(math.MinInt64))
+}
+
+func ptr[T any](v T) *T { return &v }
 
 func TestDecodeCkptFileRejectsTruncation(t *testing.T) {
 	blob := encodeCkptFile(makeCodecCkptFile())

@@ -16,11 +16,41 @@ package pregel
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 
 	"ppaassembler/internal/telemetry"
 )
+
+// stderrWarnOnce backs the default Config.Warn sink: each distinct message
+// goes to stderr once per process. Dedup keys on the full message, which
+// deliberately omits job names for per-configuration warnings (like a
+// delta-checkpoint downgrade) so a hundred-job pipeline warns once.
+var stderrWarnOnce struct {
+	mu   sync.Mutex
+	seen map[string]bool
+}
+
+// warnf routes an engine diagnostic to Config.Warn, or to the deduplicated
+// stderr sink when no Warn is configured.
+func (g *Graph[V, M]) warnf(format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	if g.cfg.Warn != nil {
+		g.cfg.Warn(msg)
+		return
+	}
+	stderrWarnOnce.mu.Lock()
+	defer stderrWarnOnce.mu.Unlock()
+	if stderrWarnOnce.seen[msg] {
+		return
+	}
+	if stderrWarnOnce.seen == nil {
+		stderrWarnOnce.seen = map[string]bool{}
+	}
+	stderrWarnOnce.seen[msg] = true
+	fmt.Fprintf(os.Stderr, "warning: %s\n", msg)
+}
 
 // VertexID identifies a vertex. The assembler encodes k-mer sequences and
 // contig (worker, ordinal) pairs directly into these 64-bit IDs (§IV-A).
@@ -94,9 +124,11 @@ type Config struct {
 	// short chain before the next full snapshot. Requires the binary
 	// checkpoint codec (vertex value and message types that are primitives
 	// or implement CheckpointAppender/CheckpointDecoder) and a store
-	// implementing DeltaCheckpointer; otherwise every save silently stays a
-	// full snapshot. Recovery replays the newest full snapshot plus its
-	// delta chain and is bit-identical to recovering from a full save.
+	// implementing DeltaCheckpointer; when either is missing every save
+	// stays a full snapshot, and the downgrade is reported through Warn
+	// plus the pregel_checkpoint_delta_downgrades_total counter. Recovery
+	// replays the newest full snapshot plus its delta chain and is
+	// bit-identical to recovering from a full save.
 	DeltaCheckpoints bool
 	// Faults, when non-nil, is a worker-crash schedule for fault-injection
 	// testing; see FaultPlan. Graphs created from this Config (including
@@ -130,6 +162,13 @@ type Config struct {
 	// messages, checkpoint I/O, active/halted vertices, per-worker inbox
 	// depths). Instrument handles are resolved once per run.
 	Metrics *telemetry.Registry
+	// Warn, when non-nil, receives the engine's non-fatal diagnostics: a
+	// requested delta-checkpoint mode that had to fall back to full
+	// snapshots, a corrupt checkpoint artifact skipped during recovery.
+	// Nil routes each distinct message to stderr once per process (repeats
+	// are suppressed so a pipeline of a hundred jobs warns once, not a
+	// hundred times); a caller-supplied Warn receives every occurrence.
+	Warn func(msg string)
 }
 
 // Validate rejects configurations that would otherwise be silently

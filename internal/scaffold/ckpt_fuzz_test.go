@@ -87,6 +87,7 @@ func FuzzSVertexCodecDifferential(f *testing.F) {
 		ckpttest.RoundTrip[SVertex](t, &v)
 		ckpttest.NoPanic[Link](t, data)
 		ckpttest.NoPanic[SVertex](t, data)
+		ckpttest.Corrupt[SVertex](t, &v, data)
 	})
 }
 
@@ -105,5 +106,6 @@ func FuzzSMsgCodecDifferential(f *testing.F) {
 		}
 		ckpttest.RoundTrip[SMsg](t, &m)
 		ckpttest.NoPanic[SMsg](t, data)
+		ckpttest.Corrupt[SMsg](t, &m, data)
 	})
 }

@@ -132,11 +132,12 @@ type Options struct {
 	// prefix so keys stay deterministic in arbitrary compositions.
 	JobPrefix string
 
-	// Tracer and Metrics thread telemetry into every scaffolding job,
-	// exactly as on pregel.Config; the assembly pipeline passes its own so
-	// one trace covers the whole run.
+	// Tracer, Metrics and Warn thread telemetry and non-fatal diagnostics
+	// into every scaffolding job, exactly as on pregel.Config; the
+	// assembly pipeline passes its own so one trace covers the whole run.
 	Tracer  telemetry.Tracer
 	Metrics *telemetry.Registry
+	Warn    func(msg string)
 
 	// SeedLen is the exact-match seed length for mate placement (default
 	// 31, the paper's k; must exceed the assembly k-1 so seeds cannot tie
@@ -283,7 +284,7 @@ func Build(contigs []Contig, pairs []Pair, opt Options) (*Result, error) {
 		Partitioner: opt.Partitioner, MessageBytes: opt.MessageBytes,
 		CheckpointEvery: opt.CheckpointEvery, Checkpointer: opt.Checkpointer,
 		Faults: opt.Faults, Resume: opt.Resume, JobPrefix: opt.JobPrefix,
-		Tracer: opt.Tracer, Metrics: opt.Metrics,
+		Tracer: opt.Tracer, Metrics: opt.Metrics, Warn: opt.Warn,
 	}
 	res := &Result{Stats: &pregel.Stats{Name: "scaffold", Workers: opt.Workers}}
 	res.PairsTotal = len(pairs)

@@ -1,0 +1,458 @@
+// Package testfs is an in-memory, fault-injecting implementation of
+// pregel.FS used by the checkpoint crash matrices. It models the two-level
+// durability of a real filesystem: file contents become durable on
+// Sync (fsync), directory entries — creations, renames, removals — become
+// durable on SyncDir, and Crash() discards everything else, leaving
+// exactly what a machine crash would have left. On top of that sit fault
+// knobs: short writes (torn tails), silently dropped fsyncs (a lying
+// disk), and op-granular failures (a crash between write and rename).
+//
+// Simplification: directories themselves are durable as soon as created —
+// checkpoint stores create their directory once up front, so modeling
+// mkdir loss buys nothing.
+package testfs
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"ppaassembler/internal/pregel"
+)
+
+// ErrInjected is returned by operations the fault plan kills. Tests
+// distinguish it from genuine logic errors with errors.Is.
+var ErrInjected = errors.New("testfs: injected fault")
+
+// inode is one file: the volatile content a running process sees, and the
+// durable content a crash preserves (what was there at the last
+// un-dropped Sync).
+type inode struct {
+	data    []byte
+	durData []byte
+}
+
+// FS implements pregel.FS. The zero value is not usable; call New.
+type FS struct {
+	mu   sync.Mutex
+	dirs map[string]bool
+	// files is the volatile namespace; durNames is the durable one (entries
+	// as of each directory's last un-dropped SyncDir). Both map to shared
+	// inodes, so a file Sync after a SyncDir still lands in the durable
+	// view, matching real fsync semantics.
+	files    map[string]*inode
+	durNames map[string]*inode
+
+	seq          int
+	syncs        int
+	bytesWritten int64
+
+	// Fault knobs; -1 = disarmed.
+	dropSyncsAfter int
+	failAfterOps   int
+	failAfterBytes int64
+	failed         bool
+}
+
+// New returns an empty filesystem with no faults armed.
+func New() *FS {
+	return &FS{
+		dirs:           map[string]bool{},
+		files:          map[string]*inode{},
+		durNames:       map[string]*inode{},
+		dropSyncsAfter: -1,
+		failAfterOps:   -1,
+		failAfterBytes: -1,
+	}
+}
+
+// --- fault plan -----------------------------------------------------------
+
+// FailAfterOps arms an op-granular crash: the next n mutating operations
+// (MkdirAll, CreateTemp, Write, Sync, Rename, Remove, SyncDir) succeed and
+// every one after that fails with ErrInjected. n=0 fails the very next
+// mutation. Sweeping n across a workload hits every commit-protocol
+// boundary, including the gap between write and rename.
+func (t *FS) FailAfterOps(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.failAfterOps = n
+}
+
+// FailAfterBytes arms a torn write: Write calls consume the budget and the
+// write that would exceed it lands only partially (a torn tail) and
+// returns ErrInjected; later mutations keep failing.
+func (t *FS) FailAfterBytes(n int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.failAfterBytes = n
+}
+
+// DropSyncsAfter arms a lying disk: the next n Sync/SyncDir calls persist
+// normally, and every one after that reports success without persisting
+// anything.
+func (t *FS) DropSyncsAfter(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.dropSyncsAfter = n
+}
+
+// Crash simulates a machine crash and reboot: the volatile state is
+// discarded, every file reverts to its durable view (entries as of the
+// last directory sync, contents as of each file's last un-dropped Sync),
+// and all fault knobs are disarmed so the "rebooted" process runs clean.
+func (t *FS) Crash() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	files := make(map[string]*inode, len(t.durNames))
+	durNames := make(map[string]*inode, len(t.durNames))
+	for name, ino := range t.durNames {
+		dur := append([]byte(nil), ino.durData...)
+		n := &inode{data: append([]byte(nil), dur...), durData: dur}
+		files[name] = n
+		durNames[name] = n
+	}
+	t.files = files
+	t.durNames = durNames
+	t.dropSyncsAfter = -1
+	t.failAfterOps = -1
+	t.failAfterBytes = -1
+	t.failed = false
+}
+
+// Clone deep-copies the filesystem — volatile and durable state — with all
+// fault knobs disarmed, so a sweep can fork one baseline into many
+// independently damaged copies.
+func (t *FS) Clone() *FS {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c := New()
+	for d := range t.dirs {
+		c.dirs[d] = true
+	}
+	inoMap := map[*inode]*inode{}
+	cloneIno := func(ino *inode) *inode {
+		if n, ok := inoMap[ino]; ok {
+			return n
+		}
+		n := &inode{
+			data:    append([]byte(nil), ino.data...),
+			durData: append([]byte(nil), ino.durData...),
+		}
+		inoMap[ino] = n
+		return n
+	}
+	for name, ino := range t.files {
+		c.files[name] = cloneIno(ino)
+	}
+	for name, ino := range t.durNames {
+		c.durNames[name] = cloneIno(ino)
+	}
+	c.seq = t.seq
+	return c
+}
+
+// opErr implements the op-granular fault countdown; callers hold t.mu.
+func (t *FS) opErr() error {
+	if t.failed {
+		return ErrInjected
+	}
+	if t.failAfterOps >= 0 {
+		if t.failAfterOps == 0 {
+			t.failed = true
+			return ErrInjected
+		}
+		t.failAfterOps--
+	}
+	return nil
+}
+
+// syncDropped reports whether this Sync/SyncDir should silently not
+// persist; callers hold t.mu.
+func (t *FS) syncDropped() bool {
+	if t.dropSyncsAfter < 0 {
+		return false
+	}
+	if t.dropSyncsAfter == 0 {
+		return true
+	}
+	t.dropSyncsAfter--
+	return false
+}
+
+// --- pregel.FS ------------------------------------------------------------
+
+// MkdirAll implements pregel.FS.
+func (t *FS) MkdirAll(dir string, _ os.FileMode) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.opErr(); err != nil {
+		return fmt.Errorf("mkdir %s: %w", dir, err)
+	}
+	dir = filepath.Clean(dir)
+	for dir != "." && dir != string(filepath.Separator) {
+		t.dirs[dir] = true
+		dir = filepath.Dir(dir)
+	}
+	return nil
+}
+
+// CreateTemp implements pregel.FS. Names are deterministic (a global
+// sequence replaces the pattern's "*"), keeping crash matrices replayable.
+func (t *FS) CreateTemp(dir, pattern string) (pregel.FSFile, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.opErr(); err != nil {
+		return nil, fmt.Errorf("create temp in %s: %w", dir, err)
+	}
+	dir = filepath.Clean(dir)
+	if !t.dirs[dir] {
+		return nil, &fs.PathError{Op: "createtemp", Path: dir, Err: fs.ErrNotExist}
+	}
+	var base string
+	for {
+		suffix := fmt.Sprintf("%06d", t.seq)
+		t.seq++
+		if i := lastStar(pattern); i >= 0 {
+			base = pattern[:i] + suffix + pattern[i+1:]
+		} else {
+			base = pattern + suffix
+		}
+		if _, exists := t.files[filepath.Join(dir, base)]; !exists {
+			break
+		}
+	}
+	name := filepath.Join(dir, base)
+	ino := &inode{}
+	t.files[name] = ino
+	return &file{fs: t, name: name, ino: ino}, nil
+}
+
+func lastStar(pattern string) int {
+	for i := len(pattern) - 1; i >= 0; i-- {
+		if pattern[i] == '*' {
+			return i
+		}
+	}
+	return -1
+}
+
+// Rename implements pregel.FS. The entry change is volatile until the
+// directory is synced.
+func (t *FS) Rename(oldpath, newpath string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.opErr(); err != nil {
+		return fmt.Errorf("rename %s: %w", oldpath, err)
+	}
+	oldpath, newpath = filepath.Clean(oldpath), filepath.Clean(newpath)
+	ino, ok := t.files[oldpath]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldpath, Err: fs.ErrNotExist}
+	}
+	delete(t.files, oldpath)
+	t.files[newpath] = ino
+	return nil
+}
+
+// Remove implements pregel.FS. Volatile until the directory is synced.
+func (t *FS) Remove(name string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.opErr(); err != nil {
+		return fmt.Errorf("remove %s: %w", name, err)
+	}
+	name = filepath.Clean(name)
+	if _, ok := t.files[name]; !ok {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	delete(t.files, name)
+	return nil
+}
+
+// ReadDir implements pregel.FS: sorted base names of the directory's
+// (volatile) file entries.
+func (t *FS) ReadDir(dir string) ([]string, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	dir = filepath.Clean(dir)
+	if !t.dirs[dir] {
+		return nil, &fs.PathError{Op: "readdir", Path: dir, Err: fs.ErrNotExist}
+	}
+	var names []string
+	for name := range t.files {
+		if filepath.Dir(name) == dir {
+			names = append(names, filepath.Base(name))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// ReadFile implements pregel.FS.
+func (t *FS) ReadFile(name string) ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ino, ok := t.files[filepath.Clean(name)]
+	if !ok {
+		return nil, &fs.PathError{Op: "read", Path: name, Err: fs.ErrNotExist}
+	}
+	return append([]byte(nil), ino.data...), nil
+}
+
+// SyncDir implements pregel.FS: the directory's current entries (and
+// entry removals) become durable. File contents stay governed by each
+// file's own Sync.
+func (t *FS) SyncDir(dir string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.opErr(); err != nil {
+		return fmt.Errorf("syncdir %s: %w", dir, err)
+	}
+	t.syncs++
+	if t.syncDropped() {
+		return nil
+	}
+	dir = filepath.Clean(dir)
+	for name := range t.durNames {
+		if filepath.Dir(name) == dir {
+			if _, ok := t.files[name]; !ok {
+				delete(t.durNames, name)
+			}
+		}
+	}
+	for name, ino := range t.files {
+		if filepath.Dir(name) == dir {
+			t.durNames[name] = ino
+		}
+	}
+	return nil
+}
+
+// file is an open testfs handle.
+type file struct {
+	fs   *FS
+	name string
+	ino  *inode
+}
+
+func (f *file) Name() string { return f.name }
+
+func (f *file) Write(p []byte) (int, error) {
+	t := f.fs
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.opErr(); err != nil {
+		return 0, fmt.Errorf("write %s: %w", f.name, err)
+	}
+	if t.failAfterBytes >= 0 && int64(len(p)) > t.failAfterBytes {
+		// Torn write: part of the payload lands, then the fault fires.
+		n := int(t.failAfterBytes)
+		f.ino.data = append(f.ino.data, p[:n]...)
+		t.bytesWritten += int64(n)
+		t.failAfterBytes = 0
+		t.failed = true
+		return n, fmt.Errorf("write %s: short write after %d bytes: %w", f.name, n, ErrInjected)
+	}
+	if t.failAfterBytes >= 0 {
+		t.failAfterBytes -= int64(len(p))
+	}
+	f.ino.data = append(f.ino.data, p...)
+	t.bytesWritten += int64(len(p))
+	return len(p), nil
+}
+
+func (f *file) Sync() error {
+	t := f.fs
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.opErr(); err != nil {
+		return fmt.Errorf("sync %s: %w", f.name, err)
+	}
+	t.syncs++
+	if t.syncDropped() {
+		return nil
+	}
+	f.ino.durData = append([]byte(nil), f.ino.data...)
+	return nil
+}
+
+func (f *file) Close() error { return nil }
+
+// --- test helpers ---------------------------------------------------------
+
+// Files returns the sorted full paths of the volatile namespace.
+func (t *FS) Files() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	names := make([]string, 0, len(t.files))
+	for name := range t.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Truncate cuts name to n bytes in both the volatile and durable views —
+// the torn-tail primitive: "this is what reached the disk".
+func (t *FS) Truncate(name string, n int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ino, ok := t.files[filepath.Clean(name)]
+	if !ok {
+		return &fs.PathError{Op: "truncate", Path: name, Err: fs.ErrNotExist}
+	}
+	if n < len(ino.data) {
+		ino.data = ino.data[:n]
+	}
+	if n < len(ino.durData) {
+		ino.durData = ino.durData[:n]
+	}
+	return nil
+}
+
+// WriteRaw plants a file with identical volatile and durable content,
+// bypassing the fault plan — for building corrupt fixtures.
+func (t *FS) WriteRaw(name string, data []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	name = filepath.Clean(name)
+	dur := append([]byte(nil), data...)
+	ino := &inode{data: append([]byte(nil), data...), durData: dur}
+	t.files[name] = ino
+	t.durNames[name] = ino
+	for d := filepath.Dir(name); d != "." && d != string(filepath.Separator); d = filepath.Dir(d) {
+		t.dirs[d] = true
+	}
+}
+
+// ReadRaw returns the volatile content of name, bypassing the fault plan.
+func (t *FS) ReadRaw(name string) ([]byte, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ino, ok := t.files[filepath.Clean(name)]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), ino.data...), true
+}
+
+// Syncs reports how many Sync/SyncDir calls have been made (dropped ones
+// included) — used to size DropSyncsAfter sweeps.
+func (t *FS) Syncs() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.syncs
+}
+
+// BytesWritten reports the total bytes accepted by Write — used to size
+// FailAfterBytes sweeps.
+func (t *FS) BytesWritten() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.bytesWritten
+}

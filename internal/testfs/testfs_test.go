@@ -1,0 +1,244 @@
+package testfs
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// mustCreate writes data into dir/name via the public FS surface (temp +
+// write + optional syncs + rename), failing the test on any error.
+func mustCreate(t *testing.T, fs *FS, name string, data []byte, syncFile, syncDir bool) {
+	t.Helper()
+	if err := fs.MkdirAll("/ck", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.CreateTemp("/ck", name+".tmp-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if syncFile {
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(f.Name(), "/ck/"+name); err != nil {
+		t.Fatal(err)
+	}
+	if syncDir {
+		if err := fs.SyncDir("/ck"); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCrashDiscardsUnsynced(t *testing.T) {
+	fs := New()
+	mustCreate(t, fs, "durable", []byte("synced"), true, true)
+	mustCreate(t, fs, "volatile", []byte("never synced"), false, false)
+	fs.Crash()
+	if _, ok := fs.ReadRaw("/ck/volatile"); ok {
+		t.Error("file without file or dir sync survived the crash")
+	}
+	got, ok := fs.ReadRaw("/ck/durable")
+	if !ok || !bytes.Equal(got, []byte("synced")) {
+		t.Errorf("fully synced file after crash: %q, %v", got, ok)
+	}
+}
+
+// TestCrashRenamedButNoDirSync: a renamed file whose directory was never
+// synced vanishes on crash, but the content of an earlier durable entry
+// with the same inode is unaffected.
+func TestCrashRenamedButNoDirSync(t *testing.T) {
+	fs := New()
+	mustCreate(t, fs, "a", []byte("v1"), true, true)
+	// Overwrite via rename, file synced but directory not.
+	mustCreate(t, fs, "a", []byte("v2-longer"), true, false)
+	fs.Crash()
+	got, ok := fs.ReadRaw("/ck/a")
+	if !ok {
+		t.Fatal("durable entry lost")
+	}
+	// The old entry still points at the old inode; the new inode's rename
+	// never became durable, so v1 must be what survives.
+	if !bytes.Equal(got, []byte("v1")) {
+		t.Errorf("after crash without dir sync: %q, want v1", got)
+	}
+}
+
+// TestSyncAfterSyncDirStillDurable: real fsync semantics — once the
+// directory entry is durable, a later file Sync persists content through
+// the shared inode without another SyncDir.
+func TestSyncAfterSyncDirStillDurable(t *testing.T) {
+	fs := New()
+	if err := fs.MkdirAll("/ck", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.CreateTemp("/ck", "x.tmp-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(f.Name(), "/ck/x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir("/ck"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("late")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+	got, ok := fs.ReadRaw("/ck/x")
+	if !ok || !bytes.Equal(got, []byte("late")) {
+		t.Errorf("content synced after dir sync lost in crash: %q, %v", got, ok)
+	}
+}
+
+func TestCrashRevertsRemoval(t *testing.T) {
+	fs := New()
+	mustCreate(t, fs, "keep", []byte("data"), true, true)
+	if err := fs.Remove("/ck/keep"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fs.ReadRaw("/ck/keep"); ok {
+		t.Fatal("volatile view still has removed file")
+	}
+	fs.Crash()
+	if _, ok := fs.ReadRaw("/ck/keep"); !ok {
+		t.Error("removal without dir sync survived the crash")
+	}
+
+	// And with a dir sync the removal is durable.
+	fs2 := New()
+	mustCreate(t, fs2, "gone", []byte("data"), true, true)
+	if err := fs2.Remove("/ck/gone"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs2.SyncDir("/ck"); err != nil {
+		t.Fatal(err)
+	}
+	fs2.Crash()
+	if _, ok := fs2.ReadRaw("/ck/gone"); ok {
+		t.Error("synced removal came back after the crash")
+	}
+}
+
+func TestFailAfterOps(t *testing.T) {
+	fs := New()
+	if err := fs.MkdirAll("/ck", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	fs.FailAfterOps(1) // CreateTemp succeeds, Write fails.
+	f, err := fs.CreateTemp("/ck", "x.tmp-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("boom")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write after budget: %v, want ErrInjected", err)
+	}
+	// Every later mutation keeps failing.
+	if err := fs.SyncDir("/ck"); !errors.Is(err, ErrInjected) {
+		t.Errorf("syncdir after failure: %v, want ErrInjected", err)
+	}
+	// Crash disarms.
+	fs.Crash()
+	if err := fs.MkdirAll("/ck", 0o755); err != nil {
+		t.Errorf("mkdir after crash: %v", err)
+	}
+}
+
+func TestFailAfterBytesTornWrite(t *testing.T) {
+	fs := New()
+	if err := fs.MkdirAll("/ck", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.CreateTemp("/ck", "x.tmp-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.FailAfterBytes(3)
+	n, err := f.Write([]byte("abcdef"))
+	if n != 3 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write: n=%d err=%v, want 3, ErrInjected", n, err)
+	}
+	got, _ := fs.ReadRaw(f.Name())
+	if !bytes.Equal(got, []byte("abc")) {
+		t.Errorf("torn tail content: %q, want abc", got)
+	}
+	if _, err := f.Write([]byte("more")); !errors.Is(err, ErrInjected) {
+		t.Errorf("write after torn write: %v, want ErrInjected", err)
+	}
+}
+
+func TestDropSyncsAfter(t *testing.T) {
+	fs := New()
+	fs.DropSyncsAfter(1)
+	mustCreate(t, fs, "a", []byte("first"), true, false)  // sync #1 persists
+	mustCreate(t, fs, "b", []byte("second"), true, false) // sync #2 dropped
+	if err := fs.SyncDir("/ck"); err != nil {             // sync #3 dropped
+		t.Fatal(err)
+	}
+	if fs.Syncs() != 3 {
+		t.Fatalf("Syncs() = %d, want 3", fs.Syncs())
+	}
+	fs.Crash()
+	// Nothing survives: a's content was synced but its rename never became
+	// durable (the SyncDir was dropped); b lost both.
+	if files := fs.Files(); len(files) != 0 {
+		t.Errorf("files after crash with dropped dir sync: %v", files)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	fs := New()
+	mustCreate(t, fs, "a", []byte("base"), true, true)
+	c := fs.Clone()
+	c.Truncate("/ck/a", 2)
+	c.FailAfterOps(0)
+	// Damage and faults stay in the clone.
+	got, _ := fs.ReadRaw("/ck/a")
+	if !bytes.Equal(got, []byte("base")) {
+		t.Errorf("original damaged by clone edit: %q", got)
+	}
+	if err := fs.MkdirAll("/x", 0o755); err != nil {
+		t.Errorf("original inherited clone's fault plan: %v", err)
+	}
+	if err := c.MkdirAll("/x", 0o755); !errors.Is(err, ErrInjected) {
+		t.Errorf("clone fault plan not armed: %v", err)
+	}
+	// Clone preserves inode aliasing: crash in the clone behaves like the
+	// original would.
+	c2 := fs.Clone()
+	c2.Crash()
+	if !reflect.DeepEqual(c2.Files(), fs.Files()) {
+		t.Errorf("clone crash view %v != original durable view %v", c2.Files(), fs.Files())
+	}
+}
+
+func TestCreateTempUniqueNames(t *testing.T) {
+	fs := New()
+	if err := fs.MkdirAll("/ck", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f1, err := fs.CreateTemp("/ck", "x.tmp-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := fs.CreateTemp("/ck", "x.tmp-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1.Name() == f2.Name() {
+		t.Errorf("CreateTemp reused name %s", f1.Name())
+	}
+}

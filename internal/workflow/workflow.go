@@ -108,6 +108,10 @@ type Env struct {
 	Tracer telemetry.Tracer
 	// Metrics, when non-nil, collects engine and workflow counters.
 	Metrics *telemetry.Registry
+	// Warn, when non-nil, receives the engine's non-fatal diagnostics
+	// (pregel.Config.Warn) from every op. Nil routes each distinct message
+	// to stderr once per process.
+	Warn func(msg string)
 
 	prefix  string         // current op's deterministic job-key prefix
 	closers []func() error // sinks to flush/close when the plan finishes
@@ -142,7 +146,7 @@ func (e *Env) Config() pregel.Config {
 		DeltaCheckpoints: e.DeltaCheckpoints,
 		Faults:           e.Faults, Resume: e.Resume,
 		JobPrefix: e.prefix,
-		Tracer:    e.Tracer, Metrics: e.Metrics,
+		Tracer:    e.Tracer, Metrics: e.Metrics, Warn: e.Warn,
 	}
 }
 
