@@ -14,10 +14,11 @@
 //   - Time-based metrics (ns/op, msgs/s) are compared only when baseline
 //     and current were measured on a comparable host (same num_cpu and
 //     go_max_procs); otherwise they are reported as skipped.
-//   - The parallel-speedup gate binds only when the current artifact's
-//     parallel_speedup_valid flag is set and GOMAXPROCS >= 4 — a
+//   - The parallel-speedup gate binds only when BOTH artifacts carry
+//     parallel_speedup_valid=true and the current GOMAXPROCS >= 4 — a
 //     single-core runner cannot demonstrate parallel speedup, and its
-//     ratio measures scheduler overhead, not the engine.
+//     ratio measures scheduler overhead, not the engine; comparing
+//     against such a baseline would gate on noise.
 //
 // -threshold is the allowed fractional regression for ratio comparisons
 // (0.25 = current may be up to 25% worse than baseline).
@@ -65,6 +66,15 @@ type checkpointIO struct {
 	BytesWritten int64 `json:"bytes_written"`
 }
 
+type transportRow struct {
+	FramesSent            int64   `json:"frames_sent"`
+	BytesSent             int64   `json:"bytes_sent"`
+	BytesReceived         int64   `json:"bytes_received"`
+	RemoteMessages        int64   `json:"remote_messages"`
+	MeasuredWireSeconds   float64 `json:"measured_wire_seconds"`
+	MeasuredOverPredicted float64 `json:"measured_over_predicted"`
+}
+
 type artifact struct {
 	NumCPU               int           `json:"num_cpu"`
 	GoMaxProcs           int           `json:"go_max_procs"`
@@ -77,6 +87,7 @@ type artifact struct {
 	Pipeline             []pipelineRow `json:"pipeline_partitioners"`
 	CheckpointIO         checkpointIO  `json:"checkpoint_io"`
 	CheckpointThroughput codecStats    `json:"checkpoint_throughput"`
+	Transport            transportRow  `json:"transport"`
 }
 
 // report accumulates regressions (fail the fence) and notes (informational:
@@ -209,8 +220,13 @@ func compare(baseline, current artifact, threshold float64) report {
 	}
 
 	// --- Parallel speedup: binds only when the measurement means
-	// something (see parallel_speedup_valid in the artifact schema). ---
-	if current.ParallelSpeedupValid && current.GoMaxProcs >= 4 {
+	// something on BOTH sides (see parallel_speedup_valid in the artifact
+	// schema). A baseline recorded on a 1-CPU host carries a meaningless
+	// ratio (the committed artifact once held 0.92x from such a runner);
+	// comparing against it — or gating a current artifact whose own flag is
+	// false — would compare scheduler noise, so the gate is skipped and the
+	// measured ratios are only reported. ---
+	if baseline.ParallelSpeedupValid && current.ParallelSpeedupValid && current.GoMaxProcs >= 4 {
 		if current.ParallelSpeedup <= 1.0 {
 			r.failf("parallel shuffle not faster than sequential with GOMAXPROCS=%d (speedup %.2fx)",
 				current.GoMaxProcs, current.ParallelSpeedup)
@@ -219,8 +235,27 @@ func compare(baseline, current artifact, threshold float64) report {
 			r.failf("overlapped delivery slower than the barriered path beyond threshold (%.2fx)", current.OverlapSpeedup)
 		}
 	} else {
-		r.notef("skipping parallel-speedup gate: valid=%v, GOMAXPROCS=%d (need valid and >= 4); measured %.2fx parallel, %.2fx overlap",
-			current.ParallelSpeedupValid, current.GoMaxProcs, current.ParallelSpeedup, current.OverlapSpeedup)
+		r.notef("skipping parallel-speedup gate: baseline valid=%v, current valid=%v, GOMAXPROCS=%d (need both valid and >= 4); measured %.2fx parallel, %.2fx overlap",
+			baseline.ParallelSpeedupValid, current.ParallelSpeedupValid, current.GoMaxProcs,
+			current.ParallelSpeedup, current.OverlapSpeedup)
+	}
+
+	// --- Transport: the wire volume of the fixed shuffle workload is
+	// deterministic (lane codec + frame overhead), so byte growth is a
+	// codec-bloat fence; wire *time* is a property of the host's loopback
+	// stack and is only reported. ---
+	tb, tc := baseline.Transport, current.Transport
+	if tb.BytesSent > 0 && tc.BytesSent == 0 {
+		r.failf("transport section vanished from the current artifact (baseline sent %d bytes)", tb.BytesSent)
+	}
+	checkGrowth(&r, "transport bytes_sent", float64(tb.BytesSent), float64(tc.BytesSent), threshold)
+	checkGrowth(&r, "transport bytes_received", float64(tb.BytesReceived), float64(tc.BytesReceived), threshold)
+	if tc.BytesSent > 0 && tc.RemoteMessages == 0 {
+		r.failf("transport section sent %d bytes but recorded no remote messages", tc.BytesSent)
+	}
+	if tc.MeasuredWireSeconds > 0 {
+		r.notef("transport wire time %.3fs measured, %.2fx the CostModel prediction (host-dependent, not gated)",
+			tc.MeasuredWireSeconds, tc.MeasuredOverPredicted)
 	}
 
 	return r

@@ -27,6 +27,10 @@ func healthyArtifact() artifact {
 		{Name: "hash", RemoteFraction: 0.74, NetSimSeconds: 2.0},
 		{Name: "minimizer", RemoteFraction: 0.40, NetSimSeconds: 1.2},
 	}
+	a.Transport = transportRow{
+		FramesSent: 120, BytesSent: 4 << 20, BytesReceived: 4 << 20,
+		RemoteMessages: 720, MeasuredWireSeconds: 0.05, MeasuredOverPredicted: 0.7,
+	}
 	return a
 }
 
@@ -146,6 +150,40 @@ func TestParallelSpeedupGateBindsOnlyWhenValid(t *testing.T) {
 		}
 	}
 	wantNote(t, r, "skipping parallel-speedup gate")
+}
+
+func TestParallelSpeedupGateSkippedOnInvalidBaseline(t *testing.T) {
+	// The committed baseline was once recorded on a 1-CPU bench host with a
+	// meaningless 0.92x ratio; a perfectly healthy current artifact must not
+	// be gated against that noise.
+	base := healthyArtifact()
+	base.NumCPU, base.GoMaxProcs = 1, 1
+	base.ParallelSpeedupValid = false
+	base.ParallelSpeedup = 0.92
+	cur := healthyArtifact()
+	cur.ParallelSpeedup = 0.8 // would fail the gate if it bound
+	r := compare(base, cur, 0.25)
+	for _, reg := range r.regressions {
+		if strings.Contains(reg, "not faster than sequential") {
+			t.Fatalf("speedup gate bound against an invalid baseline: %v", r.regressions)
+		}
+	}
+	wantNote(t, r, "skipping parallel-speedup gate")
+	wantNote(t, r, "baseline valid=false")
+}
+
+func TestTransportSectionDroppedFails(t *testing.T) {
+	base := healthyArtifact()
+	cur := healthyArtifact()
+	cur.Transport = transportRow{}
+	wantRegression(t, compare(base, cur, 0.25), "transport section vanished")
+}
+
+func TestTransportByteGrowthFails(t *testing.T) {
+	base := healthyArtifact()
+	cur := healthyArtifact()
+	cur.Transport.BytesSent = base.Transport.BytesSent * 2 // frame/lane codec bloat
+	wantRegression(t, compare(base, cur, 0.25), "transport bytes_sent")
 }
 
 func TestFaultFreeRestoreFails(t *testing.T) {

@@ -64,6 +64,11 @@ type cliOpts struct {
 
 	workflow string
 
+	transport   string
+	peers       string
+	serveWorker int
+	listen      string
+
 	trace       string
 	traceFormat string
 	metricsOut  string
@@ -102,6 +107,10 @@ func main() {
 	flag.StringVar(&o.faultPlan, "faultplan", "", "inject simulated worker crashes: comma-separated ROUND:WORKER pairs counted over all BSP rounds, e.g. \"12:0,57:3\"")
 	flag.BoolVar(&o.resume, "resume", false, "resume a killed run from the checkpoints in -checkpoint")
 	flag.StringVar(&o.workflow, "workflow", "", "compose the assembly as an explicit op workflow instead of the canned pipeline, e.g. \"build,label,merge,bubble,rebuild,link,tiptrim:minlen=40,label,merge,fasta\" (unset op parameters inherit the global flags)")
+	flag.StringVar(&o.transport, "transport", "mem", "message transport for every superstep shuffle: mem (in-process, the default) or tcp (drain lanes over the worker processes in -peers; output is byte-identical to mem)")
+	flag.StringVar(&o.peers, "peers", "", "with -transport=tcp, comma-separated worker depot addresses (host:port), one per -workers, in worker order")
+	flag.IntVar(&o.serveWorker, "serve-worker", -1, "run as lane-depot process for this worker index instead of assembling (pair with -listen; the coordinator lists this address in -peers)")
+	flag.StringVar(&o.listen, "listen", "127.0.0.1:0", "with -serve-worker, the address to listen on (port 0 picks an ephemeral port, printed on stdout)")
 	flag.StringVar(&o.trace, "trace", "", "write a structured trace of every superstep, op, MR phase and checkpoint to this file")
 	flag.StringVar(&o.traceFormat, "trace-format", "", "trace file format: jsonl (default) or chrome (load in Perfetto / chrome://tracing)")
 	flag.StringVar(&o.metricsOut, "metrics", "", "write engine metrics (Prometheus text format) to this file at exit")
@@ -120,6 +129,13 @@ func main() {
 			os.Exit(1)
 		}
 		if corrupt > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+	if o.serveWorker >= 0 {
+		if err := runServeWorker(o); err != nil {
+			fmt.Fprintln(os.Stderr, "ppa-assembler:", err)
 			os.Exit(1)
 		}
 		return
@@ -186,6 +202,12 @@ func runCanned(o cliOpts, obs *observability) error {
 	}
 	if opt.Partitioner, err = core.MakePartitioner(o.partitioner, o.k); err != nil {
 		return err
+	}
+	if opt.Transport, err = makeTransport(o); err != nil {
+		return err
+	}
+	if opt.Transport != nil {
+		defer opt.Transport.Close()
 	}
 
 	reads, err := loadReadList(o.in)
@@ -290,6 +312,7 @@ func runCanned(o cliOpts, obs *observability) error {
 		}
 		printCheckpointIO(res.CheckpointSaves, res.CheckpointRestores,
 			res.CheckpointBytesWritten, res.CheckpointBytesRestored)
+		printTransportSummary(opt.Transport)
 		if total := res.LocalMessages + res.RemoteMessages; total > 0 {
 			fmt.Fprintf(os.Stderr, "shuffle traffic:   %d messages, %.1f%% remote (partitioner %s)\n",
 				total, 100*float64(res.RemoteMessages)/float64(total), o.partitioner)

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"ppaassembler/internal/transport"
+)
+
+// makeTransport maps the -transport/-peers flags onto a transport for the
+// engine. "mem" (the default) returns nil: the engine keeps its historical
+// in-process loopback shuffle and checkpoints record transport "mem" either
+// way. "tcp" builds the coordinator side of the multi-process transport,
+// one peer address per logical worker.
+func makeTransport(o cliOpts) (transport.Transport, error) {
+	switch strings.ToLower(o.transport) {
+	case "", "mem":
+		if o.peers != "" {
+			return nil, fmt.Errorf("-peers is only meaningful with -transport=tcp")
+		}
+		return nil, nil
+	case "tcp":
+		if o.peers == "" {
+			return nil, fmt.Errorf("-transport=tcp requires -peers (comma-separated worker addresses, one per worker)")
+		}
+		var peers []string
+		for _, p := range strings.Split(o.peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
+		if len(peers) != o.workers {
+			return nil, fmt.Errorf("-peers lists %d worker addresses, but -workers is %d; every logical worker needs its own depot process", len(peers), o.workers)
+		}
+		return transport.DialTCP(transport.TCPOptions{Peers: peers})
+	default:
+		return nil, fmt.Errorf("unknown transport %q (want mem or tcp)", o.transport)
+	}
+}
+
+// runServeWorker is the worker-process mode: the process becomes lane depot
+// number -serve-worker, listening on -listen until killed. It holds no
+// compute and no graph state; the coordinator (a ppa-assembler run with
+// -transport=tcp) stores outgoing lanes here and drains them back each
+// superstep. The bound address is printed to stdout so scripts using an
+// ephemeral port (-listen 127.0.0.1:0) can collect it for -peers.
+func runServeWorker(o cliOpts) error {
+	srv := &transport.WorkerServer{Worker: o.serveWorker}
+	if !o.quiet {
+		srv.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "ppa-assembler: "+format+"\n", args...)
+		}
+	}
+	addr, err := srv.Listen(o.listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("worker %d listening on %s\n", o.serveWorker, addr)
+	return srv.Serve()
+}
+
+// printTransportSummary reports the wire traffic of a run over a non-nil
+// transport, in the style of the run summary's other lines.
+func printTransportSummary(tp transport.Transport) {
+	if tp == nil {
+		return
+	}
+	c := tp.Counters()
+	fmt.Fprintf(os.Stderr, "transport %-8s %d frames / %s sent, %d frames / %s received, %d barriers, wire %.2fs",
+		tp.Name()+":", c.FramesSent, sizeOf(c.BytesSent), c.FramesRecv, sizeOf(c.BytesRecv),
+		c.Barriers, float64(c.WireNs)/1e9)
+	if c.Redials > 0 {
+		fmt.Fprintf(os.Stderr, ", %d redials", c.Redials)
+	}
+	fmt.Fprintln(os.Stderr)
+}
+
+// sizeOf renders a byte count with a binary unit.
+func sizeOf(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

@@ -10,6 +10,12 @@
 //	tracecheck -format chrome trace.json
 //	tracecheck -format jsonl -require workflow,pregel,phase,mr trace.jsonl
 //	tracecheck -metrics metrics.prom
+//	tracecheck -transport -format jsonl tcp-trace.jsonl -metrics tcp-metrics.prom
+//
+// -transport validates a run over a wire transport (-transport=tcp): the
+// trace must carry the "transport" span category with connect, send, drain
+// and barrier spans, and the metrics dump must export the transport byte
+// counters.
 package main
 
 import (
@@ -27,7 +33,17 @@ func main() {
 	require := flag.String("require", "workflow,pregel,phase,mr", "comma-separated span categories that must appear in the trace")
 	metricsPath := flag.String("metrics", "", "also validate this Prometheus-text metrics file")
 	requireMetrics := flag.String("require-metrics", "pregel_messages_local_total,pregel_messages_remote_total,pregel_supersteps_total,workflow_ops_total", "comma-separated metric families that must appear in -metrics")
+	transport := flag.Bool("transport", false, "validate a wire-transport run: require the transport span category (connect/send/drain/barrier) in the trace and the transport byte counters in -metrics")
 	flag.Parse()
+
+	requireCats := splitList(*require)
+	requiredMetricList := splitList(*requireMetrics)
+	if *transport {
+		requireCats = append(requireCats, "transport")
+		requiredMetricList = append(requiredMetricList,
+			"transport_bytes_sent_total", "transport_bytes_received_total",
+			"transport_frames_sent_total", "transport_frames_received_total")
+	}
 
 	ok := true
 	if flag.NArg() > 1 {
@@ -38,15 +54,19 @@ func main() {
 		if err != nil {
 			fail("%s: %v", flag.Arg(0), err)
 		}
-		if err := checkEvents(events, splitList(*require)); err != nil {
-			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", flag.Arg(0), err)
+		cerr := checkEvents(events, requireCats)
+		if cerr == nil && *transport {
+			cerr = checkTransportSpans(events)
+		}
+		if cerr != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", flag.Arg(0), cerr)
 			ok = false
 		} else {
 			fmt.Printf("%s: %d events OK\n", flag.Arg(0), len(events))
 		}
 	}
 	if *metricsPath != "" {
-		n, err := checkMetrics(*metricsPath, splitList(*requireMetrics))
+		n, err := checkMetrics(*metricsPath, requiredMetricList)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", *metricsPath, err)
 			ok = false
@@ -180,6 +200,26 @@ func checkEvents(events []event, requireCats []string) error {
 	for _, c := range requireCats {
 		if !cats[c] {
 			return fmt.Errorf("required span category %q absent (saw %s)", c, strings.Join(keys(cats), ", "))
+		}
+	}
+	return nil
+}
+
+// checkTransportSpans enforces the wire-transport span contract on top of
+// the structural checks: the "transport" category must contain a connect
+// span plus per-superstep send, drain and barrier spans (their begin/end
+// balance is already guaranteed by checkEvents).
+func checkTransportSpans(events []event) error {
+	names := map[string]bool{}
+	for _, e := range events {
+		if e.Cat == "transport" {
+			names[e.Name] = true
+		}
+	}
+	for _, want := range []string{"connect", "send", "drain", "barrier"} {
+		if !names[want] {
+			return fmt.Errorf("transport span %q absent (saw %s) — was the run actually over a wire transport?",
+				want, strings.Join(keys(names), ", "))
 		}
 	}
 	return nil

@@ -75,6 +75,49 @@ func TestCheckEventsUnbalanced(t *testing.T) {
 	}
 }
 
+func TestCheckTransportSpans(t *testing.T) {
+	full := []event{
+		{Name: "connect", Cat: "transport", Ph: "B"}, {Name: "connect", Cat: "transport", Ph: "E"},
+		{Name: "send", Cat: "transport", Ph: "B"}, {Name: "send", Cat: "transport", Ph: "E"},
+		{Name: "drain", Cat: "transport", Ph: "B"}, {Name: "drain", Cat: "transport", Ph: "E"},
+		{Name: "barrier", Cat: "transport", Ph: "B"}, {Name: "barrier", Cat: "transport", Ph: "E"},
+	}
+	if err := checkTransportSpans(full); err != nil {
+		t.Fatal(err)
+	}
+	// A run that connected but never drained (e.g. the engine silently fell
+	// back to the loopback path) must fail the contract.
+	if err := checkTransportSpans(full[:2]); err == nil || !strings.Contains(err.Error(), `"send" absent`) {
+		t.Fatalf("missing transport spans not reported: %v", err)
+	}
+	if err := checkTransportSpans(nil); err == nil {
+		t.Fatal("transport-free trace not reported")
+	}
+}
+
+func TestCheckTransportMetricsRequired(t *testing.T) {
+	p := writeFile(t, "tcp.prom", `# TYPE transport_bytes_sent_total counter
+transport_bytes_sent_total 123456
+# TYPE transport_bytes_received_total counter
+transport_bytes_received_total 123456
+# TYPE transport_frames_sent_total counter
+transport_frames_sent_total 99
+# TYPE transport_frames_received_total counter
+transport_frames_received_total 99
+`)
+	families := []string{
+		"transport_bytes_sent_total", "transport_bytes_received_total",
+		"transport_frames_sent_total", "transport_frames_received_total",
+	}
+	if _, err := checkMetrics(p, families); err != nil {
+		t.Fatal(err)
+	}
+	memOnly := writeFile(t, "mem.prom", "# TYPE pregel_supersteps_total counter\npregel_supersteps_total 8\n")
+	if _, err := checkMetrics(memOnly, families); err == nil {
+		t.Fatal("missing transport counters not reported")
+	}
+}
+
 func TestCheckMetrics(t *testing.T) {
 	good := writeFile(t, "metrics.prom", `# TYPE pregel_messages_local_total counter
 pregel_messages_local_total 15

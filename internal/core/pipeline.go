@@ -8,6 +8,7 @@ import (
 	"ppaassembler/internal/pregel"
 	"ppaassembler/internal/scaffold"
 	"ppaassembler/internal/telemetry"
+	"ppaassembler/internal/transport"
 	"ppaassembler/internal/workflow"
 )
 
@@ -47,6 +48,12 @@ type Options struct {
 	// placement changes simulated network locality but never the
 	// assembler's output.
 	Partitioner pregel.Partitioner
+	// Transport is the message transport every stage shuffles over (see
+	// pregel.Config.Transport). Nil keeps the in-memory loopback shuffle;
+	// a TCP transport drains every superstep's lanes over real worker
+	// processes. Like Parallel and Partitioner, it never changes the
+	// assembler's output.
+	Transport transport.Transport
 	// Overlap enables the engine's overlapped compute/delivery mode for
 	// every stage (see pregel.Config.Overlap); like Parallel and
 	// Partitioner, it never changes the assembler's output.
@@ -190,7 +197,7 @@ type Result struct {
 func (o Options) Env(clock *pregel.SimClock) *workflow.Env {
 	return &workflow.Env{
 		Workers: o.Workers, Parallel: o.Parallel, Overlap: o.Overlap, Cost: o.Cost,
-		Partitioner: o.Partitioner, MessageBytes: MsgWireBytes,
+		Partitioner: o.Partitioner, Transport: o.Transport, MessageBytes: MsgWireBytes,
 		CheckpointEvery: o.CheckpointEvery, Checkpointer: o.Checkpointer,
 		DeltaCheckpoints: o.DeltaCheckpoints,
 		Faults:           o.Faults, Resume: o.Resume,

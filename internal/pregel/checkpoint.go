@@ -665,6 +665,13 @@ type ckptFile struct {
 	// alone would only report a generic identity mismatch).
 	PartitionerName string
 	NumWorkers      int
+	// TransportName records the message transport the run used ("mem",
+	// "memwire", "tcp"; v4+). Restores under a different transport are
+	// rejected: a checkpoint written by a distributed run names worker
+	// processes an in-memory resume does not have, and vice versa, so the
+	// mismatch almost always means the wrong topology was launched. Empty
+	// in pre-v4 files, which skips the check.
+	TransportName string
 	// Run counters at the barrier, restored on rollback so a recovered
 	// run reports the same totals as an unfailed one.
 	Supersteps      int
@@ -691,14 +698,15 @@ type ckptFile struct {
 // cadence, the store, and the run's identity fingerprint, plus the delta-
 // checkpoint chain position.
 type ckptRun struct {
-	store   Checkpointer
-	job     string
-	name    string // bare (unprefixed) run name, for the legacy-key probe
-	prefix  string // JobPrefix in effect when the key was reserved
-	every   int
-	fp      uint64
-	part    string // Partitioner.Name() of the running graph
-	workers int
+	store     Checkpointer
+	job       string
+	name      string // bare (unprefixed) run name, for the legacy-key probe
+	prefix    string // JobPrefix in effect when the key was reserved
+	every     int
+	fp        uint64
+	part      string // Partitioner.Name() of the running graph
+	transport string // Transport.Name() of the running graph ("mem" when nil)
+	workers   int
 
 	// bin: V and M both round-trip through the binary value codec.
 	// delta: this run takes delta checkpoints (bin, DeltaCheckpoints set,
@@ -777,18 +785,19 @@ func (g *Graph[V, M]) newCkptRun(name string) (*ckptRun, error) {
 		}
 	}
 	return &ckptRun{
-		store:   store,
-		job:     job,
-		name:    name,
-		prefix:  g.cfg.JobPrefix,
-		every:   g.cfg.CheckpointEvery,
-		fp:      g.runFingerprint(),
-		part:    g.cfg.Partitioner.Name(),
-		workers: g.cfg.Workers,
-		bin:     bin,
-		delta:   delta,
-		warn:    g.warnf,
-		metrics: g.cfg.Metrics,
+		store:     store,
+		job:       job,
+		name:      name,
+		prefix:    g.cfg.JobPrefix,
+		every:     g.cfg.CheckpointEvery,
+		fp:        g.runFingerprint(),
+		part:      g.cfg.Partitioner.Name(),
+		transport: g.transportName(),
+		workers:   g.cfg.Workers,
+		bin:       bin,
+		delta:     delta,
+		warn:      g.warnf,
+		metrics:   g.cfg.Metrics,
 	}, nil
 }
 
@@ -896,6 +905,7 @@ func (g *Graph[V, M]) saveCheckpoint(ck *ckptRun, step int, pending int64, stats
 		Kind:            kind,
 		PrevStep:        ck.lastStep,
 		PartitionerName: ck.part,
+		TransportName:   ck.transport,
 		NumWorkers:      ck.workers,
 		Supersteps:      stats.Supersteps,
 		Messages:        stats.Messages,
@@ -971,6 +981,9 @@ func (c *ckptChain) tip() *ckptFile {
 func (ck *ckptRun) validateIdentity(file *ckptFile) error {
 	if file.PartitionerName != ck.part {
 		return fmt.Errorf("pregel: checkpoint for job %q was written under partitioner %q, but this run places vertices with %q; restoring would scatter partition-local state — rerun with the original partitioner or delete the checkpoint directory to start fresh", ck.job, file.PartitionerName, ck.part)
+	}
+	if file.TransportName != "" && file.TransportName != ck.transport {
+		return fmt.Errorf("pregel: checkpoint for job %q was written under transport %q, but this run uses transport %q; resume with the original transport topology (-transport=%s) or delete the checkpoint directory to start fresh", ck.job, file.TransportName, ck.transport, file.TransportName)
 	}
 	if file.NumWorkers != ck.workers {
 		return fmt.Errorf("pregel: checkpoint for job %q was written with %d workers, but this run has %d; rerun with the original worker count or delete the checkpoint directory to start fresh", ck.job, file.NumWorkers, ck.workers)

@@ -36,7 +36,8 @@ import (
 
 const (
 	ckptMagic     = "PPCK"
-	ckptVersion   = 3
+	ckptVersion   = 4
+	ckptVersionV3 = 3
 	ckptVersionV2 = 2
 
 	ckptKindFull  byte = 0
@@ -591,8 +592,9 @@ func applyWorkerDelta[V, M any](cw *ckptWorker[V, M], data []byte) error {
 }
 
 // appendCkptHeader writes the container header — everything up to and
-// including the worker count, which is the v3 header-CRC coverage — shared
-// by the v3 writer and the v2 compatibility encoder.
+// including the worker count, which is the header-CRC coverage — shared by
+// the current writer and the v2 compatibility encoder. v4 added
+// TransportName after PartitionerName; older versions omit it.
 func appendCkptHeader(buf []byte, f *ckptFile, version uint64) []byte {
 	buf = append(buf, ckptMagic...)
 	buf = binary.AppendUvarint(buf, version)
@@ -601,6 +603,9 @@ func appendCkptHeader(buf []byte, f *ckptFile, version uint64) []byte {
 	buf = binary.AppendUvarint(buf, uint64(f.PrevStep))
 	buf = binary.AppendVarint(buf, f.Pending)
 	buf = appendCkptString(buf, f.PartitionerName)
+	if version >= 4 {
+		buf = appendCkptString(buf, f.TransportName)
+	}
 	buf = binary.AppendUvarint(buf, uint64(f.NumWorkers))
 	buf = binary.AppendUvarint(buf, uint64(f.Supersteps))
 	buf = binary.AppendVarint(buf, f.Messages)
@@ -676,8 +681,8 @@ func decodeCkptFileBounds(job string, data []byte) (*ckptFile, []int64, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	if ver != ckptVersion && ver != ckptVersionV2 {
-		return nil, nil, fmt.Errorf("pregel: checkpoint for job %q uses format v%d, but this binary reads v%d and v%d — rerun with a matching binary or delete the checkpoint directory to start fresh", job, ver, ckptVersionV2, ckptVersion)
+	if ver != ckptVersion && ver != ckptVersionV3 && ver != ckptVersionV2 {
+		return nil, nil, fmt.Errorf("pregel: checkpoint for job %q uses format v%d, but this binary reads v%d through v%d — rerun with a matching binary or delete the checkpoint directory to start fresh", job, ver, ckptVersionV2, ckptVersion)
 	}
 	var f ckptFile
 	fail := func(err error) (*ckptFile, []int64, error) {
@@ -701,6 +706,11 @@ func decodeCkptFileBounds(job string, data []byte) (*ckptFile, []int64, error) {
 	}
 	if f.PartitionerName, data, err = consumeCkptString(data); err != nil {
 		return fail(err)
+	}
+	if ver >= 4 {
+		if f.TransportName, data, err = consumeCkptString(data); err != nil {
+			return fail(err)
+		}
 	}
 	if u, data, err = ConsumeUvarint(data); err != nil {
 		return fail(err)
@@ -742,7 +752,7 @@ func decodeCkptFileBounds(job string, data []byte) (*ckptFile, []int64, error) {
 	if u > uint64(len(data)) {
 		return fail(corruptf("container claims %d worker sections in %d bytes", u, len(data)))
 	}
-	if ver == ckptVersion {
+	if ver >= ckptVersionV3 {
 		hdrLen := len(full) - len(data)
 		if len(data) < crc32.Size {
 			return fail(corruptf("truncated header CRC"))
@@ -766,7 +776,7 @@ func decodeCkptFileBounds(job string, data []byte) (*ckptFile, []int64, error) {
 		}
 		sec := data[:l:l]
 		data = data[l:]
-		if ver == ckptVersion {
+		if ver >= ckptVersionV3 {
 			if len(data) < crc32.Size {
 				return fail(corruptf("truncated CRC of worker section %d", i))
 			}

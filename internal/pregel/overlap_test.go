@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"strings"
+	"sync/atomic"
 	"testing"
 )
 
@@ -362,9 +363,9 @@ func TestDeltaDirCheckpointerResume(t *testing.T) {
 		Workers: 4, Parallel: true,
 		CheckpointEvery: 2, DeltaCheckpoints: true, Checkpointer: store1,
 	}, n)
-	var calls1 int64
+	var calls1 atomic.Int64
 	stats1, err := g1.Run(func(ctx *Context[int64], id VertexID, v *int64, msgs []int64) {
-		calls1++
+		calls1.Add(1)
 		chainCompute(n)(ctx, id, v, msgs)
 	}, WithName("dresume"))
 	if err != nil {
@@ -389,9 +390,9 @@ func TestDeltaDirCheckpointerResume(t *testing.T) {
 		Workers: 4, Parallel: true,
 		CheckpointEvery: 2, DeltaCheckpoints: true, Checkpointer: store2, Resume: true,
 	}, n)
-	var calls2 int64
+	var calls2 atomic.Int64
 	stats2, err := g2.Run(func(ctx *Context[int64], id VertexID, v *int64, msgs []int64) {
-		calls2++
+		calls2.Add(1)
 		chainCompute(n)(ctx, id, v, msgs)
 	}, WithName("dresume"))
 	if err != nil {
@@ -400,8 +401,8 @@ func TestDeltaDirCheckpointerResume(t *testing.T) {
 	if !reflect.DeepEqual(collectChain(g2), want) {
 		t.Error("resume from a delta chain produced different vertex values")
 	}
-	if calls2 >= calls1 {
-		t.Errorf("resume did not fast-forward: %d compute calls on resume, %d originally", calls2, calls1)
+	if calls2.Load() >= calls1.Load() {
+		t.Errorf("resume did not fast-forward: %d compute calls on resume, %d originally", calls2.Load(), calls1.Load())
 	}
 	if stats2.Supersteps != stats1.Supersteps {
 		t.Errorf("resumed run reported %d supersteps, want %d", stats2.Supersteps, stats1.Supersteps)

@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"ppaassembler/internal/telemetry"
+	"ppaassembler/internal/transport"
 )
 
 // stderrWarnOnce backs the default Config.Warn sink: each distinct message
@@ -105,6 +106,17 @@ type Config struct {
 	// Checkpoints record the partitioner's name; Resume under a different
 	// one fails loudly instead of scattering partition-local state.
 	Partitioner Partitioner
+	// Transport moves superstep message lanes between logical workers.
+	// Nil (or the loopback mem transport) keeps the historical zero-copy
+	// in-memory shuffle. A non-loopback transport (memwire, tcp) makes
+	// every remote lane travel the encode/frame/decode wire path; results
+	// stay bit-identical because the lane codec is deterministic and lanes
+	// drain in source-worker order. Its worker count must equal Workers.
+	// Checkpoints record the transport's name; Resume under a different
+	// one fails loudly. A *transport.WorkerDownError during a superstep is
+	// treated like an injected worker crash: with checkpointing enabled
+	// the run rolls back and replays, otherwise it fails.
+	Transport transport.Transport
 
 	// CheckpointEvery enables Pregel-style fault tolerance: every N
 	// supersteps each run snapshots its vertex state, pending inboxes,
@@ -194,6 +206,10 @@ func (c Config) Validate() error {
 	if c.DeltaCheckpoints && c.CheckpointEvery <= 0 {
 		return fmt.Errorf("pregel: DeltaCheckpoints requires CheckpointEvery > 0 (there are no checkpoints to make incremental)")
 	}
+	if c.Transport != nil && c.Workers > 0 && c.Transport.Workers() != c.Workers {
+		return fmt.Errorf("pregel: transport %q addresses %d workers, Config.Workers is %d",
+			c.Transport.Name(), c.Transport.Workers(), c.Workers)
+	}
 	return nil
 }
 
@@ -264,6 +280,7 @@ type worker[V, M any] struct {
 
 	outbox [][]envelope[M]      // one lane per destination worker
 	fold   []map[VertexID]int32 // eager-combine index: dst vertex -> lane position
+	rlanes [][]envelope[M]      // wire-path decode scratch, one lane per source worker
 
 	ctx       Context[M]
 	nDead     int
@@ -561,9 +578,24 @@ func (g *Graph[V, M]) Run(compute Compute[V, M], opts ...RunOption) (*Stats, err
 	// Lock the combiner for the whole run (see SetCombiner): send and
 	// delivery read the run-scoped copy only.
 	g.runComb, g.runTotal = g.combiner, g.combTotal
-	overlap := g.cfg.Overlap && g.cfg.Parallel && g.cfg.Workers > 1
+	wire := g.transportActive()
+	overlap := g.cfg.Overlap && g.cfg.Parallel && g.cfg.Workers > 1 && !wire
+	if wire && g.cfg.Overlap {
+		g.warnf("pregel: Overlap is disabled under transport %q (delivery is a network drain, not a fused phase)", g.cfg.Transport.Name())
+	}
 	tr := g.cfg.Tracer
 	rm := newRunMetrics(g.cfg.Metrics)
+	if wire {
+		if tw := g.cfg.Transport.Workers(); tw != g.cfg.Workers {
+			return stats, fmt.Errorf("pregel: job %q: transport %q addresses %d workers, the graph has %d",
+				o.name, g.cfg.Transport.Name(), tw, g.cfg.Workers)
+		}
+		if err := g.transportConnect(); err != nil {
+			return stats, fmt.Errorf("pregel: job %q: %w", o.name, err)
+		}
+		txBase := g.cfg.Transport.Counters()
+		defer func() { foldTransportMetrics(g.cfg.Metrics, txBase, g.cfg.Transport.Counters()) }()
+	}
 	if tr != nil {
 		g.emit(telemetry.KindBegin, "job", "pregel", nowNs(), g.clock.Ns(),
 			telemetry.S("name", o.name), telemetry.I("vertices", int64(g.VertexCount())))
@@ -589,6 +621,7 @@ func (g *Graph[V, M]) Run(compute Compute[V, M], opts ...RunOption) (*Stats, err
 	}
 	step := 0
 	pending := int64(0) // messages delivered at the last barrier
+	downStreak := 0     // consecutive worker-down rollbacks (transport only)
 	if ck != nil {
 		restored := false
 		if g.cfg.Resume {
@@ -707,12 +740,25 @@ func (g *Graph[V, M]) Run(compute Compute[V, M], opts ...RunOption) (*Stats, err
 				wall1 = nowNs()
 			}
 			// Barrier: deliver messages, apply aggregator values, record stats.
-			delivered, dropped, stepErr = g.deliver()
+			if wire {
+				delivered, dropped, stepErr = g.deliverViaTransport(step)
+			} else {
+				delivered, dropped, stepErr = g.deliver()
+			}
 			if tr != nil {
 				wall2 = nowNs()
 			}
 		}
 		if stepErr != nil {
+			if wire && transport.IsWorkerDown(stepErr) {
+				if downStreak++; downStreak > maxTransportRecoveries {
+					return stats, fmt.Errorf("pregel: job %q: %d consecutive worker failures, giving up: %w", o.name, downStreak, stepErr)
+				}
+				if step, pending, err = g.transportRecover(ck, o.name, step, stepErr, stats); err != nil {
+					return stats, err
+				}
+				continue
+			}
 			return stats, stepErr
 		}
 		msgs, local := int64(0), int64(0)
@@ -780,6 +826,21 @@ func (g *Graph[V, M]) Run(compute Compute[V, M], opts ...RunOption) (*Stats, err
 				telemetry.I("messages", msgs))
 		}
 		g.agg.flip()
+		if wire {
+			if berr := g.transportBarrier(step); berr != nil {
+				if !transport.IsWorkerDown(berr) {
+					return stats, berr
+				}
+				if downStreak++; downStreak > maxTransportRecoveries {
+					return stats, fmt.Errorf("pregel: job %q: %d consecutive worker failures, giving up: %w", o.name, downStreak, berr)
+				}
+				if step, pending, err = g.transportRecover(ck, o.name, step, berr, stats); err != nil {
+					return stats, err
+				}
+				continue
+			}
+		}
+		downStreak = 0
 		pending = delivered
 		step++
 		if ck != nil && step%ck.every == 0 {

@@ -20,7 +20,7 @@ type CkptFileInfo struct {
 	// mid-write (harmless debris, never counted as corruption).
 	Delta bool
 	Temp  bool
-	// Version is the container format version (2 or 3), 0 when the frame
+	// Version is the container format version (2, 3 or 4), 0 when the frame
 	// is too damaged to tell.
 	Version int
 	// Bytes is the file size; SectionEnds are the container's internal

@@ -1,0 +1,364 @@
+package pregel
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"ppaassembler/internal/telemetry"
+	"ppaassembler/internal/transport"
+)
+
+// Transport delivery: when Config.Transport is a non-loopback transport,
+// the superstep shuffle leaves process memory. After the compute barrier
+// every remote (src,dst) outbox lane is encoded with the deterministic
+// lane codec below and shipped to the destination worker's depot
+// (SendLane); delivery then drains each destination by fetching its lanes
+// back (RecvLane), decoding, and running the exact count/place passes of
+// the in-memory path. Lanes are encoded and drained in source-worker
+// order, and the codec is byte-deterministic, so a run over a transport is
+// bit-identical to an in-memory run. Local lanes (src == dst) never leave
+// memory, matching the two-tier cost model's intra-machine lane.
+//
+// The engine sends every remote lane of a superstep — even empty ones —
+// before draining any, so a missing lane at RecvLane time is never
+// ambiguity about emptiness: it means the depot lost state (worker death
+// and restart), surfaces as a *transport.WorkerDownError, and the run
+// rolls back to its latest checkpoint exactly like an injected fault.
+
+// laneBinary/laneGob flag the lane payload encoding, mirroring the
+// checkpoint container's wsecBinary/wsecGob worker sections: message types
+// admitted by the binary value codec use the zero-copy path, anything else
+// falls back to gob.
+const (
+	laneBinary byte = 0
+	laneGob    byte = 1
+)
+
+// wireEnvelope is the gob-visible shape of an envelope (whose fields are
+// unexported by design).
+type wireEnvelope[M any] struct {
+	Dst VertexID
+	Msg M
+}
+
+// encodeLane appends the lane payload encoding of envs to buf.
+func encodeLane[M any](buf []byte, envs []envelope[M], bin bool) ([]byte, error) {
+	if !bin {
+		w := make([]wireEnvelope[M], len(envs))
+		for i, e := range envs {
+			w[i] = wireEnvelope[M]{Dst: e.dst, Msg: e.msg}
+		}
+		var gb bytes.Buffer
+		if err := gob.NewEncoder(&gb).Encode(w); err != nil {
+			return nil, fmt.Errorf("pregel: gob-encoding transport lane: %w", err)
+		}
+		buf = append(buf, laneGob)
+		return append(buf, gb.Bytes()...), nil
+	}
+	buf = append(buf, laneBinary)
+	buf = AppendUvarint(buf, uint64(len(envs)))
+	for i := range envs {
+		buf = AppendUvarint(buf, uint64(envs[i].dst))
+		buf = appendVal(buf, &envs[i].msg)
+	}
+	return buf, nil
+}
+
+// decodeLane decodes a lane payload into envs (reusing its capacity).
+func decodeLane[M any](data []byte, envs []envelope[M]) ([]envelope[M], error) {
+	envs = envs[:0]
+	if len(data) == 0 {
+		return nil, corruptf("pregel: transport lane payload is empty")
+	}
+	flag, data := data[0], data[1:]
+	switch flag {
+	case laneGob:
+		var w []wireEnvelope[M]
+		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+			return nil, fmt.Errorf("pregel: gob-decoding transport lane: %w", err)
+		}
+		for _, e := range w {
+			envs = append(envs, envelope[M]{dst: e.Dst, msg: e.Msg})
+		}
+		return envs, nil
+	case laneBinary:
+		n, data, err := ConsumeUvarint(data)
+		if err != nil {
+			return nil, err
+		}
+		for i := uint64(0); i < n; i++ {
+			var e envelope[M]
+			var d uint64
+			if d, data, err = ConsumeUvarint(data); err != nil {
+				return nil, err
+			}
+			e.dst = VertexID(d)
+			if data, err = consumeVal(data, &e.msg); err != nil {
+				return nil, err
+			}
+			envs = append(envs, e)
+		}
+		if len(data) != 0 {
+			return nil, corruptf("pregel: %d trailing bytes after transport lane", len(data))
+		}
+		return envs, nil
+	default:
+		return nil, corruptf("pregel: unknown transport lane flag %d", flag)
+	}
+}
+
+// transportActive reports whether the shuffle must leave process memory.
+// A nil Transport and the loopback mem transport both keep the historical
+// zero-copy in-memory path.
+func (g *Graph[V, M]) transportActive() bool {
+	return g.cfg.Transport != nil && !g.cfg.Transport.Loopback()
+}
+
+// transportName is the transport identity recorded in checkpoints. A nil
+// Transport is the historical in-memory shuffle and shares the loopback
+// mem transport's name, so the two interoperate across a resume.
+func (g *Graph[V, M]) transportName() string {
+	if g.cfg.Transport == nil {
+		return "mem"
+	}
+	return g.cfg.Transport.Name()
+}
+
+// deliverViaTransport runs one superstep's shuffle over cfg.Transport:
+// a send phase ships every remote lane to its destination depot, then a
+// drain phase rebuilds each destination's inbox arena from fetched lanes.
+// Errors land in the destination workers' deliverErr slots and fold out
+// through collectDelivery, so worker-down detection composes with the
+// engine's existing error path.
+func (g *Graph[V, M]) deliverViaTransport(step int) (delivered, dropped int64, err error) {
+	t := g.cfg.Transport
+	bin := binaryCodecFor[M]()
+	tr := g.cfg.Tracer
+	// The send phase reports through the workers' deliverErr slots, which
+	// resetInbox normally clears at drain time — replaying after a failed
+	// attempt must not resurface the stale error.
+	for _, w := range g.workers {
+		w.deliverErr = nil
+	}
+
+	if tr != nil {
+		g.emit(telemetry.KindBegin, "send", "transport", nowNs(), g.clock.Ns(),
+			telemetry.I("step", int64(step)))
+	}
+	var sendErr error
+	forEachWorkerProf(g.cfg.Workers, g.cfg.Parallel, g.runName, "tx-send", func(swi int) {
+		src := g.workers[swi]
+		var buf []byte
+		for dwi := range g.workers {
+			if dwi == swi || src.outbox == nil {
+				continue // local lanes never leave memory
+			}
+			var encErr error
+			if buf, encErr = encodeLane(buf[:0], src.outbox[dwi], bin); encErr != nil {
+				src.deliverErr = encErr
+				return
+			}
+			if sErr := t.SendLane(step, swi, dwi, buf); sErr != nil {
+				src.deliverErr = sErr
+				return
+			}
+		}
+	})
+	for _, w := range g.workers {
+		if w.deliverErr != nil {
+			sendErr = w.deliverErr
+			break
+		}
+	}
+	if tr != nil {
+		g.emit(telemetry.KindEnd, "send", "transport", nowNs(), g.clock.Ns())
+	}
+	if sendErr != nil {
+		// resetInbox in the drain phase normally clears deliverErr; bail
+		// before it so the send failure is not masked.
+		return 0, 0, sendErr
+	}
+
+	if tr != nil {
+		g.emit(telemetry.KindBegin, "drain", "transport", nowNs(), g.clock.Ns(),
+			telemetry.I("step", int64(step)))
+	}
+	forEachWorkerProf(g.cfg.Workers, g.cfg.Parallel, g.runName, "tx-drain", func(dwi int) {
+		g.transportDeliverTo(step, dwi)
+	})
+	if tr != nil {
+		g.emit(telemetry.KindEnd, "drain", "transport", nowNs(), g.clock.Ns())
+	}
+	return g.collectDelivery()
+}
+
+// transportDeliverTo rebuilds destination worker dwi's inbox arena from
+// transport-fetched lanes — the wire twin of deliverTo. The local lane
+// (src == dwi) is read straight from the source outbox; remote lanes are
+// fetched and decoded into per-worker scratch, then counted and placed in
+// source-worker order, preserving the engine's delivery order exactly.
+func (g *Graph[V, M]) transportDeliverTo(step, dwi int) {
+	t := g.cfg.Transport
+	dst := g.workers[dwi]
+	if dst.rlanes == nil {
+		dst.rlanes = make([][]envelope[M], g.cfg.Workers)
+	}
+	g.resetInbox(dst)
+	for swi, src := range g.workers {
+		if swi == dwi {
+			var local []envelope[M]
+			if src.outbox != nil {
+				local = src.outbox[dwi]
+			}
+			dst.rlanes[swi] = local
+			continue
+		}
+		payload, err := t.RecvLane(step, swi, dwi)
+		if err != nil {
+			dst.deliverErr = err
+			return
+		}
+		lane, err := decodeLane(payload, dst.rlanes[swi])
+		if err != nil {
+			dst.deliverErr = err
+			return
+		}
+		dst.rlanes[swi] = lane
+	}
+	for _, lane := range dst.rlanes {
+		g.countLane(dst, lane)
+	}
+	g.placeInboxLanes(dst, dst.rlanes)
+}
+
+// placeInboxLanes is placeInbox over an explicit lane set (the wire path's
+// decoded lanes) instead of the destination column of every worker's
+// outbox. Kept separate from placeInbox so the loopback shuffle keeps its
+// zero-allocation steady state.
+func (g *Graph[V, M]) placeInboxLanes(dst *worker[V, M], lanes [][]envelope[M]) {
+	n := len(dst.ids)
+	counts := dst.inCur[:n]
+	off := int32(0)
+	for i := 0; i < n; i++ {
+		c := counts[i]
+		dst.inOff[i] = off
+		counts[i] = off // becomes the placement cursor
+		off += c
+	}
+	dst.inOff[n] = off
+	if cap(dst.inArena) < int(off) {
+		dst.inArena = make([]M, off)
+	} else {
+		dst.inArena = dst.inArena[:off]
+	}
+	fused := g.runTotal && g.runComb != nil
+	m := 0
+	for _, lane := range lanes {
+		for _, e := range lane {
+			i := dst.rIdx[m]
+			m++
+			if i < 0 {
+				continue
+			}
+			if fused && counts[i] > dst.inOff[i] {
+				slot := &dst.inArena[dst.inOff[i]]
+				*slot = g.runComb(*slot, e.msg)
+				continue
+			}
+			dst.inArena[counts[i]] = e.msg
+			counts[i]++
+		}
+	}
+}
+
+// transportBarrier publishes the end of superstep step to every worker,
+// carrying the aggregator snapshot, inside a traced transport span.
+func (g *Graph[V, M]) transportBarrier(step int) error {
+	tr := g.cfg.Tracer
+	if tr != nil {
+		g.emit(telemetry.KindBegin, "barrier", "transport", nowNs(), g.clock.Ns(),
+			telemetry.I("step", int64(step)))
+	}
+	err := g.cfg.Transport.Barrier(step, appendAggSnapshot(nil, g.agg.snapshot()))
+	if tr != nil {
+		g.emit(telemetry.KindEnd, "barrier", "transport", nowNs(), g.clock.Ns())
+	}
+	return err
+}
+
+// transportConnect establishes the worker connections before the first
+// superstep, inside a traced transport span.
+func (g *Graph[V, M]) transportConnect() error {
+	tr := g.cfg.Tracer
+	if tr != nil {
+		g.emit(telemetry.KindBegin, "connect", "transport", nowNs(), g.clock.Ns(),
+			telemetry.I("workers", int64(g.cfg.Workers)))
+	}
+	err := g.cfg.Transport.Connect()
+	if tr != nil {
+		g.emit(telemetry.KindEnd, "connect", "transport", nowNs(), g.clock.Ns())
+	}
+	return err
+}
+
+// foldTransportMetrics adds the transport counter deltas of one run to the
+// metrics registry.
+func foldTransportMetrics(reg *telemetry.Registry, base, now transport.Counters) {
+	if reg == nil {
+		return
+	}
+	add := func(name string, delta int64) {
+		if delta > 0 {
+			reg.Counter(name).Add(delta)
+		}
+	}
+	add("transport_bytes_sent_total", now.BytesSent-base.BytesSent)
+	add("transport_bytes_received_total", now.BytesRecv-base.BytesRecv)
+	add("transport_frames_sent_total", now.FramesSent-base.FramesSent)
+	add("transport_frames_received_total", now.FramesRecv-base.FramesRecv)
+	add("transport_wire_ns_total", now.WireNs-base.WireNs)
+	add("transport_connects_total", now.Connects-base.Connects)
+	add("transport_retries_total", now.Redials-base.Redials)
+	add("transport_barriers_total", now.Barriers-base.Barriers)
+}
+
+// maxTransportRecoveries caps back-to-back worker-down rollbacks of one
+// run: a worker that keeps dying (or a peer address that is simply wrong)
+// must eventually fail the run instead of replaying forever. Any
+// successfully completed superstep resets the count.
+const maxTransportRecoveries = 10
+
+// transportRecover handles a worker-down failure during a superstep: with
+// checkpointing enabled it rolls the run back to the latest checkpoint —
+// exactly the injected-fault path — and returns the restored step and
+// pending count; the transport redials on the next use. Without
+// checkpointing the failure is fatal, with an error that says how to make
+// it survivable.
+func (g *Graph[V, M]) transportRecover(ck *ckptRun, job string, step int, cause error, stats *Stats) (int, int64, error) {
+	if g.cfg.Tracer != nil {
+		g.emit(telemetry.KindInstant, "workerdown", "transport", nowNs(), g.clock.Ns(),
+			telemetry.I("step", int64(step)))
+	}
+	if ck == nil {
+		return 0, 0, fmt.Errorf("pregel: job %q: worker lost at superstep %d with checkpointing disabled (set CheckpointEvery to make worker death survivable): %w",
+			job, step, cause)
+	}
+	g.warnf("pregel: job %q: %v at superstep %d; rolling back to the latest checkpoint", job, cause, step)
+	chain, ok, err := ck.loadCheckpoint()
+	if err != nil {
+		return 0, 0, err
+	}
+	if !ok {
+		return 0, 0, fmt.Errorf("pregel: job %q: worker lost at superstep %d but no checkpoint exists: %w", job, step, cause)
+	}
+	newStep, pending, err := g.restoreCheckpoint(chain, stats)
+	if err != nil {
+		return 0, 0, err
+	}
+	stats.Recoveries++
+	if g.cfg.Metrics != nil {
+		g.cfg.Metrics.Counter("pregel_recoveries_total").Add(1)
+	}
+	return newStep, pending, nil
+}

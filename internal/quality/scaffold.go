@@ -192,4 +192,3 @@ func locate(ix *align.Index, c dna.Seq) contigSpot {
 	}
 	return contigSpot{start: best.RStart - (c.Len() - best.QEnd), end: best.REnd + best.QStart, rc: true, ok: true}
 }
-

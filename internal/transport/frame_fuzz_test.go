@@ -1,0 +1,55 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzFrameDecode feeds arbitrary (and seeded corrupt/truncated) bytes to
+// the wire-frame decoder. The invariant mirrors the checkpoint container's
+// ErrCheckpointCorrupt taxonomy: DecodeFrame either returns a frame that
+// re-encodes to the exact bytes it consumed, or an error wrapping
+// ErrFrameCorrupt — never a panic, never silent garbage.
+func FuzzFrameDecode(f *testing.F) {
+	// Valid frames of every type.
+	f.Add(AppendFrame(nil, Frame{Type: FrameHello, Payload: helloPayload(2, 4)}))
+	f.Add(AppendFrame(nil, Frame{Type: FrameLane, Step: 9, Src: 1, Dst: 3, Payload: []byte("payload")}))
+	f.Add(AppendFrame(nil, Frame{Type: FrameBarrier, Step: 4, Payload: bytes.Repeat([]byte{7}, 200)}))
+	f.Add(AppendFrame(nil, Frame{Type: FrameError, Payload: []byte("err")}))
+	// Two frames back to back.
+	f.Add(AppendFrame(AppendFrame(nil, Frame{Type: FrameLaneReq, Step: 1, Src: 0, Dst: 1}),
+		Frame{Type: FrameLaneData, Step: 1, Src: 0, Dst: 1, Payload: []byte("x")}))
+	// Seeded corruptions: truncation, flipped CRC, flipped type, huge length.
+	good := AppendFrame(nil, Frame{Type: FrameLane, Step: 3, Src: 1, Dst: 2, Payload: []byte("seed")})
+	f.Add(good[:len(good)-3])
+	crcFlip := append([]byte(nil), good...)
+	crcFlip[len(crcFlip)-1] ^= 0xFF
+	f.Add(crcFlip)
+	typeFlip := append([]byte(nil), good...)
+	typeFlip[4] = 0xEE
+	f.Add(typeFlip)
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x00})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rest := data
+		for len(rest) > 0 {
+			frame, tail, err := DecodeFrame(rest)
+			if err != nil {
+				if !errors.Is(err, ErrFrameCorrupt) {
+					t.Fatalf("decode error %v does not wrap ErrFrameCorrupt", err)
+				}
+				return
+			}
+			if len(tail) >= len(rest) {
+				t.Fatalf("decode consumed nothing: %d -> %d bytes", len(rest), len(tail))
+			}
+			consumed := rest[:len(rest)-len(tail)]
+			if re := AppendFrame(nil, frame); !bytes.Equal(re, consumed) {
+				t.Fatalf("re-encode mismatch:\n consumed %x\n re-encoded %x", consumed, re)
+			}
+			rest = tail
+		}
+	})
+}

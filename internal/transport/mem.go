@@ -1,0 +1,148 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// laneKey addresses one stored lane: the encoded outbox batch from source
+// worker Src to destination worker Dst at superstep Step.
+type laneKey struct {
+	Step int
+	Src  int
+	Dst  int
+}
+
+// Mem is the loopback transport: it names the engine's historical
+// in-process shuffle. Loopback reports true, so the engine keeps its
+// zero-copy lane delivery and never touches the byte path; Mem exists so
+// that runs and checkpoints always carry an explicit transport name.
+type Mem struct {
+	workers int
+}
+
+// NewMem returns the loopback in-memory transport for the given worker
+// count.
+func NewMem(workers int) *Mem { return &Mem{workers: workers} }
+
+func (m *Mem) Name() string       { return "mem" }
+func (m *Mem) Workers() int       { return m.workers }
+func (m *Mem) Loopback() bool     { return true }
+func (m *Mem) Connect() error     { return nil }
+func (m *Mem) Close() error       { return nil }
+func (m *Mem) Counters() Counters { return Counters{} }
+
+func (m *Mem) SendLane(step, src, dst int, payload []byte) error {
+	return fmt.Errorf("transport mem: SendLane called on the loopback transport")
+}
+
+func (m *Mem) RecvLane(step, src, dst int) ([]byte, error) {
+	return nil, fmt.Errorf("transport mem: RecvLane called on the loopback transport")
+}
+
+func (m *Mem) Barrier(step int, payload []byte) error { return nil }
+
+// MemWire pushes every lane through the full encode → frame → decode wire
+// path, but stores the framed bytes in process memory instead of sockets.
+// It is the deterministic, dependency-free way to exercise exactly the
+// code a TCP run executes: the engine sees Loopback()==false and switches
+// to the byte path, frames round-trip through AppendFrame/DecodeFrame, and
+// counters meter the traffic — with no listener, no ports, no timing.
+type MemWire struct {
+	workers int
+
+	mu    sync.Mutex
+	depot map[laneKey][]byte
+
+	bytesSent  atomic.Int64
+	bytesRecv  atomic.Int64
+	framesSent atomic.Int64
+	framesRecv atomic.Int64
+	barriers   atomic.Int64
+}
+
+// NewMemWire returns an in-memory transport that exercises the full frame
+// codec.
+func NewMemWire(workers int) *MemWire {
+	return &MemWire{workers: workers, depot: make(map[laneKey][]byte)}
+}
+
+func (m *MemWire) Name() string   { return "memwire" }
+func (m *MemWire) Workers() int   { return m.workers }
+func (m *MemWire) Loopback() bool { return false }
+func (m *MemWire) Connect() error { return nil }
+func (m *MemWire) Close() error   { return nil }
+
+func (m *MemWire) Counters() Counters {
+	return Counters{
+		BytesSent:  m.bytesSent.Load(),
+		BytesRecv:  m.bytesRecv.Load(),
+		FramesSent: m.framesSent.Load(),
+		FramesRecv: m.framesRecv.Load(),
+		Barriers:   m.barriers.Load(),
+	}
+}
+
+func (m *MemWire) SendLane(step, src, dst int, payload []byte) error {
+	wire := AppendFrame(nil, Frame{Type: FrameLane, Step: step, Src: src, Dst: dst, Payload: payload})
+	m.bytesSent.Add(int64(len(wire)))
+	m.framesSent.Add(1)
+	f, rest, err := DecodeFrame(wire)
+	if err != nil || len(rest) != 0 {
+		return fmt.Errorf("transport memwire: lane frame round trip failed: %w", err)
+	}
+	m.mu.Lock()
+	m.depot[laneKey{f.Step, f.Src, f.Dst}] = f.Payload
+	m.mu.Unlock()
+	return nil
+}
+
+func (m *MemWire) RecvLane(step, src, dst int) ([]byte, error) {
+	m.mu.Lock()
+	payload, ok := m.depot[laneKey{step, src, dst}]
+	m.mu.Unlock()
+	if !ok {
+		return nil, &WorkerDownError{Worker: dst, Err: fmt.Errorf("no lane stored for step %d src %d dst %d", step, src, dst)}
+	}
+	wire := AppendFrame(nil, Frame{Type: FrameLaneData, Step: step, Src: src, Dst: dst, Payload: payload})
+	m.bytesRecv.Add(int64(len(wire)))
+	m.framesRecv.Add(1)
+	f, _, err := DecodeFrame(wire)
+	if err != nil {
+		return nil, fmt.Errorf("transport memwire: lane data frame round trip failed: %w", err)
+	}
+	return f.Payload, nil
+}
+
+func (m *MemWire) Barrier(step int, payload []byte) error {
+	wire := AppendFrame(nil, Frame{Type: FrameBarrier, Step: step, Payload: payload})
+	m.bytesSent.Add(int64(len(wire)))
+	m.framesSent.Add(1)
+	if _, _, err := DecodeFrame(wire); err != nil {
+		return fmt.Errorf("transport memwire: barrier frame round trip failed: %w", err)
+	}
+	m.barriers.Add(1)
+	m.mu.Lock()
+	for k := range m.depot {
+		if k.Step <= step {
+			delete(m.depot, k)
+		}
+	}
+	m.mu.Unlock()
+	return nil
+}
+
+// DropWorker discards every lane stored for destination worker dst,
+// simulating a worker process that died and restarted with an empty depot.
+// Tests use it to drive the engine's checkpoint-rollback path without real
+// processes.
+func (m *MemWire) DropWorker(dst int) {
+	m.mu.Lock()
+	for k := range m.depot {
+		if k.Dst == dst {
+			delete(m.depot, k)
+		}
+	}
+	m.mu.Unlock()
+}

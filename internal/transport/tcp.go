@@ -1,0 +1,312 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TCPOptions configure the coordinator side of the TCP transport.
+type TCPOptions struct {
+	// Peers are the worker addresses, one per logical worker, in worker
+	// order ("host:port").
+	Peers []string
+	// DialTimeout bounds one dial attempt. Default 5s.
+	DialTimeout time.Duration
+	// IOTimeout is the per-frame read/write deadline. A worker that stops
+	// responding trips it and surfaces as a WorkerDownError. Default 30s.
+	IOTimeout time.Duration
+	// RetryBackoff is the initial redial backoff, doubled per attempt up
+	// to 1s. Default 50ms.
+	RetryBackoff time.Duration
+	// MaxRetries is the number of dial attempts per Connect call before a
+	// worker is declared down. Default 10.
+	MaxRetries int
+}
+
+func (o *TCPOptions) withDefaults() {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.IOTimeout <= 0 {
+		o.IOTimeout = 30 * time.Second
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 50 * time.Millisecond
+	}
+	if o.MaxRetries <= 0 {
+		o.MaxRetries = 10
+	}
+}
+
+// TCP is the coordinator side of the multi-process transport. One
+// connection per worker process, guarded by a per-peer mutex so the engine
+// may drain destinations in parallel; all I/O runs under deadlines, and
+// any failure on a peer closes its connection and reports a
+// *WorkerDownError so the engine can roll back to its latest checkpoint.
+// The next Connect (or the lazy redial inside the failing call's retry)
+// re-establishes the session.
+type TCP struct {
+	opts  TCPOptions
+	peers []*tcpPeer
+
+	bytesSent  atomic.Int64
+	bytesRecv  atomic.Int64
+	framesSent atomic.Int64
+	framesRecv atomic.Int64
+	wireNs     atomic.Int64
+	connects   atomic.Int64
+	redials    atomic.Int64
+	barriers   atomic.Int64
+}
+
+type tcpPeer struct {
+	mu   sync.Mutex
+	addr string
+	id   int
+	conn net.Conn
+}
+
+// DialTCP builds the coordinator transport for the given worker addresses.
+// It does not dial; Connect does, so construction is cheap and Connect
+// owns every retry.
+func DialTCP(opts TCPOptions) (*TCP, error) {
+	opts.withDefaults()
+	if len(opts.Peers) == 0 {
+		return nil, fmt.Errorf("transport tcp: no peer addresses")
+	}
+	t := &TCP{opts: opts}
+	for i, addr := range opts.Peers {
+		if addr == "" {
+			return nil, fmt.Errorf("transport tcp: empty address for worker %d", i)
+		}
+		t.peers = append(t.peers, &tcpPeer{addr: addr, id: i})
+	}
+	return t, nil
+}
+
+func (t *TCP) Name() string   { return "tcp" }
+func (t *TCP) Workers() int   { return len(t.peers) }
+func (t *TCP) Loopback() bool { return false }
+
+func (t *TCP) Counters() Counters {
+	return Counters{
+		BytesSent:  t.bytesSent.Load(),
+		BytesRecv:  t.bytesRecv.Load(),
+		FramesSent: t.framesSent.Load(),
+		FramesRecv: t.framesRecv.Load(),
+		WireNs:     t.wireNs.Load(),
+		Connects:   t.connects.Load(),
+		Redials:    t.redials.Load(),
+		Barriers:   t.barriers.Load(),
+	}
+}
+
+// Connect dials every worker that is not already connected, retrying with
+// exponential backoff. Idempotent.
+func (t *TCP) Connect() error {
+	for _, p := range t.peers {
+		p.mu.Lock()
+		err := t.ensureConn(p)
+		p.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ensureConn dials and handshakes p if needed. Caller holds p.mu.
+func (t *TCP) ensureConn(p *tcpPeer) error {
+	if p.conn != nil {
+		return nil
+	}
+	backoff := t.opts.RetryBackoff
+	var lastErr error
+	for attempt := 0; attempt < t.opts.MaxRetries; attempt++ {
+		if attempt > 0 {
+			t.redials.Add(1)
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+		}
+		start := time.Now()
+		conn, err := net.DialTimeout("tcp", p.addr, t.opts.DialTimeout)
+		if err != nil {
+			t.wireNs.Add(time.Since(start).Nanoseconds())
+			lastErr = err
+			continue
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		if err := t.handshake(p, conn); err != nil {
+			conn.Close()
+			lastErr = err
+			continue
+		}
+		p.conn = conn
+		t.connects.Add(1)
+		return nil
+	}
+	return &WorkerDownError{Worker: p.id, Err: fmt.Errorf("dialing %s failed after %d attempts: %w", p.addr, t.opts.MaxRetries, lastErr)}
+}
+
+// handshake runs the HELLO exchange on a fresh connection. The worker
+// resets its lane depot on HELLO, so a redial always starts from an empty
+// depot — which is why a missing lane after a worker restart is detected
+// rather than silently served stale.
+func (t *TCP) handshake(p *tcpPeer, conn net.Conn) error {
+	hello := Frame{Type: FrameHello, Payload: helloPayload(p.id, len(t.peers))}
+	ack, err := t.roundTrip(conn, hello)
+	if err != nil {
+		return fmt.Errorf("hello to worker %d (%s): %w", p.id, p.addr, err)
+	}
+	if ack.Type == FrameError {
+		return fmt.Errorf("worker %d (%s) rejected hello: %s", p.id, p.addr, ack.Payload)
+	}
+	if ack.Type != FrameHelloAck {
+		return fmt.Errorf("worker %d (%s): unexpected hello reply type %d", p.id, p.addr, ack.Type)
+	}
+	return nil
+}
+
+// writeFrame sends one frame under the I/O deadline, metering bytes and
+// wire time.
+func (t *TCP) writeFrame(conn net.Conn, f Frame) error {
+	wire := AppendFrame(nil, f)
+	conn.SetWriteDeadline(time.Now().Add(t.opts.IOTimeout))
+	start := time.Now()
+	_, err := conn.Write(wire)
+	t.wireNs.Add(time.Since(start).Nanoseconds())
+	if err != nil {
+		return err
+	}
+	t.bytesSent.Add(int64(len(wire)))
+	t.framesSent.Add(1)
+	return nil
+}
+
+// readFrame reads one frame under the I/O deadline, metering bytes and
+// wire time.
+func (t *TCP) readFrame(conn net.Conn) (Frame, error) {
+	conn.SetReadDeadline(time.Now().Add(t.opts.IOTimeout))
+	start := time.Now()
+	f, n, err := readFrameCount(conn)
+	t.wireNs.Add(time.Since(start).Nanoseconds())
+	if err != nil {
+		return f, err
+	}
+	t.bytesRecv.Add(int64(n))
+	t.framesRecv.Add(1)
+	return f, nil
+}
+
+// roundTrip writes f and reads the reply on conn.
+func (t *TCP) roundTrip(conn net.Conn, f Frame) (Frame, error) {
+	if err := t.writeFrame(conn, f); err != nil {
+		return Frame{}, err
+	}
+	return t.readFrame(conn)
+}
+
+// withPeer runs fn with worker dst's live connection. On error the
+// connection is closed (the next call redials) and a *WorkerDownError is
+// returned.
+func (t *TCP) withPeer(dst int, fn func(conn net.Conn) error) error {
+	if dst < 0 || dst >= len(t.peers) {
+		return fmt.Errorf("transport tcp: worker %d out of range [0,%d)", dst, len(t.peers))
+	}
+	p := t.peers[dst]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := t.ensureConn(p); err != nil {
+		return err
+	}
+	if err := fn(p.conn); err != nil {
+		p.conn.Close()
+		p.conn = nil
+		var wd *WorkerDownError
+		if errors.As(err, &wd) {
+			return err
+		}
+		return &WorkerDownError{Worker: p.id, Err: err}
+	}
+	return nil
+}
+
+// SendLane ships one encoded lane to worker dst's depot. Lane frames are
+// pipelined without acknowledgment; a lost lane surfaces on RecvLane.
+func (t *TCP) SendLane(step, src, dst int, payload []byte) error {
+	return t.withPeer(dst, func(conn net.Conn) error {
+		return t.writeFrame(conn, Frame{Type: FrameLane, Step: step, Src: src, Dst: dst, Payload: payload})
+	})
+}
+
+// RecvLane fetches the lane stored at worker dst for (step, src). A worker
+// that restarted since the lanes were sent answers FrameError, which is
+// reported as a *WorkerDownError so the engine rolls back and replays.
+func (t *TCP) RecvLane(step, src, dst int) ([]byte, error) {
+	var payload []byte
+	err := t.withPeer(dst, func(conn net.Conn) error {
+		reply, err := t.roundTrip(conn, Frame{Type: FrameLaneReq, Step: step, Src: src, Dst: dst})
+		if err != nil {
+			return err
+		}
+		switch reply.Type {
+		case FrameLaneData:
+			payload = reply.Payload
+			return nil
+		case FrameError:
+			return &WorkerDownError{Worker: dst, Err: fmt.Errorf("worker reports: %s", reply.Payload)}
+		default:
+			return fmt.Errorf("unexpected reply type %d to lane request", reply.Type)
+		}
+	})
+	return payload, err
+}
+
+// Barrier publishes the end of superstep step (with the aggregator
+// snapshot) to every worker and waits for each acknowledgment.
+func (t *TCP) Barrier(step int, payload []byte) error {
+	for dst := range t.peers {
+		err := t.withPeer(dst, func(conn net.Conn) error {
+			reply, err := t.roundTrip(conn, Frame{Type: FrameBarrier, Step: step, Payload: payload})
+			if err != nil {
+				return err
+			}
+			if reply.Type == FrameError {
+				return fmt.Errorf("worker rejected barrier: %s", reply.Payload)
+			}
+			if reply.Type != FrameBarrierAck {
+				return fmt.Errorf("unexpected reply type %d to barrier", reply.Type)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	t.barriers.Add(1)
+	return nil
+}
+
+// Close tears down every worker connection.
+func (t *TCP) Close() error {
+	var firstErr error
+	for _, p := range t.peers {
+		p.mu.Lock()
+		if p.conn != nil {
+			if err := p.conn.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			p.conn = nil
+		}
+		p.mu.Unlock()
+	}
+	return firstErr
+}

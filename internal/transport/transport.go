@@ -1,0 +1,113 @@
+// Package transport is the engine's pluggable message-transport subsystem:
+// it owns lane addressing, framed message batches, barrier signaling and
+// aggregator exchange between the coordinator and its workers.
+//
+// Two families of implementations exist. The in-memory transports (NewMem,
+// NewMemWire) keep every lane in process memory: NewMem is the loopback
+// transport behind the engine's historical zero-copy shuffle (the engine
+// bypasses the byte path entirely when Loopback reports true), and
+// NewMemWire pushes every lane through the full encode/frame/decode path
+// without sockets, which is how tests exercise the wire code
+// deterministically. The TCP transport (DialTCP) is a real multi-process
+// backend: each worker is its own OS process (ppa-assembler -serve-worker)
+// acting as a lane depot, lane drains become length-prefixed CRC-framed
+// network reads, and worker death surfaces as a typed WorkerDownError so
+// the engine can roll back to its latest checkpoint and replay.
+//
+// The protocol is deliberately coordinator-centric: compute runs on the
+// coordinator (user compute functions are Go closures and cannot be shipped
+// to another process), and worker processes store and serve the encoded
+// lanes addressed to them — the external-shuffle-service design. Because
+// lanes are encoded with the engine's deterministic binary codec and drained
+// in source-worker order, a run over TCP is byte-identical to an in-memory
+// run.
+package transport
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Transport moves framed lane batches between logical workers for one
+// engine run at a time. Lane (step, src, dst) is the encoded outbox lane
+// from source worker src to destination worker dst at superstep step.
+//
+// The contract the engine relies on:
+//
+//   - SendLane stores the lane payload at the destination worker; sending
+//     the same (step, src, dst) key again overwrites (replay after a
+//     rollback re-sends identical bytes, so overwriting is always safe).
+//   - RecvLane returns the payload previously sent for the key. The engine
+//     always sends every remote lane of a superstep before draining any,
+//     so a missing lane means a worker lost state (death + restart) and is
+//     reported as a *WorkerDownError.
+//   - Barrier publishes the end of a superstep together with an opaque
+//     payload (the engine's aggregator snapshot) to every worker; workers
+//     may then discard lanes of that step and older.
+//
+// Implementations must be safe for concurrent RecvLane calls with distinct
+// dst values (the engine drains destinations in parallel).
+type Transport interface {
+	// Name identifies the transport kind ("mem", "tcp", ...). Checkpoints
+	// record it; resuming under a different transport fails loudly.
+	Name() string
+	// Workers is the number of logical workers this transport addresses.
+	Workers() int
+	// Loopback reports that lanes never leave process memory and the
+	// engine should keep its zero-copy in-memory shuffle, skipping the
+	// byte path entirely. The mem transport returns true; everything that
+	// actually frames bytes returns false.
+	Loopback() bool
+	// Connect establishes (or re-establishes) the worker connections,
+	// retrying with backoff. It is idempotent; the engine calls it once at
+	// run start so connection cost is paid before the first superstep.
+	Connect() error
+	// SendLane stores one encoded lane at the destination worker.
+	SendLane(step, src, dst int, payload []byte) error
+	// RecvLane fetches the lane stored for (step, src, dst).
+	RecvLane(step, src, dst int) ([]byte, error)
+	// Barrier signals the end of superstep step to every worker, carrying
+	// the aggregator snapshot, and allows them to free that step's lanes.
+	Barrier(step int, payload []byte) error
+	// Counters returns cumulative traffic counters for this transport
+	// instance (monotonic; diff two readings to meter a window).
+	Counters() Counters
+	// Close releases connections. The transport is unusable afterwards.
+	Close() error
+}
+
+// Counters are the cumulative traffic totals of one transport instance.
+// WireNs meters real wall time spent on wire I/O (dial, write, read) — the
+// measured counterpart of the engine's simulated network charge.
+type Counters struct {
+	BytesSent  int64
+	BytesRecv  int64
+	FramesSent int64
+	FramesRecv int64
+	WireNs     int64
+	Connects   int64
+	Redials    int64
+	Barriers   int64
+}
+
+// WorkerDownError reports that a worker process died or lost its lane
+// state (connection failure, or a lane request the worker could not serve
+// after a restart). The engine treats it like an injected worker crash:
+// with checkpointing enabled it rolls back to the latest checkpoint and
+// replays; without, the run fails. Test with errors.As.
+type WorkerDownError struct {
+	Worker int
+	Err    error
+}
+
+func (e *WorkerDownError) Error() string {
+	return fmt.Sprintf("transport: worker %d down: %v", e.Worker, e.Err)
+}
+
+func (e *WorkerDownError) Unwrap() error { return e.Err }
+
+// IsWorkerDown reports whether err wraps a *WorkerDownError.
+func IsWorkerDown(err error) bool {
+	var wd *WorkerDownError
+	return errors.As(err, &wd)
+}

@@ -28,6 +28,7 @@ import (
 
 	"ppaassembler/internal/pregel"
 	"ppaassembler/internal/telemetry"
+	"ppaassembler/internal/transport"
 )
 
 // Artifact names a typed value flowing between operations (reads, the
@@ -75,6 +76,11 @@ type Env struct {
 	// core.PartitionOp); graphs already built keep the placement they were
 	// constructed with.
 	Partitioner pregel.Partitioner
+	// Transport is the message transport every op's graphs shuffle over
+	// (pregel.Config.Transport). Nil keeps the in-memory loopback shuffle;
+	// a TCP transport makes every op's superstep shuffle cross real worker
+	// processes. Output is byte-identical either way.
+	Transport transport.Transport
 	// MessageBytes is the charged wire size of one engine message (0 =
 	// pregel.DefaultMessageBytes). The assembler sets its Msg record's
 	// actual wire size here so the simulated network load reflects the
@@ -141,7 +147,7 @@ func (e *Env) normalize() error {
 func (e *Env) Config() pregel.Config {
 	return pregel.Config{
 		Workers: e.Workers, Parallel: e.Parallel, Overlap: e.Overlap, Cost: e.Cost,
-		Partitioner: e.Partitioner, MessageBytes: e.MessageBytes,
+		Partitioner: e.Partitioner, Transport: e.Transport, MessageBytes: e.MessageBytes,
 		CheckpointEvery: e.CheckpointEvery, Checkpointer: e.Checkpointer,
 		DeltaCheckpoints: e.DeltaCheckpoints,
 		Faults:           e.Faults, Resume: e.Resume,
