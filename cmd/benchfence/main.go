@@ -22,6 +22,14 @@
 //
 // -threshold is the allowed fractional regression for ratio comparisons
 // (0.25 = current may be up to 25% worse than baseline).
+//
+// A fourth mode, -calibrate, skips the comparison entirely: it reads the
+// -current artifact's transport section and prints the CostModel parameters
+// the measured wire implies (suggested BytesPerSecond from bytes-over-time,
+// the mean per-frame wall time as an empirical latency floor) next to the
+// defaults the simulation charges, so a drifted model is visible:
+//
+//	go run ./cmd/benchfence -calibrate -current BENCH_pregel.new.json
 package main
 
 import (
@@ -29,6 +37,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+
+	"ppaassembler/internal/pregel"
 )
 
 // The structs below mirror the subset of the BENCH_pregel.json schema the
@@ -75,19 +85,35 @@ type transportRow struct {
 	MeasuredOverPredicted float64 `json:"measured_over_predicted"`
 }
 
+type adaptiveRow struct {
+	Name             string  `json:"name"`
+	RemoteFraction   float64 `json:"remote_fraction"`
+	NetSimSeconds    float64 `json:"net_sim_seconds"`
+	Migrations       int64   `json:"migrations"`
+	MigratedVertices int64   `json:"migrated_vertices"`
+	MigrationBytes   int64   `json:"migration_bytes"`
+}
+
+type adaptiveSection struct {
+	Every    int           `json:"every_supersteps"`
+	MaxMoves int           `json:"max_moves"`
+	Rows     []adaptiveRow `json:"rows"`
+}
+
 type artifact struct {
-	NumCPU               int           `json:"num_cpu"`
-	GoMaxProcs           int           `json:"go_max_procs"`
-	Sequential           shuffleRow    `json:"sequential"`
-	Parallel             shuffleRow    `json:"parallel"`
-	ParallelOverlap      shuffleRow    `json:"parallel_overlap"`
-	ParallelSpeedup      float64       `json:"parallel_speedup"`
-	OverlapSpeedup       float64       `json:"overlap_speedup"`
-	ParallelSpeedupValid bool          `json:"parallel_speedup_valid"`
-	Pipeline             []pipelineRow `json:"pipeline_partitioners"`
-	CheckpointIO         checkpointIO  `json:"checkpoint_io"`
-	CheckpointThroughput codecStats    `json:"checkpoint_throughput"`
-	Transport            transportRow  `json:"transport"`
+	NumCPU               int             `json:"num_cpu"`
+	GoMaxProcs           int             `json:"go_max_procs"`
+	Sequential           shuffleRow      `json:"sequential"`
+	Parallel             shuffleRow      `json:"parallel"`
+	ParallelOverlap      shuffleRow      `json:"parallel_overlap"`
+	ParallelSpeedup      float64         `json:"parallel_speedup"`
+	OverlapSpeedup       float64         `json:"overlap_speedup"`
+	ParallelSpeedupValid bool            `json:"parallel_speedup_valid"`
+	Pipeline             []pipelineRow   `json:"pipeline_partitioners"`
+	Adaptive             adaptiveSection `json:"adaptive_partitioning"`
+	CheckpointIO         checkpointIO    `json:"checkpoint_io"`
+	CheckpointThroughput codecStats      `json:"checkpoint_throughput"`
+	Transport            transportRow    `json:"transport"`
 }
 
 // report accumulates regressions (fail the fence) and notes (informational:
@@ -202,6 +228,50 @@ func compare(baseline, current artifact, threshold float64) report {
 		}
 	}
 
+	// --- Host-independent: adaptive repartitioning. The rows are
+	// deterministic (simulated clock, fixed workload), so two things are
+	// gated: no row drifts past threshold against its baseline, and the
+	// headline claim keeps holding in the current artifact on its own —
+	// hash+adaptive must beat static minimizer on both remote fraction and
+	// communication-bound makespan, with the migration toll on the clock. ---
+	if len(baseline.Adaptive.Rows) > 0 && len(current.Adaptive.Rows) == 0 {
+		r.failf("adaptive_partitioning section vanished from the current artifact (baseline had %d rows)",
+			len(baseline.Adaptive.Rows))
+	}
+	baseAd := map[string]adaptiveRow{}
+	for _, row := range baseline.Adaptive.Rows {
+		baseAd[row.Name] = row
+	}
+	curAd := map[string]adaptiveRow{}
+	for _, row := range current.Adaptive.Rows {
+		curAd[row.Name] = row
+		b, ok := baseAd[row.Name]
+		if !ok {
+			r.notef("adaptive row %q has no baseline row; skipping", row.Name)
+			continue
+		}
+		checkGrowth(&r, "adaptive "+row.Name+" remote_fraction", b.RemoteFraction, row.RemoteFraction, threshold)
+		checkGrowth(&r, "adaptive "+row.Name+" net_sim_seconds", b.NetSimSeconds, row.NetSimSeconds, threshold)
+	}
+	if adp, ok := curAd["adaptive(hash)"]; ok {
+		if adp.Migrations == 0 || adp.MigratedVertices == 0 {
+			r.failf("adaptive(hash) committed no migrations (decisions=%d vertices=%d) — the policy never fired",
+				adp.Migrations, adp.MigratedVertices)
+		}
+		if stat, ok := curAd["minimizer"]; ok {
+			if adp.RemoteFraction >= stat.RemoteFraction {
+				r.failf("adaptive(hash) remote fraction %.4f does not beat static minimizer %.4f",
+					adp.RemoteFraction, stat.RemoteFraction)
+			}
+			if adp.NetSimSeconds >= stat.NetSimSeconds {
+				r.failf("adaptive(hash) net makespan %.5fs (migration toll included) does not beat static minimizer %.5fs",
+					adp.NetSimSeconds, stat.NetSimSeconds)
+			}
+		}
+	} else if len(current.Adaptive.Rows) > 0 {
+		r.failf("adaptive_partitioning section has rows but no adaptive(hash) row")
+	}
+
 	// --- Time-based metrics: only on a comparable host. ---
 	if baseline.NumCPU == current.NumCPU && baseline.GoMaxProcs == current.GoMaxProcs {
 		for _, m := range []struct {
@@ -273,15 +343,56 @@ func load(path string) (artifact, error) {
 	return a, nil
 }
 
+// calibrate prints the CostModel parameters the -current artifact's measured
+// transport section implies, next to what the simulation charges by default.
+// It is a reporting aid, not a fence: the measured wire is this host's
+// loopback stack, so the output is advice for anyone tuning -cost flags, and
+// a drift note when measured and modeled bandwidth diverge badly.
+func calibrate(current artifact) error {
+	t := current.Transport
+	if t.MeasuredWireSeconds <= 0 || t.BytesSent == 0 {
+		return fmt.Errorf("current artifact has no measured transport section (bytes_sent=%d, measured_wire_seconds=%g); re-emit with the transport benchmark enabled",
+			t.BytesSent, t.MeasuredWireSeconds)
+	}
+	model := pregel.DefaultCost()
+	wire := float64(t.BytesSent+t.BytesReceived) / t.MeasuredWireSeconds
+	fmt.Printf("transport measured: %d bytes sent, %d received, %d frames in %.4fs\n",
+		t.BytesSent, t.BytesReceived, t.FramesSent, t.MeasuredWireSeconds)
+	fmt.Printf("suggested BytesPerSecond: %.0f (%.1f MiB/s); model default %.0f (%.1f MiB/s), measured/modeled %.2fx\n",
+		wire, wire/(1<<20), model.BytesPerSecond, model.BytesPerSecond/(1<<20), wire/model.BytesPerSecond)
+	if t.FramesSent > 0 {
+		perFrame := t.MeasuredWireSeconds / float64(t.FramesSent)
+		fmt.Printf("empirical per-frame wall time: %.1fµs/frame — a floor for SuperstepLatency; model default %s\n",
+			perFrame*1e6, model.SuperstepLatency)
+	}
+	if t.MeasuredOverPredicted > 0 {
+		fmt.Printf("measured_over_predicted (from emitter): %.2fx\n", t.MeasuredOverPredicted)
+	}
+	return nil
+}
+
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_pregel.json", "committed benchmark artifact to compare against")
 	currentPath := flag.String("current", "", "freshly emitted benchmark artifact (required)")
 	threshold := flag.Float64("threshold", 0.25, "allowed fractional regression for ratio comparisons (0.25 = 25%)")
+	calibrateMode := flag.Bool("calibrate", false, "report the CostModel parameters the -current artifact's measured transport implies, then exit (no baseline comparison)")
 	flag.Parse()
 	if *currentPath == "" {
 		fmt.Fprintln(os.Stderr, "benchfence: -current is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *calibrateMode {
+		current, err := load(*currentPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchfence: %v\n", err)
+			os.Exit(2)
+		}
+		if err := calibrate(current); err != nil {
+			fmt.Fprintf(os.Stderr, "benchfence: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *threshold <= 0 {
 		fmt.Fprintln(os.Stderr, "benchfence: -threshold must be positive")

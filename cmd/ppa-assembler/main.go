@@ -41,6 +41,7 @@ type cliOpts struct {
 	workers     int
 	parallel    bool
 	partitioner string
+	repartition string
 	labeler     string
 	rounds      int
 	minLen      int
@@ -89,6 +90,7 @@ func main() {
 	flag.BoolVar(&o.parallel, "parallel", false, "run workers on goroutines (multi-core; output is identical to sequential mode)")
 	flag.BoolVar(&o.overlap, "overlap", false, "with -parallel, overlap message delivery with compute instead of a global barrier (output is identical either way)")
 	flag.StringVar(&o.partitioner, "partitioner", "hash", "vertex placement strategy: hash (scatter), range (contiguous k-mer ID spans), minimizer (co-locate DBG-adjacent k-mers) or affinity (re-place contigs next to their graph neighborhood); output is identical for all of them, only simulated network locality changes")
+	flag.StringVar(&o.repartition, "repartition", "", "online adaptive repartitioning: migrate hot vertices to the worker they receive the most traffic from, at a superstep cadence, e.g. \"4\" or \"every=4,window=2,maxmove=128\" (output is identical to static placement, only network locality changes)")
 	flag.StringVar(&o.labeler, "labeler", "lr", "contig labeling algorithm: lr or sv")
 	flag.IntVar(&o.rounds, "rounds", 2, "labeling+merging rounds (1 = no error correction)")
 	flag.IntVar(&o.minLen, "minlen", 0, "omit contigs shorter than this from the output")
@@ -203,6 +205,9 @@ func runCanned(o cliOpts, obs *observability) error {
 	if opt.Partitioner, err = core.MakePartitioner(o.partitioner, o.k); err != nil {
 		return err
 	}
+	if opt.Repartition, err = parseRepartition(o.repartition); err != nil {
+		return err
+	}
 	if opt.Transport, err = makeTransport(o); err != nil {
 		return err
 	}
@@ -312,10 +317,15 @@ func runCanned(o cliOpts, obs *observability) error {
 		}
 		printCheckpointIO(res.CheckpointSaves, res.CheckpointRestores,
 			res.CheckpointBytesWritten, res.CheckpointBytesRestored)
+		printMigrationSummary(res.Migrations, res.MigratedVertices, res.MigrationBytes)
 		printTransportSummary(opt.Transport)
 		if total := res.LocalMessages + res.RemoteMessages; total > 0 {
+			pname := o.partitioner
+			if opt.Repartition != nil {
+				pname = "adaptive(" + pname + ")"
+			}
 			fmt.Fprintf(os.Stderr, "shuffle traffic:   %d messages, %.1f%% remote (partitioner %s)\n",
-				total, 100*float64(res.RemoteMessages)/float64(total), o.partitioner)
+				total, 100*float64(res.RemoteMessages)/float64(total), pname)
 		}
 		fmt.Fprintf(os.Stderr, "simulated time:    %.2fs (%d workers), wall %.2fs\n",
 			res.SimSeconds, o.workers, res.WallSeconds)

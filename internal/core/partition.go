@@ -165,6 +165,47 @@ func (o PartitionOp) Run(env *workflow.Env, st *State) error {
 	if err != nil {
 		return err
 	}
-	env.Partitioner = p
+	if env.Repartition != nil {
+		// Adaptive plans keep a dynamic layer over whatever base the op
+		// selects; the routing table starts empty because the old table was
+		// learned against the replaced base.
+		env.Partitioner = pregel.AsDynamic(p)
+	} else {
+		env.Partitioner = p
+	}
+	return nil
+}
+
+// RepartitionOp turns online adaptive repartitioning on (or off) from its
+// plan position onward: later ops run with env.Repartition set, their
+// graphs place through one shared pregel.DynamicPartitioner, and the
+// routing table learned by one job seeds the next. Graphs already live
+// keep the placement they were built with, exactly like PartitionOp. In
+// specs it appears as repartition[:every=4][:window=N][:maxmove=N]
+// (every=0 disables for the rest of the plan).
+type RepartitionOp struct {
+	// Every is the migration decision cadence in supersteps (0 disables).
+	Every int
+	// Window is the trailing traffic-observation window (0 = Every).
+	Window int
+	// MaxMoves caps vertices relocated per decision (0 = engine default).
+	MaxMoves int
+}
+
+// Info implements workflow.Op. Like PartitionOp it needs no artifacts: it
+// may open a plan or flip the policy mid-composition.
+func (o RepartitionOp) Info() workflow.Info {
+	return workflow.Info{Name: "repartition"}
+}
+
+// Run implements workflow.Op.
+func (o RepartitionOp) Run(env *workflow.Env, st *State) error {
+	if o.Every <= 0 {
+		env.Repartition = nil
+		env.Partitioner = pregel.BasePartitioner(env.Partitioner)
+		return nil
+	}
+	env.Repartition = &pregel.RepartitionPolicy{Every: o.Every, Window: o.Window, MaxMoves: o.MaxMoves}
+	env.Partitioner = pregel.AsDynamic(env.Partitioner)
 	return nil
 }

@@ -36,7 +36,8 @@ import (
 
 const (
 	ckptMagic     = "PPCK"
-	ckptVersion   = 4
+	ckptVersion   = 5
+	ckptVersionV4 = 4
 	ckptVersionV3 = 3
 	ckptVersionV2 = 2
 
@@ -594,7 +595,9 @@ func applyWorkerDelta[V, M any](cw *ckptWorker[V, M], data []byte) error {
 // appendCkptHeader writes the container header — everything up to and
 // including the worker count, which is the header-CRC coverage — shared by
 // the current writer and the v2 compatibility encoder. v4 added
-// TransportName after PartitionerName; older versions omit it.
+// TransportName after PartitionerName; v5 added the adaptive-repartitioning
+// block (routing-table payload + migration counters); older versions omit
+// them.
 func appendCkptHeader(buf []byte, f *ckptFile, version uint64) []byte {
 	buf = append(buf, ckptMagic...)
 	buf = binary.AppendUvarint(buf, version)
@@ -605,6 +608,13 @@ func appendCkptHeader(buf []byte, f *ckptFile, version uint64) []byte {
 	buf = appendCkptString(buf, f.PartitionerName)
 	if version >= 4 {
 		buf = appendCkptString(buf, f.TransportName)
+	}
+	if version >= 5 {
+		buf = binary.AppendUvarint(buf, uint64(len(f.Routing)))
+		buf = append(buf, f.Routing...)
+		buf = binary.AppendUvarint(buf, uint64(f.Migrations))
+		buf = binary.AppendVarint(buf, f.MigratedVertices)
+		buf = binary.AppendVarint(buf, f.MigrationBytes)
 	}
 	buf = binary.AppendUvarint(buf, uint64(f.NumWorkers))
 	buf = binary.AppendUvarint(buf, uint64(f.Supersteps))
@@ -681,7 +691,7 @@ func decodeCkptFileBounds(job string, data []byte) (*ckptFile, []int64, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	if ver != ckptVersion && ver != ckptVersionV3 && ver != ckptVersionV2 {
+	if ver != ckptVersion && ver != ckptVersionV4 && ver != ckptVersionV3 && ver != ckptVersionV2 {
 		return nil, nil, fmt.Errorf("pregel: checkpoint for job %q uses format v%d, but this binary reads v%d through v%d — rerun with a matching binary or delete the checkpoint directory to start fresh", job, ver, ckptVersionV2, ckptVersion)
 	}
 	var f ckptFile
@@ -709,6 +719,28 @@ func decodeCkptFileBounds(job string, data []byte) (*ckptFile, []int64, error) {
 	}
 	if ver >= 4 {
 		if f.TransportName, data, err = consumeCkptString(data); err != nil {
+			return fail(err)
+		}
+	}
+	if ver >= 5 {
+		if u, data, err = ConsumeUvarint(data); err != nil {
+			return fail(err)
+		}
+		if u > uint64(len(data)) {
+			return fail(corruptf("routing table claims %d bytes, %d remain", u, len(data)))
+		}
+		if u > 0 {
+			f.Routing = append([]byte(nil), data[:u]...)
+			data = data[u:]
+		}
+		if u, data, err = ConsumeUvarint(data); err != nil {
+			return fail(err)
+		}
+		f.Migrations = int(u)
+		if f.MigratedVertices, data, err = ConsumeVarint(data); err != nil {
+			return fail(err)
+		}
+		if f.MigrationBytes, data, err = ConsumeVarint(data); err != nil {
 			return fail(err)
 		}
 	}

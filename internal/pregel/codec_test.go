@@ -2,6 +2,7 @@ package pregel
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"reflect"
 	"strings"
@@ -223,8 +224,8 @@ func TestDecodeCkptFileRejectsV1Gob(t *testing.T) {
 
 func TestDecodeCkptFileRejectsFutureVersion(t *testing.T) {
 	blob := encodeCkptFile(makeCodecCkptFile())
-	// The version uvarint sits right after the 4-byte magic; v4 encodes as
-	// the single byte 4.
+	// The version uvarint sits right after the 4-byte magic; single-digit
+	// versions encode as one byte.
 	if blob[4] != ckptVersion {
 		t.Fatalf("test assumption broken: blob[4] = %d, want the version byte", blob[4])
 	}
@@ -233,7 +234,7 @@ func TestDecodeCkptFileRejectsFutureVersion(t *testing.T) {
 	if err == nil {
 		t.Fatal("decoding a future-version container succeeded")
 	}
-	if !strings.Contains(err.Error(), "format v5") {
+	if !strings.Contains(err.Error(), fmt.Sprintf("format v%d", ckptVersion+1)) {
 		t.Errorf("error does not name the version mismatch: %v", err)
 	}
 	if errors.Is(err, ErrCheckpointCorrupt) {

@@ -118,6 +118,19 @@ type Config struct {
 	// the run rolls back and replays, otherwise it fails.
 	Transport transport.Transport
 
+	// Repartition enables online adaptive repartitioning: the engine
+	// observes each vertex's per-source-worker message traffic over a
+	// trailing window and, at every Repartition.Every superstep boundary,
+	// migrates the hottest mismatched vertices to the worker they receive
+	// the most messages from (see repartition.go). The Partitioner is
+	// wrapped in a DynamicPartitioner (unless it already is one) whose
+	// versioned routing table overrides base placement for migrated IDs;
+	// checkpoints persist the table, so Resume restores placement exactly.
+	// Results stay bit-identical to a static run — migration moves state at
+	// barriers, never semantics — only the local/remote traffic split and
+	// the simulated clock change. Nil disables migration.
+	Repartition *RepartitionPolicy
+
 	// CheckpointEvery enables Pregel-style fault tolerance: every N
 	// supersteps each run snapshots its vertex state, pending inboxes,
 	// aggregators and counters (plus a baseline snapshot before superstep
@@ -210,6 +223,11 @@ func (c Config) Validate() error {
 		return fmt.Errorf("pregel: transport %q addresses %d workers, Config.Workers is %d",
 			c.Transport.Name(), c.Transport.Workers(), c.Workers)
 	}
+	if c.Repartition != nil {
+		if err := c.Repartition.validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -234,6 +252,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Partitioner == nil {
 		c.Partitioner = HashPartitioner{}
+	}
+	if c.Repartition != nil {
+		pol := c.Repartition.withDefaults()
+		c.Repartition = &pol
+		c.Partitioner = AsDynamic(c.Partitioner)
 	}
 	if c.CheckpointEvery > 0 && c.Checkpointer == nil {
 		c.Checkpointer = NewMemCheckpointer()
@@ -299,6 +322,17 @@ type worker[V, M any] struct {
 	// value and flags and an empty inbox at both barriers, because a
 	// non-empty inbox forces reactivation and therefore compute.
 	dirty []bool
+
+	// edges is the adaptive-repartitioning observation matrix (nil unless
+	// Config.Repartition is set and a window has opened): per (sender,
+	// receiver) vertex-pair message counts for the current observation
+	// window, recorded at Send time by this worker's own compute pass —
+	// sender-side, because only there is the source vertex still known.
+	// Written single-threaded per worker, so it needs no locks for the same
+	// reason the outbox lanes don't. curSrc is the vertex currently
+	// computing, maintained only while a window is observing.
+	edges  map[migEdge]int64
+	curSrc VertexID
 }
 
 func (w *worker[V, M]) vertexCount() int { return len(w.ids) - w.nDead }
@@ -339,6 +373,11 @@ type Graph[V, M any] struct {
 	// runName is the current run's label (set by Run), used for pprof
 	// labels on the delivery and checkpoint phases.
 	runName string
+
+	// observing gates traffic recording (Config.Repartition): set by the
+	// coordinator before each superstep's compute/delivery phases, read by
+	// the delivery passes. True only during the observation window.
+	observing bool
 }
 
 // NewGraph creates an empty graph with the given configuration.
@@ -585,6 +624,14 @@ func (g *Graph[V, M]) Run(compute Compute[V, M], opts ...RunOption) (*Stats, err
 	}
 	tr := g.cfg.Tracer
 	rm := newRunMetrics(g.cfg.Metrics)
+	if pol := g.cfg.Repartition; pol != nil {
+		// withDefaults normalizes Window/MaxMoves but deliberately leaves a
+		// broken cadence alone: silently "fixing" Every would run a policy
+		// the caller never asked for.
+		if err := pol.validate(); err != nil {
+			return stats, fmt.Errorf("pregel: job %q: %w", o.name, err)
+		}
+	}
 	if wire {
 		if tw := g.cfg.Transport.Workers(); tw != g.cfg.Workers {
 			return stats, fmt.Errorf("pregel: job %q: transport %q addresses %d workers, the graph has %d",
@@ -699,6 +746,11 @@ func (g *Graph[V, M]) Run(compute Compute[V, M], opts ...RunOption) (*Stats, err
 			}
 			continue
 		}
+
+		// Adaptive repartitioning: open/close the traffic-observation window
+		// for the superstep about to execute (coordinator-side, before any
+		// worker goroutine reads the gate).
+		g.observeWindow(step)
 
 		if g.computeNs == nil {
 			g.computeNs = make([]float64, g.cfg.Workers)
@@ -843,6 +895,31 @@ func (g *Graph[V, M]) Run(compute Compute[V, M], opts ...RunOption) (*Stats, err
 		downStreak = 0
 		pending = delivered
 		step++
+		// Adaptive repartitioning commits here — after the barrier, before
+		// the cadence checkpoint — so a checkpoint always captures the
+		// migrated partitions together with the routing table that placed
+		// them. A worker lost mid-migration aborts before anything is
+		// spliced and rolls back exactly like a lost superstep; the delta
+		// chain is cut (haveFull=false) because per-index dirty tracking
+		// does not survive a relocation.
+		if g.repartitionDue(step) {
+			merr := g.runRepartition(step, stats)
+			if merr != nil && wire && transport.IsWorkerDown(merr) {
+				if downStreak++; downStreak > maxTransportRecoveries {
+					return stats, fmt.Errorf("pregel: job %q: %d consecutive worker failures, giving up: %w", o.name, downStreak, merr)
+				}
+				if step, pending, err = g.transportRecover(ck, o.name, step, merr, stats); err != nil {
+					return stats, err
+				}
+				continue
+			}
+			if merr != nil {
+				return stats, merr
+			}
+			if ck != nil {
+				ck.haveFull = false
+			}
+		}
 		if ck != nil && step%ck.every == 0 {
 			if err := g.saveCheckpoint(ck, step, pending, stats); err != nil {
 				return stats, err
@@ -894,6 +971,7 @@ func (g *Graph[V, M]) runWorker(wi, step int, compute Compute[V, M]) float64 {
 		}
 		ctx.halt = false
 		ctx.remove = false
+		w.curSrc = w.ids[i] // so an observing send can attribute its edges
 		compute(ctx, w.ids[i], &w.vals[i], msgs)
 		if ctx.remove {
 			w.dead[i] = true
@@ -962,8 +1040,8 @@ func (g *Graph[V, M]) collectDelivery() (delivered, dropped int64, err error) {
 func (g *Graph[V, M]) deliverTo(dwi int) {
 	dst := g.workers[dwi]
 	g.resetInbox(dst)
-	for _, src := range g.workers {
-		g.countLane(dst, src.outbox[dwi])
+	for swi, src := range g.workers {
+		g.countLane(dst, swi, src.outbox[dwi])
 	}
 	g.placeInbox(dst, dwi)
 }
@@ -993,7 +1071,7 @@ func (g *Graph[V, M]) overlapStep(step int, compute Compute[V, M], computeNs []f
 		g.resetInbox(dst)
 		for s := range g.workers {
 			srcDone[s].Wait()
-			g.countLane(dst, g.workers[s].outbox[wi])
+			g.countLane(dst, s, g.workers[s].outbox[wi])
 		}
 		g.placeInbox(dst, wi)
 	})
@@ -1014,8 +1092,10 @@ func (g *Graph[V, M]) resetInbox(dst *worker[V, M]) {
 // rIdx for the placement pass), per-vertex counts accumulate, and dropped
 // and strict-mode accounting happens here. With a total combiner installed
 // the per-vertex count is capped at one — placeInbox folds further messages
-// into that single slot instead of appending.
-func (g *Graph[V, M]) countLane(dst *worker[V, M], lane []envelope[M]) {
+// into that single slot instead of appending. src is the lane's source
+// worker. (Adaptive-repartitioning traffic is observed on the send side,
+// where the source vertex is still known — see gAdapter.send.)
+func (g *Graph[V, M]) countLane(dst *worker[V, M], src int, lane []envelope[M]) {
 	counts := dst.inCur[:len(dst.ids)]
 	fused := g.runTotal && g.runComb != nil
 	for _, e := range lane {
@@ -1092,6 +1172,12 @@ type gAdapter[V, M any] struct{ g *Graph[V, M] }
 func (a gAdapter[V, M]) send(from int, dst VertexID, m M) {
 	g := a.g
 	w := g.workers[from]
+	if g.observing {
+		// Adaptive-repartitioning observation, pre-combine so the recorded
+		// affinity reflects logical traffic: one count per (sender, receiver)
+		// vertex pair, the raw material of the migration solver.
+		w.edges[migEdge{w.curSrc, dst}]++
+	}
 	dwi := g.WorkerOf(dst)
 	if g.runComb != nil {
 		fm := w.fold[dwi]

@@ -226,8 +226,8 @@ func (g *Graph[V, M]) transportDeliverTo(step, dwi int) {
 		}
 		dst.rlanes[swi] = lane
 	}
-	for _, lane := range dst.rlanes {
-		g.countLane(dst, lane)
+	for swi, lane := range dst.rlanes {
+		g.countLane(dst, swi, lane)
 	}
 	g.placeInboxLanes(dst, dst.rlanes)
 }

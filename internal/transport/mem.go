@@ -116,9 +116,11 @@ func (m *MemWire) RecvLane(step, src, dst int) ([]byte, error) {
 }
 
 func (m *MemWire) Barrier(step int, payload []byte) error {
+	// Control-plane traffic: the frame still round-trips the codec, but only
+	// the barrier counter moves — FramesSent/FramesRecv meter data lanes
+	// only (see Counters), and counting the barrier as a send with no
+	// matching receive would break their symmetry.
 	wire := AppendFrame(nil, Frame{Type: FrameBarrier, Step: step, Payload: payload})
-	m.bytesSent.Add(int64(len(wire)))
-	m.framesSent.Add(1)
 	if _, _, err := DecodeFrame(wire); err != nil {
 		return fmt.Errorf("transport memwire: barrier frame round trip failed: %w", err)
 	}

@@ -176,7 +176,10 @@ func (t *TCP) handshake(p *tcpPeer, conn net.Conn) error {
 }
 
 // writeFrame sends one frame under the I/O deadline, metering bytes and
-// wire time.
+// wire time. The frame counter moves only for data-plane lane frames
+// (FrameLane); control frames (hello, lane requests, barriers) still meter
+// their bytes — they genuinely cross the wire — but not frames, keeping
+// FramesSent==FramesRecv for completed runs (see Counters).
 func (t *TCP) writeFrame(conn net.Conn, f Frame) error {
 	wire := AppendFrame(nil, f)
 	conn.SetWriteDeadline(time.Now().Add(t.opts.IOTimeout))
@@ -187,12 +190,15 @@ func (t *TCP) writeFrame(conn net.Conn, f Frame) error {
 		return err
 	}
 	t.bytesSent.Add(int64(len(wire)))
-	t.framesSent.Add(1)
+	if f.Type == FrameLane {
+		t.framesSent.Add(1)
+	}
 	return nil
 }
 
 // readFrame reads one frame under the I/O deadline, metering bytes and
-// wire time.
+// wire time. Like writeFrame, the frame counter moves only for data-plane
+// lane payloads (FrameLaneData); ack frames meter bytes only.
 func (t *TCP) readFrame(conn net.Conn) (Frame, error) {
 	conn.SetReadDeadline(time.Now().Add(t.opts.IOTimeout))
 	start := time.Now()
@@ -202,7 +208,9 @@ func (t *TCP) readFrame(conn net.Conn) (Frame, error) {
 		return f, err
 	}
 	t.bytesRecv.Add(int64(n))
-	t.framesRecv.Add(1)
+	if f.Type == FrameLaneData {
+		t.framesRecv.Add(1)
+	}
 	return f, nil
 }
 

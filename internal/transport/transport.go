@@ -79,6 +79,15 @@ type Transport interface {
 // Counters are the cumulative traffic totals of one transport instance.
 // WireNs meters real wall time spent on wire I/O (dial, write, read) — the
 // measured counterpart of the engine's simulated network charge.
+//
+// FramesSent and FramesRecv count data-plane lane frames only: a FrameLane
+// shipped via SendLane, and a FrameLaneData fetched via RecvLane. Control
+// frames (hello handshakes, lane requests, barriers and their acks) are
+// excluded by every backend, so for any completed run the two are equal —
+// each lane sent is drained exactly once. Byte counters remain honest wire
+// totals and do include control-frame bytes on backends where control
+// frames genuinely cross the wire (tcp), so BytesSent/BytesRecv may differ
+// from each other even though frame counts match.
 type Counters struct {
 	BytesSent  int64
 	BytesRecv  int64
